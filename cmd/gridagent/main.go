@@ -1,0 +1,147 @@
+// Command gridagent runs one agent of the grid hierarchy as a TCP daemon,
+// fronting a performance-driven local scheduler for one resource (§3.2).
+// Agents exchange Fig. 5 service advertisements and Fig. 6 requests over
+// the XML wire protocol; a hierarchy is assembled by starting one daemon
+// per resource and pointing children at their parent.
+//
+// Example — a two-agent hierarchy:
+//
+//	gridagent -name fast -hw SGIOrigin2000 -nodes 16 -listen 127.0.0.1:7001 \
+//	          -lowers slow=127.0.0.1:7002 &
+//	gridagent -name slow -hw SunSPARCstation2 -nodes 16 -listen 127.0.0.1:7002 \
+//	          -upper fast=127.0.0.1:7001 &
+//
+// Submit work with gridsubmit; pulls tolerate a neighbour that has not
+// started yet, so startup order does not matter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/agent"
+	"repro/internal/ga"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "S1", "agent/resource name")
+		hwName  = flag.String("hw", "SGIOrigin2000", "hardware model (see -list-hw)")
+		nodes   = flag.Int("nodes", 16, "processing nodes in the local resource")
+		listen  = flag.String("listen", "127.0.0.1:7001", "listen address")
+		upper   = flag.String("upper", "", "upper agent as name=host:port")
+		lowers  = flag.String("lowers", "", "comma-separated lower agents as name=host:port")
+		policy  = flag.String("policy", "ga", "local scheduling policy: ga or fifo")
+		seed    = flag.Uint64("seed", 1, "GA random seed")
+		pull    = flag.Float64("pull", agent.DefaultPullPeriod, "advertisement pull period in seconds")
+		push    = flag.Bool("push", false, "also push advertisements to neighbours on freetime changes (§3.1)")
+		listHW  = flag.Bool("list-hw", false, "list hardware models and exit")
+		service = flag.Bool("print-service", false, "print this agent's Fig. 5 service information and exit")
+	)
+	flag.Parse()
+
+	if *listHW {
+		for _, n := range pace.HardwareNames() {
+			hw, _ := pace.LookupHardware(n)
+			fmt.Printf("%-20s factor %g\n", hw.Name, hw.Factor)
+		}
+		return
+	}
+
+	hw, ok := pace.LookupHardware(*hwName)
+	if !ok {
+		fail(fmt.Errorf("unknown hardware %q (try -list-hw)", *hwName))
+	}
+	engine := pace.NewEngine()
+	var pol scheduler.Policy
+	switch *policy {
+	case "ga":
+		pol = scheduler.NewGAPolicy(ga.DefaultConfig(), sim.NewRNG(*seed))
+	case "fifo":
+		pol = scheduler.NewFIFOPolicy()
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+	local, err := scheduler.NewLocal(scheduler.Config{
+		Name: *name, HW: hw, NumNodes: *nodes, Policy: pol, Engine: engine,
+		Environments: []string{"test", "mpi", "pvm"},
+	})
+	fail(err)
+	a, err := agent.New(local, engine)
+	fail(err)
+	a.PullPeriod = *pull
+
+	lib := pace.CaseStudyLibrary()
+
+	if *service {
+		si := local.ServiceInfo()
+		fmt.Printf("agent %s: %s x%d, environments %v, freetime %.0fs\n",
+			si.Name, si.HWType, si.NProc, si.Environments, si.Freetime)
+		return
+	}
+
+	node, err := transport.NewNode(a, lib)
+	fail(err)
+	node.SetPushEnabled(*push)
+
+	if *upper != "" {
+		p, err := parsePeer(*upper, lib)
+		fail(err)
+		fail(node.Agent().SetUpper(p))
+	}
+	for _, spec := range splitList(*lowers) {
+		p, err := parsePeer(spec, lib)
+		fail(err)
+		fail(node.Agent().AddLower(p))
+	}
+
+	node.SetClockOrigin(transport.MidnightOrigin())
+	fail(node.Start(*listen))
+	fmt.Printf("gridagent %s (%s x%d, %s) listening on %s\n", *name, hw.Name, *nodes, pol.Name(), node.Addr())
+	if *upper != "" {
+		fmt.Printf("  upper agent: %s\n", *upper)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gridagent: shutting down")
+	fail(node.Close())
+}
+
+func parsePeer(spec string, lib *pace.Library) (*transport.RemotePeer, error) {
+	name, addr, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || addr == "" {
+		return nil, fmt.Errorf("bad peer spec %q, want name=host:port", spec)
+	}
+	return &transport.RemotePeer{Name: name, Addr: addr, Lib: lib}, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridagent:", err)
+		os.Exit(1)
+	}
+}

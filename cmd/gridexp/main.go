@@ -1,0 +1,138 @@
+// Command gridexp reproduces the paper's case study: the Table 1
+// prediction matrix, the Table 2 experiment design, the Table 3 results
+// and the Figs. 8–10 trend series, over the twelve-agent grid of Fig. 7.
+//
+// Usage:
+//
+//	gridexp                  # run all three experiments, print every table
+//	gridexp -table1          # only the PACE prediction matrix
+//	gridexp -table3 -fig10   # selected outputs
+//	gridexp -requests 120    # reduced workload
+//	gridexp -topology        # print the Fig. 7 agent hierarchy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/pace"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print the Table 1 prediction matrix")
+		table2   = flag.Bool("table2", false, "print the Table 2 experiment design")
+		table3   = flag.Bool("table3", false, "run the experiments and print Table 3")
+		fig8     = flag.Bool("fig8", false, "print the Fig. 8 advance-time trends")
+		fig9     = flag.Bool("fig9", false, "print the Fig. 9 utilisation trends")
+		fig10    = flag.Bool("fig10", false, "print the Fig. 10 load-balance trends")
+		topology = flag.Bool("topology", false, "print the Fig. 7 agent hierarchy")
+		dispatch = flag.Bool("dispatch", false, "print the per-resource dispatch counts")
+		stats    = flag.Bool("stats", false, "print per-application statistics and the lateness distribution per experiment")
+		accuracy = flag.Bool("accuracy", false, "run the §5 prediction-accuracy study")
+		scale    = flag.Bool("scale", false, "run the §5 scalability study on synthetic hierarchies")
+		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
+		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
+		requests = flag.Int("requests", 600, "number of task requests (§4.1 uses 600)")
+		seed     = flag.Uint64("seed", 2003, "workload and GA seed")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale)
+
+	if all || *table1 {
+		engine := pace.NewEngine()
+		out, err := experiment.FormatTable1(pace.CaseStudyLibrary(), engine, pace.SGIOrigin2000, 16)
+		fail(err)
+		fmt.Println(out)
+	}
+	if all || *table2 {
+		fmt.Println(experiment.FormatTable2())
+	}
+	if all || *topology {
+		grid, err := core.New(experiment.CaseStudyResources(), core.Options{})
+		fail(err)
+		fmt.Println("Agent hierarchy (Fig. 7):")
+		fmt.Println(grid.Hierarchy().Describe())
+	}
+
+	params := experiment.DefaultParams()
+	params.Requests = *requests
+	params.Seed = *seed
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(4 * *requests * len(experiment.Configs))
+		params.Trace = rec
+	}
+
+	if *accuracy {
+		fmt.Printf("Running prediction-accuracy study: %d requests, seed %d\n", params.Requests, params.Seed)
+		pts, err := experiment.RunAccuracyStudy(experiment.DefaultNoiseCases(), params)
+		fail(err)
+		fmt.Println(experiment.FormatAccuracy(pts))
+	}
+	if *scale {
+		fmt.Printf("Running scalability study (seed %d)\n", params.Seed)
+		pts, err := experiment.RunScalabilityStudy([]int{6, 12, 24, 48}, 3, 50, params)
+		fail(err)
+		fmt.Println(experiment.FormatScalability(pts))
+	}
+
+	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""
+	if !needRuns {
+		return
+	}
+
+	fmt.Printf("Running experiments 1-3: %d requests at %gs intervals, seed %d\n",
+		params.Requests, params.Interval, params.Seed)
+	start := time.Now()
+	outs, err := experiment.RunAll(params)
+	fail(err)
+	fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+
+	if all || *table3 {
+		fmt.Println(experiment.FormatTable3(outs))
+	}
+	if all || *fig8 {
+		fmt.Println(experiment.FormatTrends(outs, experiment.TrendEpsilon))
+	}
+	if all || *fig9 {
+		fmt.Println(experiment.FormatTrends(outs, experiment.TrendUpsilon))
+	}
+	if all || *fig10 {
+		fmt.Println(experiment.FormatTrends(outs, experiment.TrendBeta))
+	}
+	if all || *dispatch {
+		fmt.Println(experiment.FormatDispatchSummary(outs))
+	}
+	if *stats {
+		for _, o := range outs {
+			fmt.Printf("=== experiment %d (%s) ===\n", o.Setup.ID, o.Setup.Label)
+			fmt.Println(metrics.FormatStats(o.Records))
+		}
+	}
+	if *csvDir != "" {
+		fail(experiment.WriteCSV(*csvDir, outs))
+		fmt.Printf("CSV exported to %s (table3, fig8-10, dispatch)\n", *csvDir)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		fail(rec.WriteCSV(f))
+		fail(f.Close())
+		fmt.Printf("lifecycle trace written to %s (%s)\n", *traceOut, rec.Summary())
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridexp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command gridfarm hosts a whole agent hierarchy as live TCP daemons in
+// one process — by default the twelve-agent Fig. 7 case-study grid — so
+// the networked system can be driven with gridsubmit without starting
+// twelve processes by hand.
+//
+//	gridfarm -base 7100 &
+//	gridsubmit -to 127.0.0.1:7111 -app sweep3d -deadline 10   # arrives at S12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/experiment"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		base   = flag.Int("base", 7100, "first TCP port; agents take consecutive ports")
+		host   = flag.String("host", "127.0.0.1", "bind host")
+		policy = flag.String("policy", "ga", "local scheduling policy: ga or fifo")
+		seed   = flag.Uint64("seed", 1, "GA random seed")
+		pull   = flag.Float64("pull", 10, "advertisement pull period in seconds")
+		push   = flag.Bool("push", false, "event-triggered advertisement pushes")
+	)
+	flag.Parse()
+
+	farm, err := transport.StartFarm(transport.FarmConfig{
+		Specs:      experiment.CaseStudyResources(),
+		Host:       *host,
+		BasePort:   *base,
+		Policy:     *policy,
+		Seed:       *seed,
+		PullPeriod: *pull,
+		Push:       *push,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridfarm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gridfarm: %d agents up (%s policy)\n", len(farm.Names()), *policy)
+	fmt.Print(farm.Describe())
+	fmt.Println("submit with: gridsubmit -to <addr> -app sweep3d -deadline 60")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gridfarm: shutting down")
+	if err := farm.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gridfarm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Command gridsched runs a standalone performance-driven local scheduler
+// as a TCP daemon — the Fig. 3 system without the agent layer. It accepts
+// Fig. 6 requests directly from users ("a request can be received directly
+// from a user when the system functions independently", §2.2) and answers
+// service queries with its Fig. 5 advertisement.
+//
+// Example:
+//
+//	gridsched -name cluster1 -hw SunUltra10 -nodes 16 -listen 127.0.0.1:7100
+//	gridsubmit -to 127.0.0.1:7100 -app sweep3d -deadline 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/agent"
+	"repro/internal/ga"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "local", "scheduler/resource name")
+		hwName = flag.String("hw", "SGIOrigin2000", "hardware model")
+		nodes  = flag.Int("nodes", 16, "processing nodes")
+		listen = flag.String("listen", "127.0.0.1:7100", "listen address")
+		policy = flag.String("policy", "ga", "scheduling policy: ga or fifo")
+		seed   = flag.Uint64("seed", 1, "GA random seed")
+		execs  multiFlag
+	)
+	flag.Var(&execs, "exec", "run a real command when a task starts: app=binary args... ({task},{nproc},{app} expand); repeatable")
+	flag.Parse()
+
+	hw, ok := pace.LookupHardware(*hwName)
+	if !ok {
+		fail(fmt.Errorf("unknown hardware %q", *hwName))
+	}
+	engine := pace.NewEngine()
+	var pol scheduler.Policy
+	switch *policy {
+	case "ga":
+		pol = scheduler.NewGAPolicy(ga.DefaultConfig(), sim.NewRNG(*seed))
+	case "fifo":
+		pol = scheduler.NewFIFOPolicy()
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+	cfg := scheduler.Config{
+		Name: *name, HW: hw, NumNodes: *nodes, Policy: pol, Engine: engine,
+		Environments: []string{"test", "mpi", "pvm"},
+	}
+	if len(execs) > 0 {
+		ce := scheduler.NewCommandExecutor()
+		for _, spec := range execs {
+			fail(ce.ParseMapping(spec))
+		}
+		cfg.Executor = ce
+		fmt.Printf("gridsched: real execution enabled for %d applications\n", len(execs))
+	}
+	local, err := scheduler.NewLocal(cfg)
+	fail(err)
+
+	// A scheduler daemon is an agent with no neighbours: requests are
+	// always evaluated against the local resource, falling back to a
+	// local queue position when the deadline cannot be met.
+	a, err := agent.New(local, engine)
+	fail(err)
+	node, err := transport.NewNode(a, pace.CaseStudyLibrary())
+	fail(err)
+	node.SetClockOrigin(transport.MidnightOrigin())
+	fail(node.Start(*listen))
+	fmt.Printf("gridsched %s (%s x%d, %s) listening on %s\n", *name, hw.Name, *nodes, pol.Name(), node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gridsched: shutting down")
+	fail(node.Close())
+}
+
+// multiFlag collects repeatable string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsched:", err)
+		os.Exit(1)
+	}
+}

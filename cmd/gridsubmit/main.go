@@ -1,0 +1,171 @@
+// Command gridsubmit is the user portal (§3.2): it builds Fig. 6 task
+// execution requests, submits them to a gridagent/gridsched/gridfarm
+// daemon, and fetches execution results.
+//
+// Examples:
+//
+//	gridsubmit -to 127.0.0.1:7001 -app sweep3d -deadline 60
+//	gridsubmit -dry-run -app improc -deadline 120      # print the XML only
+//	gridsubmit -to 127.0.0.1:7001 -count 50 -seed 7    # §4.1-style batch replay
+//	gridsubmit -to 127.0.0.1:7001 -query               # Fig. 5 service info
+//	gridsubmit -to 127.0.0.1:7001 -results -email u@g  # poll task results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/pace"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/xmlmsg"
+)
+
+func main() {
+	var (
+		to       = flag.String("to", "127.0.0.1:7001", "agent or scheduler address")
+		app      = flag.String("app", "sweep3d", "application model name")
+		env      = flag.String("env", "test", "execution environment (test, mpi, pvm)")
+		deadline = flag.Float64("deadline", 60, "deadline in seconds from now")
+		email    = flag.String("email", "user@example.org", "contact email for results")
+		binary   = flag.String("binary", "", "binary path recorded in the request")
+		dryRun   = flag.Bool("dry-run", false, "print the request XML and exit without sending")
+		listApps = flag.Bool("list-apps", false, "list application models and exit")
+		query    = flag.Bool("query", false, "query the target's Fig. 5 service information and exit")
+		results  = flag.Bool("results", false, "fetch task execution results from the target and exit")
+		count    = flag.Int("count", 1, "submit a batch: random apps/deadlines drawn from the Table 1 domains")
+		interval = flag.Duration("interval", time.Second, "batch pacing between submissions")
+		seed     = flag.Uint64("seed", 1, "batch randomness seed")
+	)
+	flag.Parse()
+
+	lib := pace.CaseStudyLibrary()
+	if *listApps {
+		for _, m := range lib.Models() {
+			fmt.Printf("%-10s deadline domain [%g, %g]s\n", m.Name, m.DeadlineLo, m.DeadlineHi)
+		}
+		return
+	}
+	if *query {
+		reply, kind, err := transport.Call(*to, xmlmsg.NewServiceQuery())
+		fail(err)
+		if kind != xmlmsg.KindService {
+			fail(fmt.Errorf("unexpected reply kind %q", kind))
+		}
+		si := reply.(*xmlmsg.ServiceInfo)
+		ft, err := si.FreetimeSeconds()
+		fail(err)
+		fmt.Printf("%s: %s x%d, environments %v, free at virtual t=%.0fs\n",
+			*to, si.Local.HWType, si.Local.NProc, si.Local.Environments, ft)
+		return
+	}
+	if *results {
+		reply, kind, err := transport.Call(*to, xmlmsg.NewResultsQuery(*email))
+		fail(err)
+		if kind != xmlmsg.KindResults {
+			fail(fmt.Errorf("unexpected reply kind %q", kind))
+		}
+		rs := reply.(*xmlmsg.ResultSet)
+		if len(rs.Tasks) == 0 {
+			fmt.Println("no results")
+			return
+		}
+		for _, tr := range rs.Tasks {
+			state := "running"
+			if tr.Done {
+				if tr.Met {
+					state = "done, met deadline"
+				} else {
+					state = "done, MISSED deadline"
+				}
+			}
+			fmt.Printf("task %-4d %-8s x%-2d on %-6s %s\n", tr.TaskID, tr.App, tr.NProc, tr.Resource, state)
+		}
+		return
+	}
+	if _, ok := lib.Lookup(*app); !ok {
+		fail(fmt.Errorf("unknown application %q (try -list-apps)", *app))
+	}
+	if *count > 1 {
+		submitBatch(lib, *to, *env, *email, *count, *interval, *seed)
+		return
+	}
+
+	// Daemons measure virtual time as seconds since their start; a
+	// portal cannot know that origin, so it sends a generous absolute
+	// deadline: now-equivalent plus the requested relative deadline.
+	// For the dry run the epoch itself is used, matching Fig. 6.
+	deadlineSec := *deadline
+	if !*dryRun {
+		deadlineSec += time.Since(transport.MidnightOrigin()).Seconds()
+	}
+
+	req := xmlmsg.NewRequest(*app, *binary, *app, *env, deadlineSec, *email)
+	data, err := xmlmsg.Marshal(req)
+	fail(err)
+	if *dryRun {
+		fmt.Print(string(data))
+		return
+	}
+
+	reply, kind, err := transport.Call(*to, req)
+	fail(err)
+	if kind != xmlmsg.KindDispatch {
+		fail(fmt.Errorf("unexpected reply kind %q", kind))
+	}
+	ack := reply.(*xmlmsg.DispatchAck)
+	fmt.Printf("dispatched to %s (task %d", ack.Resource, ack.TaskID)
+	if ack.Fallback {
+		fmt.Printf(", best-effort: no resource met the deadline")
+	}
+	fmt.Println(")")
+}
+
+// submitBatch replays a §4.1-style workload against a live daemon:
+// random applications with deadlines drawn from their Table 1 domains,
+// paced at the given interval, reporting where everything landed.
+func submitBatch(lib *pace.Library, to, env, email string, count int, interval time.Duration, seed uint64) {
+	rng := sim.NewRNG(seed)
+	models := lib.Models()
+	byResource := map[string]int{}
+	fallbacks := 0
+	for i := 0; i < count; i++ {
+		m := models[rng.Intn(len(models))]
+		rel := rng.UniformIn(m.DeadlineLo, m.DeadlineHi)
+		deadlineSec := time.Since(transport.MidnightOrigin()).Seconds() + rel
+		req := xmlmsg.NewRequest(m.Name, "", m.Name, env, deadlineSec, email)
+		reply, kind, err := transport.Call(to, req)
+		fail(err)
+		if kind != xmlmsg.KindDispatch {
+			fail(fmt.Errorf("unexpected reply kind %q", kind))
+		}
+		ack := reply.(*xmlmsg.DispatchAck)
+		byResource[ack.Resource]++
+		if ack.Fallback {
+			fallbacks++
+		}
+		fmt.Printf("[%3d/%d] %-8s deadline +%3.0fs -> %s\n", i+1, count, m.Name, rel, ack.Resource)
+		if i < count-1 {
+			time.Sleep(interval)
+		}
+	}
+	fmt.Printf("\nbatch complete: %d requests, %d best-effort fallbacks\n", count, fallbacks)
+	names := make([]string, 0, len(byResource))
+	for n := range byResource {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-6s %d\n", n, byResource[n])
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridsubmit:", err)
+		os.Exit(1)
+	}
+}

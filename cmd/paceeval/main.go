@@ -1,0 +1,107 @@
+// Command paceeval is the PACE evaluation engine as a CLI (Fig. 1): it
+// combines an application model with a hardware model and prints the
+// predicted execution time across processor counts. Models come from the
+// built-in Table 1 library or from a PSL source file.
+//
+// Examples:
+//
+//	paceeval -app sweep3d                      # Table 1 row on the reference platform
+//	paceeval -app improc -hw SunUltra5 -n 8    # one prediction
+//	paceeval -file mymodel.psl -app mymodel    # user-supplied PSL model
+//	paceeval -dump sweep3d                     # print the PSL source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "application model name")
+		hwName  = flag.String("hw", "SGIOrigin2000", "factor-based hardware model")
+		phwName = flag.String("phw", "", "parametric hardware model (for layered step models)")
+		n       = flag.Int("n", 0, "processor count; 0 sweeps 1..max")
+		max     = flag.Int("max", 16, "sweep upper bound when -n is 0")
+		file    = flag.String("file", "", "PSL source file to load (in addition to built-ins)")
+		dump    = flag.String("dump", "", "print a model's PSL source and exit")
+	)
+	flag.Parse()
+
+	lib := pace.CaseStudyLibrary()
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		fail(lib.AddSource(string(src)))
+	}
+
+	if *dump != "" {
+		m, ok := lib.Lookup(*dump)
+		if !ok {
+			fail(fmt.Errorf("unknown model %q", *dump))
+		}
+		fmt.Println(m.String())
+		return
+	}
+	if *appName == "" {
+		fmt.Println("available models:")
+		for _, m := range lib.Models() {
+			fmt.Printf("  %-10s deadline domain [%g, %g]s\n", m.Name, m.DeadlineLo, m.DeadlineHi)
+		}
+		fmt.Println("\nuse -app <name> to evaluate one")
+		return
+	}
+
+	m, ok := lib.Lookup(*appName)
+	if !ok {
+		fail(fmt.Errorf("unknown model %q", *appName))
+	}
+	engine := pace.NewEngine()
+
+	var hwLabel string
+	var predict func(k int) (float64, error)
+	if *phwName != "" {
+		phw, ok := lib.LookupParametricHardware(*phwName)
+		if !ok {
+			fail(fmt.Errorf("unknown parametric hardware %q (declare it in a -file)", *phwName))
+		}
+		hwLabel = phw.Name
+		predict = func(k int) (float64, error) { return engine.PredictOn(m, phw, k) }
+	} else {
+		hw, ok := pace.LookupHardware(*hwName)
+		if !ok {
+			fail(fmt.Errorf("unknown hardware %q", *hwName))
+		}
+		hwLabel = hw.Name
+		predict = func(k int) (float64, error) { return engine.Predict(m, hw, k) }
+	}
+
+	if *n > 0 {
+		v, err := predict(*n)
+		fail(err)
+		fmt.Printf("%s on %d x %s: %.4f s\n", m.Name, *n, hwLabel, v)
+		return
+	}
+	fmt.Printf("%s on %s:\n", m.Name, hwLabel)
+	fmt.Printf("%6s %12s %12s\n", "procs", "time (s)", "efficiency")
+	var t1 float64
+	for k := 1; k <= *max; k++ {
+		v, err := predict(k)
+		fail(err)
+		if k == 1 {
+			t1 = v
+		}
+		eff := t1 / (float64(k) * v) * 100
+		fmt.Printf("%6d %12.4f %11.1f%%\n", k, v, eff)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paceeval:", err)
+		os.Exit(1)
+	}
+}

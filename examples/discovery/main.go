@@ -1,0 +1,107 @@
+// Discovery: a walkthrough of agent-based service discovery (§3.1).
+// Builds a three-level hierarchy, loads the middle of it, and traces
+// where requests with different deadlines end up — local acceptance,
+// neighbour forwarding, escalation to the upper agent, and the head's
+// best-effort fallback.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/agent"
+	"repro/internal/ga"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+func mustLocal(name string, hw pace.Hardware, engine *pace.Engine, rng *sim.RNG) *scheduler.Local {
+	l, err := scheduler.NewLocal(scheduler.Config{
+		Name: name, HW: hw, NumNodes: 16,
+		Policy: scheduler.NewGAPolicy(ga.DefaultConfig(), rng),
+		Engine: engine,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return l
+}
+
+func main() {
+	engine := pace.NewEngine()
+	lib := pace.CaseStudyLibrary()
+	rng := sim.NewRNG(1)
+
+	// head (Origin 2000) -> mid (Ultra 5) -> leaf (SPARCstation 2).
+	mk := func(name string, hw pace.Hardware) *agent.Agent {
+		a, err := agent.New(mustLocal(name, hw, engine, rng.Split()), engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return a
+	}
+	head := mk("head", pace.SGIOrigin2000)
+	mid := mk("mid", pace.SunUltra5)
+	leaf := mk("leaf", pace.SunSPARCstation2)
+	if err := agent.Link(head, mid); err != nil {
+		log.Fatal(err)
+	}
+	if err := agent.Link(mid, leaf); err != nil {
+		log.Fatal(err)
+	}
+	hier, err := agent.NewHierarchy([]*agent.Agent{head, mid, leaf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hierarchy:")
+	fmt.Print(hier.Describe())
+
+	// Advertise before anything arrives (the case study pulls every 10s).
+	hier.PullAll(0)
+
+	sweep, _ := lib.Lookup("sweep3d")
+	improc, _ := lib.Lookup("improc")
+
+	submit := func(a *agent.Agent, app *pace.AppModel, deadlineRel, now float64) {
+		d, err := a.HandleRequest(agent.Request{App: app, Env: "test", Deadline: now + deadlineRel}, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		how := "discovery"
+		if d.Fallback {
+			how = "best-effort fallback"
+		}
+		fmt.Printf("t=%3.0fs  %-8s deadline +%3.0fs  ->  %-5s (η=%.0fs, %s)\n",
+			now, app.Name, deadlineRel, d.Resource, d.Eta, how)
+	}
+
+	fmt.Println("\n-- loose deadline stays local, even on the slow leaf --")
+	submit(leaf, sweep, 200, 0)
+
+	fmt.Println("\n-- tight deadline migrates up to the fast head --")
+	// sweep3d needs >= 24s on the SPARCstation, >= 8s on the Ultra 5,
+	// 4s on the Origin: a 6-second deadline can only be met at the head.
+	submit(leaf, sweep, 6, 1)
+
+	fmt.Println("\n-- impossible deadline falls back to the least-loaded resource --")
+	submit(leaf, improc, 1, 2)
+
+	fmt.Println("\n-- load the head; new advertisements steer traffic away --")
+	for i := 0; i < 30; i++ {
+		if _, err := head.Local().Submit(sweep, 1e9, 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hier.PullAll(10) // next advertisement cycle observes the load
+	submit(leaf, sweep, 60, 10)
+
+	fmt.Println("\nagent activity:")
+	for _, a := range hier.Agents() {
+		s := a.Stats()
+		fmt.Printf("%-5s received=%d localAccept=%d forwarded=%d escalated=%d fallbacks=%d pulls=%d\n",
+			a.Name(), s.Received, s.LocalAccept, s.Forwarded, s.Escalated, s.Fallbacks, s.Pulls)
+	}
+}

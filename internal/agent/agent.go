@@ -1,0 +1,590 @@
+// Package agent implements the agent-based grid load-balancing layer of
+// §3: a hierarchy of homogeneous agents, each representing one local grid
+// resource as a service provider. Agents advertise service information to
+// their neighbours (periodic pull, §4.1) and cooperate to discover a
+// resource expected to meet each incoming task's deadline, dispatching the
+// request there (eq. 10 matchmaking). Discovery is deliberately local:
+// most requests settle in their neighbourhood, which is what lets the
+// scheme scale without a central bottleneck (§3.1).
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+)
+
+// Request is a task execution request travelling through the hierarchy —
+// the in-process form of the Fig. 6 message. Visited accumulates the
+// agents that have already evaluated the request so stale advertisement
+// data cannot produce routing loops (a mechanism the paper leaves
+// unspecified).
+type Request struct {
+	App      *pace.AppModel
+	Env      string
+	Deadline float64 // absolute virtual time δ_r
+	Email    string
+	Visited  []string
+}
+
+// visited reports whether name already evaluated this request.
+func (r *Request) visited(name string) bool {
+	for _, v := range r.Visited {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Dispatch reports where a request ended up.
+type Dispatch struct {
+	Resource string  // resource/agent name that accepted the task
+	TaskID   int     // task ID on the accepting scheduler
+	Eta      float64 // η_r estimate at dispatch time (eq. 10)
+	Hops     int     // agents traversed, 0 = accepted at first agent
+	Fallback bool    // true when no resource met the deadline (best effort)
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Received       int // requests evaluated at this agent
+	LocalAccept    int // requests submitted to the local scheduler
+	Forwarded      int // requests sent to a matched neighbour
+	Escalated      int // requests pushed to the upper agent with no match
+	Fallbacks      int // head-of-hierarchy best-effort dispatches
+	Pulls          int // advertisement pulls performed
+	PushesSent     int // event-triggered advertisements sent to neighbours
+	PushesReceived int // advertisements received by push
+}
+
+// AdvertSink is implemented by peers that accept pushed advertisements
+// (§3.1: "service information can be pushed to or pulled from other
+// agents"). In-process agents implement it directly; remote peers carry
+// the push as a Fig. 5 message over the wire.
+type AdvertSink interface {
+	PushAdvertisement(from string, info scheduler.ServiceInfo, now float64) error
+}
+
+// Peer is a neighbouring agent as seen from one side of an advertisement
+// or discovery exchange. In a single process peers are *Agent values; in
+// the networked deployment (cmd/gridagent) they are TCP stubs speaking the
+// Fig. 5/6 XML formats.
+type Peer interface {
+	// PeerName identifies the neighbour.
+	PeerName() string
+	// PullService returns the neighbour's current advertisement (Fig. 5).
+	PullService() (scheduler.ServiceInfo, error)
+	// Handle runs service discovery for the request at the neighbour.
+	Handle(req Request, now float64) (Dispatch, error)
+	// SubmitDirect bypasses discovery and queues the task on the
+	// neighbour's local scheduler (used by the head's fallback, where
+	// discovery has already failed once).
+	SubmitDirect(req Request, now float64) (Dispatch, error)
+}
+
+// cachedService is one entry of the agent's service-information set: a
+// neighbour's advertisement plus its pull timestamp.
+type cachedService struct {
+	info      scheduler.ServiceInfo
+	agentName string
+	pulledAt  float64
+}
+
+// Agent is one node of the hierarchy. Each agent fronts exactly one local
+// scheduler ("each agent represents a local grid resource", §1) and knows
+// only its upper and lower neighbours.
+//
+// Agents are driven in virtual time by their caller and are not safe for
+// concurrent use.
+type Agent struct {
+	name   string
+	local  *scheduler.Local
+	engine *pace.Engine
+
+	upper  Peer
+	lowers []Peer
+
+	// PullPeriod is the advertisement refresh interval; the case study
+	// uses ten seconds (§4.1).
+	PullPeriod float64
+
+	// PushThreshold is the freetime change (seconds) that triggers an
+	// event-driven advertisement push; see MaybePush. The §3.1 push
+	// strategy trades messages for freshness against the periodic pull.
+	PushThreshold float64
+
+	cache map[string]cachedService
+	stats Stats
+
+	lastPushedFreetime float64
+	pushedOnce         bool
+}
+
+// DefaultPushThreshold is the freetime delta that triggers a push.
+const DefaultPushThreshold = 5.0
+
+// DefaultPullPeriod is the §4.1 advertisement interval in seconds.
+const DefaultPullPeriod = 10.0
+
+// New creates an agent fronting the given local scheduler. The agent and
+// scheduler names must match: the agent is the resource's representative.
+func New(local *scheduler.Local, engine *pace.Engine) (*Agent, error) {
+	if local == nil {
+		return nil, fmt.Errorf("agent: nil local scheduler")
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("agent: nil PACE engine")
+	}
+	return &Agent{
+		name:          local.Name(),
+		local:         local,
+		engine:        engine,
+		PullPeriod:    DefaultPullPeriod,
+		PushThreshold: DefaultPushThreshold,
+		cache:         map[string]cachedService{},
+	}, nil
+}
+
+// Name returns the agent's identity.
+func (a *Agent) Name() string { return a.name }
+
+// Local returns the scheduler this agent fronts.
+func (a *Agent) Local() *scheduler.Local { return a.local }
+
+// Upper returns the upper neighbour, or nil at the head of the hierarchy.
+func (a *Agent) Upper() Peer { return a.upper }
+
+// Lowers returns the lower neighbours.
+func (a *Agent) Lowers() []Peer {
+	out := make([]Peer, len(a.lowers))
+	copy(out, a.lowers)
+	return out
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// SetUpper wires a remote upper neighbour; Link is the in-process
+// equivalent that wires both directions at once.
+func (a *Agent) SetUpper(p Peer) error {
+	if p == nil {
+		return fmt.Errorf("agent: nil upper peer")
+	}
+	if a.upper != nil {
+		return fmt.Errorf("agent: %s already has upper agent %s", a.name, a.upper.PeerName())
+	}
+	a.upper = p
+	return nil
+}
+
+// AddLower wires a remote lower neighbour.
+func (a *Agent) AddLower(p Peer) error {
+	if p == nil {
+		return fmt.Errorf("agent: nil lower peer")
+	}
+	a.lowers = append(a.lowers, p)
+	return nil
+}
+
+// neighbours returns upper plus lowers.
+func (a *Agent) neighbours() []Peer {
+	out := make([]Peer, 0, len(a.lowers)+1)
+	if a.upper != nil {
+		out = append(out, a.upper)
+	}
+	out = append(out, a.lowers...)
+	return out
+}
+
+// Pull refreshes the agent's service-information set from its upper and
+// lower neighbours ("an agent pulls service information from its lower
+// and upper agents every ten seconds", §4.1). Unreachable neighbours keep
+// their previous advertisement.
+func (a *Agent) Pull(now float64) {
+	for _, n := range a.neighbours() {
+		info, err := n.PullService()
+		if err != nil {
+			continue
+		}
+		a.cache[n.PeerName()] = cachedService{
+			info:      info,
+			agentName: n.PeerName(),
+			pulledAt:  now,
+		}
+	}
+	a.stats.Pulls++
+}
+
+// StoreAdvertisement records a neighbour's advertisement pulled by an
+// external driver (the networked node pulls outside the agent lock to
+// avoid distributed deadlock, then stores the results through here).
+func (a *Agent) StoreAdvertisement(name string, info scheduler.ServiceInfo, now float64) {
+	a.cache[name] = cachedService{info: info, agentName: name, pulledAt: now}
+}
+
+// CountPull bumps the pull counter for an externally driven refresh.
+func (a *Agent) CountPull() { a.stats.Pulls++ }
+
+// PushAdvertisement implements AdvertSink: record a neighbour's pushed
+// service information.
+func (a *Agent) PushAdvertisement(from string, info scheduler.ServiceInfo, now float64) error {
+	a.StoreAdvertisement(from, info, now)
+	a.stats.PushesReceived++
+	return nil
+}
+
+// ShouldPush reports whether the agent's service information has drifted
+// enough from the last pushed advertisement to justify an event-triggered
+// push, returning the current information either way.
+func (a *Agent) ShouldPush() (scheduler.ServiceInfo, bool) {
+	si := a.local.ServiceInfo()
+	if a.pushedOnce {
+		delta := si.Freetime - a.lastPushedFreetime
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta < a.PushThreshold {
+			return si, false
+		}
+	}
+	return si, true
+}
+
+// MarkPushed records that the advertisement was delivered to sent
+// neighbours; subsequent ShouldPush calls measure drift from this point.
+func (a *Agent) MarkPushed(si scheduler.ServiceInfo, sent int) {
+	if sent <= 0 {
+		return
+	}
+	a.stats.PushesSent += sent
+	a.lastPushedFreetime = si.Freetime
+	a.pushedOnce = true
+}
+
+// MaybePush pushes the agent's advertisement to every neighbour that
+// accepts pushes when the freetime has drifted past PushThreshold since
+// the last push. It returns the number of neighbours updated. The
+// networked node drives ShouldPush/MarkPushed itself so the deliveries
+// can happen outside its lock.
+func (a *Agent) MaybePush(now float64) int {
+	si, ok := a.ShouldPush()
+	if !ok {
+		return 0
+	}
+	sent := 0
+	for _, n := range a.neighbours() {
+		sink, ok := n.(AdvertSink)
+		if !ok {
+			continue
+		}
+		if err := sink.PushAdvertisement(a.name, si, now); err != nil {
+			continue
+		}
+		sent++
+	}
+	a.MarkPushed(si, sent)
+	return sent
+}
+
+// PeerName implements Peer.
+func (a *Agent) PeerName() string { return a.name }
+
+// PullService implements Peer: the agent's advertisement is its local
+// scheduler's service information.
+func (a *Agent) PullService() (scheduler.ServiceInfo, error) {
+	return a.local.ServiceInfo(), nil
+}
+
+// Handle implements Peer.
+func (a *Agent) Handle(req Request, now float64) (Dispatch, error) {
+	return a.HandleRequest(req, now)
+}
+
+// SubmitDirect implements Peer.
+func (a *Agent) SubmitDirect(req Request, now float64) (Dispatch, error) {
+	id, err := a.local.Submit(req.App, req.Deadline, now)
+	if err != nil {
+		return Dispatch{}, err
+	}
+	a.stats.LocalAccept++
+	return Dispatch{Resource: a.name, TaskID: id, Hops: len(req.Visited), Fallback: true}, nil
+}
+
+// CachedServiceNames lists the neighbours currently in the service set.
+func (a *Agent) CachedServiceNames() []string {
+	out := make([]string, 0, len(a.cache))
+	for n := range a.cache {
+		out = append(out, n)
+	}
+	return out
+}
+
+// estimateRemote evaluates eq. 10 against a cached advertisement: the
+// expected completion of app on the advertised resource, using the cached
+// freetime ω (clamped to now — advertisements age between pulls) plus the
+// best predicted execution time over the advertised node counts.
+func (a *Agent) estimateRemote(cs cachedService, app *pace.AppModel, now float64) (float64, error) {
+	hw, ok := pace.LookupHardware(cs.info.HWType)
+	if !ok {
+		return 0, fmt.Errorf("agent: %s advertises unknown hardware %q", cs.agentName, cs.info.HWType)
+	}
+	best := math.Inf(1)
+	for k := 1; k <= cs.info.NProc; k++ {
+		d, err := a.engine.Predict(app, hw, k)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	ft := cs.info.Freetime
+	if now > ft {
+		ft = now
+	}
+	return ft + best, nil
+}
+
+// supportsEnv checks a cached advertisement against the request's
+// execution environment (the straightforward part of matchmaking, §3.2).
+func supportsEnv(cs cachedService, env string) bool {
+	for _, e := range cs.info.Environments {
+		if e == env {
+			return true
+		}
+	}
+	return false
+}
+
+// DecisionKind classifies the outcome of one discovery step at an agent.
+type DecisionKind int
+
+// Discovery step outcomes.
+const (
+	// DecideLocal: the local resource meets the deadline; accept here.
+	DecideLocal DecisionKind = iota
+	// DecideForward: dispatch to the matched neighbour for discovery.
+	DecideForward
+	// DecideEscalate: no match among neighbours; submit to the upper agent.
+	DecideEscalate
+	// DecideFallbackLocal: head of hierarchy, no match anywhere; the local
+	// resource is the best-effort target.
+	DecideFallbackLocal
+	// DecideFallbackRemote: head of hierarchy, no match anywhere; a
+	// neighbour is the best-effort target (direct submit, no rediscovery).
+	DecideFallbackRemote
+	// DecideFail: no resource supports the execution environment at all.
+	DecideFail
+)
+
+// Decision is one discovery step: what to do, with whom, and the visited
+// list to carry forward. Decide performs no dispatch itself, which lets
+// the networked node release its lock before calling the peer.
+type Decision struct {
+	Kind    DecisionKind
+	Peer    Peer    // set for Forward, Escalate and FallbackRemote
+	Eta     float64 // η estimate behind the decision, when available
+	Visited []string
+	Err     error // set for DecideFail
+}
+
+// Decide runs the §3.1 discovery logic for a request arriving at this
+// agent: the agent's own service is evaluated first; if the local
+// resource cannot meet the deadline, the cached advertisements of upper
+// and lower neighbours are evaluated and the best match chosen; with no
+// match the request escalates to the upper agent; at the head of the
+// hierarchy a best-effort fallback targets the lowest-η candidate so the
+// task is not lost (documented deviation — the paper lets discovery
+// terminate unsuccessfully, but its experiments account for all 600
+// tasks).
+func (a *Agent) Decide(req Request, now float64) Decision {
+	a.stats.Received++
+	visited := make([]string, 0, len(req.Visited)+1)
+	visited = append(visited, req.Visited...)
+	visited = append(visited, a.name)
+	req.Visited = visited
+	d := Decision{Visited: visited}
+
+	// 1. Own service first ("an agent always gives priority to the local
+	// scheduler", §3.2).
+	if a.local.SupportsEnvironment(req.Env) {
+		eta, err := a.local.EstimateCompletion(req.App)
+		if err == nil && eta <= req.Deadline {
+			d.Kind, d.Eta = DecideLocal, eta
+			return d
+		}
+	}
+
+	// 2. Evaluate neighbours' advertised services.
+	if target, eta, ok := a.bestNeighbour(req, now); ok {
+		a.stats.Forwarded++
+		d.Kind, d.Peer, d.Eta = DecideForward, target, eta
+		return d
+	}
+
+	// 3. No service meets the requirement: submit to the upper agent.
+	if a.upper != nil && !req.visited(a.upper.PeerName()) {
+		a.stats.Escalated++
+		d.Kind, d.Peer = DecideEscalate, a.upper
+		return d
+	}
+
+	// 4. Head of the hierarchy, still no match: best-effort fallback.
+	a.stats.Fallbacks++
+	peer, eta, local, err := a.fallbackTarget(req, now, nil)
+	if err != nil {
+		d.Kind, d.Err = DecideFail, err
+		return d
+	}
+	if local {
+		d.Kind, d.Eta = DecideFallbackLocal, eta
+		return d
+	}
+	d.Kind, d.Peer, d.Eta = DecideFallbackRemote, peer, eta
+	return d
+}
+
+// HandleRequest runs discovery and carries out the decision, recursing
+// through in-process peers. The networked node drives the same Decide
+// logic itself so it can release its lock around remote calls.
+func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
+	dec := a.Decide(req, now)
+	req.Visited = dec.Visited
+	switch dec.Kind {
+	case DecideLocal:
+		return a.AcceptLocal(req, now, dec.Eta, false)
+	case DecideForward:
+		d, err := dec.Peer.Handle(req, now)
+		if err == nil {
+			d.Hops = len(req.Visited) // approximate travel count
+			return d, nil
+		}
+		// The neighbour failed outright (e.g. all nodes down or
+		// unreachable): continue with escalation or fallback as if no
+		// neighbour had matched, never retrying the failed peer.
+		failed := map[string]bool{dec.Peer.PeerName(): true}
+		if a.upper != nil && !req.visited(a.upper.PeerName()) && !failed[a.upper.PeerName()] {
+			a.stats.Escalated++
+			return a.upper.Handle(req, now)
+		}
+		a.stats.Fallbacks++
+		return a.dispatchFallback(req, now, failed)
+	case DecideEscalate:
+		return dec.Peer.Handle(req, now)
+	case DecideFallbackLocal:
+		return a.AcceptLocal(req, now, dec.Eta, true)
+	case DecideFallbackRemote:
+		d, err := dec.Peer.SubmitDirect(req, now)
+		if err != nil {
+			// Best-effort target gone too: retry excluding it.
+			return a.dispatchFallback(req, now, map[string]bool{dec.Peer.PeerName(): true})
+		}
+		d.Eta = dec.Eta
+		d.Fallback = true
+		return d, nil
+	}
+	return Dispatch{}, dec.Err
+}
+
+// AcceptLocal submits the request to this agent's own scheduler.
+func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispatch, error) {
+	id, err := a.local.Submit(req.App, req.Deadline, now)
+	if err != nil {
+		return Dispatch{}, err
+	}
+	a.stats.LocalAccept++
+	hops := len(req.Visited) - 1
+	if hops < 0 {
+		hops = 0
+	}
+	return Dispatch{Resource: a.name, TaskID: id, Eta: eta, Hops: hops, Fallback: fallback}, nil
+}
+
+// bestNeighbour returns the unvisited neighbour whose advertised service
+// yields the lowest η within the deadline.
+func (a *Agent) bestNeighbour(req Request, now float64) (Peer, float64, bool) {
+	var best Peer
+	bestEta := math.Inf(1)
+	for _, n := range a.neighbours() {
+		if req.visited(n.PeerName()) {
+			continue
+		}
+		cs, ok := a.cache[n.PeerName()]
+		if !ok || !supportsEnv(cs, req.Env) {
+			continue
+		}
+		eta, err := a.estimateRemote(cs, req.App, now)
+		if err != nil || eta > req.Deadline {
+			continue
+		}
+		if eta < bestEta {
+			best, bestEta = n, eta
+		}
+	}
+	return best, bestEta, best != nil
+}
+
+// fallbackTarget picks the minimum-η candidate among the local resource
+// and every cached advertisement, ignoring deadlines. Peers in exclude
+// (known to be failing) are skipped.
+func (a *Agent) fallbackTarget(req Request, now float64, exclude map[string]bool) (peer Peer, eta float64, local bool, err error) {
+	bestEta := math.Inf(1)
+	var bestPeer Peer
+	isLocal := false
+
+	if a.local.SupportsEnvironment(req.Env) {
+		if e, err := a.local.EstimateCompletion(req.App); err == nil {
+			bestEta, isLocal = e, true
+		}
+	}
+	for _, n := range a.neighbours() {
+		if exclude[n.PeerName()] {
+			continue
+		}
+		cs, ok := a.cache[n.PeerName()]
+		if !ok || !supportsEnv(cs, req.Env) {
+			continue
+		}
+		e, err := a.estimateRemote(cs, req.App, now)
+		if err != nil {
+			continue
+		}
+		if e < bestEta {
+			bestEta, bestPeer, isLocal = e, n, false
+		}
+	}
+	if !isLocal && bestPeer == nil {
+		return nil, 0, false, fmt.Errorf("agent: %s: no resource supports environment %q", a.name, req.Env)
+	}
+	return bestPeer, bestEta, isLocal, nil
+}
+
+// dispatchFallback performs the best-effort dispatch after discovery has
+// failed: locally, or directly to the chosen neighbour's scheduler
+// (re-running discovery there would loop). Failing peers accumulate in
+// exclude so the retry chain always terminates.
+func (a *Agent) dispatchFallback(req Request, now float64, exclude map[string]bool) (Dispatch, error) {
+	for {
+		peer, eta, local, err := a.fallbackTarget(req, now, exclude)
+		if err != nil {
+			return Dispatch{}, err
+		}
+		if local {
+			return a.AcceptLocal(req, now, eta, true)
+		}
+		d, err := peer.SubmitDirect(req, now)
+		if err != nil {
+			if exclude == nil {
+				exclude = map[string]bool{}
+			}
+			exclude[peer.PeerName()] = true
+			continue
+		}
+		d.Eta = eta
+		d.Fallback = true
+		return d, nil
+	}
+}

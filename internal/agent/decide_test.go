@@ -1,0 +1,176 @@
+package agent
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+)
+
+func TestDecideLocalWhenDeadlineMet(t *testing.T) {
+	e := pace.NewEngine()
+	_, child := pair(t, e)
+	d := child.Decide(Request{App: appOf(t, "fft"), Env: "test", Deadline: 1e9}, 0)
+	if d.Kind != DecideLocal {
+		t.Fatalf("kind = %v, want DecideLocal", d.Kind)
+	}
+	if d.Eta <= 0 {
+		t.Fatalf("no η estimate: %+v", d)
+	}
+	if len(d.Visited) != 1 || d.Visited[0] != "slow" {
+		t.Fatalf("visited = %v", d.Visited)
+	}
+}
+
+func TestDecideForwardToBetterNeighbour(t *testing.T) {
+	e := pace.NewEngine()
+	_, child := pair(t, e)
+	d := child.Decide(Request{App: appOf(t, "sweep3d"), Env: "test", Deadline: 10}, 0)
+	if d.Kind != DecideForward {
+		t.Fatalf("kind = %v, want DecideForward", d.Kind)
+	}
+	if d.Peer == nil || d.Peer.PeerName() != "fast" {
+		t.Fatalf("peer = %v", d.Peer)
+	}
+}
+
+func TestDecideEscalateWhenNoNeighbourMatches(t *testing.T) {
+	// Leaf whose only neighbour (its parent) is already visited can only
+	// escalate... which the visited-set forbids, so it must fall back.
+	// Use a middle agent with a visited parent and no lowers to hit the
+	// escalate-skipped path; the request came FROM the parent.
+	e := pace.NewEngine()
+	head := newAgent(t, "head", pace.SunSPARCstation2, 16, e)
+	mid := newAgent(t, "mid", pace.SunSPARCstation2, 16, e)
+	if err := Link(head, mid); err != nil {
+		t.Fatal(err)
+	}
+	head.Pull(0)
+	mid.Pull(0)
+	d := mid.Decide(Request{App: appOf(t, "sweep3d"), Env: "test", Deadline: 1, Visited: []string{"head"}}, 0)
+	// Impossible deadline, parent visited: fallback at this agent.
+	if d.Kind != DecideFallbackLocal && d.Kind != DecideFallbackRemote {
+		t.Fatalf("kind = %v, want a fallback", d.Kind)
+	}
+}
+
+func TestDecideEscalatePath(t *testing.T) {
+	// A leaf with an unvisited parent and no matching advertisements must
+	// escalate. Keep the parent's advertisement absent (no Pull) so no
+	// neighbour matches.
+	e := pace.NewEngine()
+	head := newAgent(t, "head", pace.SGIOrigin2000, 16, e)
+	leaf := newAgent(t, "leaf", pace.SunSPARCstation2, 16, e)
+	if err := Link(head, leaf); err != nil {
+		t.Fatal(err)
+	}
+	// No Pull: the leaf has no service information at all.
+	d := leaf.Decide(Request{App: appOf(t, "sweep3d"), Env: "test", Deadline: 10}, 0)
+	if d.Kind != DecideEscalate {
+		t.Fatalf("kind = %v, want DecideEscalate", d.Kind)
+	}
+	if d.Peer.PeerName() != "head" {
+		t.Fatalf("escalation target %s", d.Peer.PeerName())
+	}
+}
+
+func TestDecideFailWhenNoEnvironmentAnywhere(t *testing.T) {
+	e := pace.NewEngine()
+	_, child := pair(t, e)
+	d := child.Decide(Request{App: appOf(t, "fft"), Env: "quantum", Deadline: 1e9, Visited: []string{"fast"}}, 0)
+	if d.Kind != DecideFail {
+		t.Fatalf("kind = %v, want DecideFail", d.Kind)
+	}
+	if d.Err == nil {
+		t.Fatal("DecideFail without error")
+	}
+}
+
+// failingPeer implements Peer but refuses everything — the "neighbour
+// failed outright" path.
+type failingPeer struct{ name string }
+
+func (p *failingPeer) PeerName() string { return p.name }
+func (p *failingPeer) PullService() (scheduler.ServiceInfo, error) {
+	return scheduler.ServiceInfo{
+		Name: p.name, HWType: "SGIOrigin2000", NProc: 16,
+		Environments: []string{"test"}, Freetime: 0,
+	}, nil
+}
+func (p *failingPeer) Handle(Request, float64) (Dispatch, error) {
+	return Dispatch{}, errors.New("boom")
+}
+func (p *failingPeer) SubmitDirect(Request, float64) (Dispatch, error) {
+	return Dispatch{}, errors.New("boom")
+}
+
+func TestHandleRequestSurvivesForwardFailure(t *testing.T) {
+	// The child's best match is a peer that fails outright; the request
+	// must still land somewhere (local fallback) rather than error out.
+	e := pace.NewEngine()
+	child := newAgent(t, "solo", pace.SunSPARCstation2, 16, e)
+	ghost := &failingPeer{name: "ghost"}
+	if err := child.SetUpper(ghost); err != nil {
+		t.Fatal(err)
+	}
+	child.Pull(0) // caches the ghost's attractive advertisement
+
+	// Tight deadline: local can't meet it, the ghost looks perfect, but
+	// every call to it fails.
+	d, err := child.HandleRequest(Request{App: appOf(t, "sweep3d"), Env: "test", Deadline: 10}, 0)
+	if err != nil {
+		t.Fatalf("request lost after peer failure: %v", err)
+	}
+	if d.Resource != "solo" || !d.Fallback {
+		t.Fatalf("dispatch = %+v, want local fallback", d)
+	}
+	if child.Stats().Fallbacks == 0 {
+		t.Fatalf("stats: %+v", child.Stats())
+	}
+}
+
+func TestPullToleratesFailingPeer(t *testing.T) {
+	e := pace.NewEngine()
+	child := newAgent(t, "solo", pace.SGIOrigin2000, 4, e)
+	bad := &erroringAdvertPeer{}
+	if err := child.SetUpper(bad); err != nil {
+		t.Fatal(err)
+	}
+	child.Pull(0) // must not panic or cache garbage
+	if len(child.CachedServiceNames()) != 0 {
+		t.Fatalf("cached garbage: %v", child.CachedServiceNames())
+	}
+}
+
+type erroringAdvertPeer struct{}
+
+func (p *erroringAdvertPeer) PeerName() string { return "bad" }
+func (p *erroringAdvertPeer) PullService() (scheduler.ServiceInfo, error) {
+	return scheduler.ServiceInfo{}, errors.New("unreachable")
+}
+func (p *erroringAdvertPeer) Handle(Request, float64) (Dispatch, error) {
+	return Dispatch{}, errors.New("unreachable")
+}
+func (p *erroringAdvertPeer) SubmitDirect(Request, float64) (Dispatch, error) {
+	return Dispatch{}, errors.New("unreachable")
+}
+
+func TestDecideDoesNotDispatch(t *testing.T) {
+	// Decide must have no scheduling side effects: the queue stays empty.
+	e := pace.NewEngine()
+	_, child := pair(t, e)
+	_ = child.Decide(Request{App: appOf(t, "fft"), Env: "test", Deadline: 1e9}, 0)
+	if child.Local().QueueLen() != 0 {
+		t.Fatal("Decide queued a task")
+	}
+}
+
+func TestVisitedListPropagates(t *testing.T) {
+	e := pace.NewEngine()
+	_, child := pair(t, e)
+	d := child.Decide(Request{App: appOf(t, "fft"), Env: "test", Deadline: 1e9, Visited: []string{"x", "y"}}, 0)
+	if len(d.Visited) != 3 || d.Visited[2] != "slow" {
+		t.Fatalf("visited = %v", d.Visited)
+	}
+}

@@ -1,0 +1,173 @@
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hierarchy is a tree of agents rooted at the head (the only agent with no
+// upper neighbour, like S1 in Fig. 7).
+type Hierarchy struct {
+	head   *Agent
+	byName map[string]*Agent
+}
+
+// Link makes parent the upper agent of child. Both directions are wired:
+// advertisement and discovery flow to upper and lower neighbours alike.
+func Link(parent, child *Agent) error {
+	if parent == nil || child == nil {
+		return fmt.Errorf("agent: cannot link nil agents")
+	}
+	if parent == child {
+		return fmt.Errorf("agent: %s cannot be its own parent", parent.name)
+	}
+	if child.upper != nil {
+		return fmt.Errorf("agent: %s already has upper agent %s", child.name, child.upper.PeerName())
+	}
+	// Reject cycles: walking up from parent must not reach child. Only
+	// in-process ancestors can be walked; a remote upper ends the chain.
+	for p := parent; p != nil; {
+		if p == child {
+			return fmt.Errorf("agent: linking %s under %s would create a cycle", child.name, parent.name)
+		}
+		next, ok := p.upper.(*Agent)
+		if !ok {
+			break
+		}
+		p = next
+	}
+	child.upper = parent
+	parent.lowers = append(parent.lowers, child)
+	return nil
+}
+
+// NewHierarchy validates that the given agents form a single tree and
+// returns it. Every agent must be reachable from exactly one head.
+func NewHierarchy(agents []*Agent) (*Hierarchy, error) {
+	if len(agents) == 0 {
+		return nil, fmt.Errorf("agent: empty hierarchy")
+	}
+	byName := make(map[string]*Agent, len(agents))
+	var heads []*Agent
+	for _, a := range agents {
+		if a == nil {
+			return nil, fmt.Errorf("agent: nil agent in hierarchy")
+		}
+		if _, dup := byName[a.name]; dup {
+			return nil, fmt.Errorf("agent: duplicate agent name %q", a.name)
+		}
+		byName[a.name] = a
+		if a.upper == nil {
+			heads = append(heads, a)
+		}
+	}
+	if len(heads) != 1 {
+		names := make([]string, len(heads))
+		for i, h := range heads {
+			names[i] = h.name
+		}
+		return nil, fmt.Errorf("agent: hierarchy needs exactly one head, found %d (%s)", len(heads), strings.Join(names, ", "))
+	}
+	// Reachability check from the head, over in-process edges only.
+	seen := map[string]bool{}
+	var walk func(a *Agent)
+	walk = func(a *Agent) {
+		if seen[a.name] {
+			return
+		}
+		seen[a.name] = true
+		for _, l := range a.lowers {
+			if la, ok := l.(*Agent); ok {
+				walk(la)
+			}
+		}
+	}
+	walk(heads[0])
+	if len(seen) != len(agents) {
+		return nil, fmt.Errorf("agent: %d of %d agents unreachable from head %s", len(agents)-len(seen), len(agents), heads[0].name)
+	}
+	return &Hierarchy{head: heads[0], byName: byName}, nil
+}
+
+// Head returns the hierarchy's root agent.
+func (h *Hierarchy) Head() *Agent { return h.head }
+
+// Lookup returns the named agent.
+func (h *Hierarchy) Lookup(name string) (*Agent, bool) {
+	a, ok := h.byName[name]
+	return a, ok
+}
+
+// Agents returns every agent sorted by name.
+func (h *Hierarchy) Agents() []*Agent {
+	out := make([]*Agent, 0, len(h.byName))
+	for _, a := range h.byName {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessAgentName(out[i].name, out[j].name) })
+	return out
+}
+
+// Names returns the agent names sorted naturally (S2 before S10).
+func (h *Hierarchy) Names() []string {
+	agents := h.Agents()
+	out := make([]string, len(agents))
+	for i, a := range agents {
+		out[i] = a.name
+	}
+	return out
+}
+
+// PullAll refreshes every agent's service-information set, in name order.
+func (h *Hierarchy) PullAll(now float64) {
+	for _, a := range h.Agents() {
+		a.Pull(now)
+	}
+}
+
+// Describe renders the tree as indented text (the Fig. 7 topology).
+func (h *Hierarchy) Describe() string {
+	var b strings.Builder
+	var walk func(a *Agent, depth int)
+	walk = func(a *Agent, depth int) {
+		fmt.Fprintf(&b, "%s%s (%s, %d)\n", strings.Repeat("  ", depth), a.name, a.local.Hardware().Name, a.local.NumNodes())
+		lowers := a.Lowers()
+		sort.Slice(lowers, func(i, j int) bool { return lessAgentName(lowers[i].PeerName(), lowers[j].PeerName()) })
+		for _, l := range lowers {
+			if la, ok := l.(*Agent); ok {
+				walk(la, depth+1)
+			} else {
+				fmt.Fprintf(&b, "%s%s (remote)\n", strings.Repeat("  ", depth+1), l.PeerName())
+			}
+		}
+	}
+	walk(h.head, 0)
+	return b.String()
+}
+
+// lessAgentName orders names naturally: a common prefix followed by a
+// number sorts numerically (S2 < S10), anything else lexically.
+func lessAgentName(a, b string) bool {
+	pa, na, aok := splitTrailingNumber(a)
+	pb, nb, bok := splitTrailingNumber(b)
+	if aok && bok && pa == pb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitTrailingNumber(s string) (prefix string, n int, ok bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return s, 0, false
+	}
+	num := 0
+	for _, c := range s[i:] {
+		num = num*10 + int(c-'0')
+	}
+	return s[:i], num, true
+}

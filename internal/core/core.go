@@ -1,0 +1,427 @@
+// Package core is the top-level facade of the library: it wires the PACE
+// evaluation engine, performance-driven local schedulers, the agent
+// hierarchy and the discrete-event simulator into a Grid that accepts task
+// requests and reports the §3.3 load-balancing metrics.
+//
+// A Grid is built from resource specs (one per local grid resource, with
+// an optional parent forming the agent hierarchy of Fig. 7), configured
+// with a local scheduling policy (GA or FIFO) and the agent-based
+// discovery switch — the two dimensions of the paper's experiment design
+// (Table 2) — then fed a workload and run to completion in virtual time.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/ga"
+	"repro/internal/metrics"
+	"repro/internal/pace"
+	"repro/internal/schedule"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// PolicyKind selects the local scheduling algorithm.
+type PolicyKind string
+
+// Local scheduling policies.
+const (
+	PolicyFIFO     PolicyKind = "fifo"      // §4.1 baseline, exhaustive 2^n−1 allocation search
+	PolicyFIFOFast PolicyKind = "fifo-fast" // equivalence-tested fast allocation search
+	PolicyGA       PolicyKind = "ga"        // §2.1 genetic algorithm
+	PolicySA       PolicyKind = "sa"        // simulated annealing (the [1] comparison)
+	PolicyTabu     PolicyKind = "tabu"      // tabu search (the [1] comparison)
+)
+
+// ResourceSpec declares one local grid resource and its place in the
+// agent hierarchy.
+type ResourceSpec struct {
+	Name         string
+	Hardware     string // a pace hardware model name, e.g. "SGIOrigin2000"
+	Nodes        int
+	Parent       string   // empty for the head of the hierarchy
+	Environments []string // defaults to {"test"}
+}
+
+// Options configures a Grid.
+type Options struct {
+	Policy     PolicyKind // defaults to PolicyGA
+	GA         ga.Config  // zero value -> ga.DefaultConfig()
+	Weights    schedule.CostWeights
+	UseAgents  bool    // enable agent-based service discovery (experiment 3)
+	PullPeriod float64 // advertisement pull period; defaults to 10 s (§4.1)
+	// PushAdverts enables event-triggered advertisement pushes (§3.1):
+	// after accepting work, an agent whose freetime drifted past the
+	// push threshold advertises to its neighbours immediately instead of
+	// waiting for their next pull.
+	PushAdverts bool
+	Seed        uint64 // master seed for every stochastic component
+
+	DisableFrontWeightedIdle bool // idle-weighting ablation
+	DisableEvalCache         bool // §2.2 cache ablation
+	Library                  *pace.Library
+
+	// PredictionError enables the §5 prediction-accuracy study: actual
+	// execution times deviate from predictions by up to this relative
+	// error (uniform, deterministic per task). 0 is the paper's exact
+	// test mode.
+	PredictionError float64
+	// PredictionBias shifts actual times multiplicatively: +0.2 means
+	// the models are systematically 20% optimistic.
+	PredictionBias float64
+
+	// Trace, when set, records the lifecycle of every request (arrival,
+	// dispatch, execution start, completion).
+	Trace *trace.Recorder
+}
+
+func (o *Options) setDefaults() {
+	if o.Policy == "" {
+		o.Policy = PolicyGA
+	}
+	if o.GA == (ga.Config{}) {
+		o.GA = ga.DefaultConfig()
+	}
+	if o.Weights == (schedule.CostWeights{}) {
+		o.Weights = schedule.DefaultWeights()
+	}
+	if o.PullPeriod <= 0 {
+		o.PullPeriod = agent.DefaultPullPeriod
+	}
+	if o.Library == nil {
+		o.Library = pace.CaseStudyLibrary()
+	}
+}
+
+// Grid is a complete simulated grid: schedulers, agents, engine and the
+// virtual clock driving them.
+type Grid struct {
+	opts   Options
+	engine *pace.Engine
+	lib    *pace.Library
+	hier   *agent.Hierarchy
+	locals map[string]*scheduler.Local
+	simr   *sim.Simulator
+
+	dispatches []agent.Dispatch
+	errs       []error
+
+	lastRequestAt float64
+	requests      int
+	ran           bool
+}
+
+// New builds a Grid from resource specs.
+func New(specs []ResourceSpec, opts Options) (*Grid, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no resources")
+	}
+	opts.setDefaults()
+
+	var engine *pace.Engine
+	if opts.DisableEvalCache {
+		engine = pace.NewEngineWithoutCache()
+	} else {
+		engine = pace.NewEngine()
+	}
+
+	g := &Grid{
+		opts:   opts,
+		engine: engine,
+		lib:    opts.Library,
+		locals: map[string]*scheduler.Local{},
+		simr:   sim.NewSimulator(),
+	}
+
+	master := sim.NewRNG(opts.Seed)
+	agents := make(map[string]*agent.Agent, len(specs))
+	var ordered []*agent.Agent
+	for _, spec := range specs {
+		hw, ok := pace.LookupHardware(spec.Hardware)
+		if !ok {
+			return nil, fmt.Errorf("core: resource %q: unknown hardware %q", spec.Name, spec.Hardware)
+		}
+		pol, err := g.newPolicy(master.Split())
+		if err != nil {
+			return nil, err
+		}
+		cfg := scheduler.Config{
+			Name:         spec.Name,
+			HW:           hw,
+			NumNodes:     spec.Nodes,
+			Policy:       pol,
+			Engine:       engine,
+			Environments: spec.Environments,
+		}
+		if opts.Trace != nil {
+			cfg.Executor = &tracingExecutor{rec: opts.Trace}
+		}
+		if opts.PredictionError != 0 || opts.PredictionBias != 0 {
+			noise := pace.NoiseModel{Rel: opts.PredictionError, Bias: opts.PredictionBias, Seed: opts.Seed}
+			resKey := fnv64(spec.Name)
+			cfg.ActualDuration = func(_ *pace.AppModel, _ int, predicted float64, taskID int) float64 {
+				return noise.Apply(predicted, resKey^uint64(taskID))
+			}
+		}
+		local, err := scheduler.NewLocal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a, err := agent.New(local, engine)
+		if err != nil {
+			return nil, err
+		}
+		a.PullPeriod = opts.PullPeriod
+		g.locals[spec.Name] = local
+		agents[spec.Name] = a
+		ordered = append(ordered, a)
+	}
+	for _, spec := range specs {
+		if spec.Parent == "" {
+			continue
+		}
+		parent, ok := agents[spec.Parent]
+		if !ok {
+			return nil, fmt.Errorf("core: resource %q: unknown parent %q", spec.Name, spec.Parent)
+		}
+		if err := agent.Link(parent, agents[spec.Name]); err != nil {
+			return nil, err
+		}
+	}
+	hier, err := agent.NewHierarchy(ordered)
+	if err != nil {
+		return nil, err
+	}
+	g.hier = hier
+	return g, nil
+}
+
+func (g *Grid) newPolicy(rng *sim.RNG) (scheduler.Policy, error) {
+	switch g.opts.Policy {
+	case PolicyFIFO:
+		return scheduler.NewFIFOPolicy(), nil
+	case PolicyFIFOFast:
+		return scheduler.NewFastFIFOPolicy(), nil
+	case PolicyGA:
+		p := scheduler.NewGAPolicy(g.opts.GA, rng)
+		p.Weights = g.opts.Weights
+		p.FrontWeighted = !g.opts.DisableFrontWeightedIdle
+		return p, nil
+	case PolicySA:
+		p := scheduler.NewSAPolicy(rng)
+		p.Weights = g.opts.Weights
+		p.FrontWeighted = !g.opts.DisableFrontWeightedIdle
+		return p, nil
+	case PolicyTabu:
+		p := scheduler.NewTabuPolicy(rng)
+		p.Weights = g.opts.Weights
+		p.FrontWeighted = !g.opts.DisableFrontWeightedIdle
+		return p, nil
+	}
+	return nil, fmt.Errorf("core: unknown policy %q", g.opts.Policy)
+}
+
+// Library returns the application model library.
+func (g *Grid) Library() *pace.Library { return g.lib }
+
+// Engine returns the shared PACE evaluation engine.
+func (g *Grid) Engine() *pace.Engine { return g.engine }
+
+// Hierarchy returns the agent hierarchy.
+func (g *Grid) Hierarchy() *agent.Hierarchy { return g.hier }
+
+// Local returns the named local scheduler.
+func (g *Grid) Local(name string) (*scheduler.Local, bool) {
+	l, ok := g.locals[name]
+	return l, ok
+}
+
+// NodesByResource maps resource names to node counts, as the metrics
+// package expects.
+func (g *Grid) NodesByResource() map[string]int {
+	out := make(map[string]int, len(g.locals))
+	for n, l := range g.locals {
+		out[n] = l.NumNodes()
+	}
+	return out
+}
+
+// SubmitAt schedules a task request for virtual time at: the named
+// application with a deadline deadlineRel seconds after arrival, arriving
+// at the named agent. With UseAgents the request goes through service
+// discovery; without it the receiving agent's local scheduler takes the
+// task unconditionally (experiments 1 and 2).
+func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float64) error {
+	if g.ran {
+		return fmt.Errorf("core: grid already ran")
+	}
+	app, ok := g.lib.Lookup(appName)
+	if !ok {
+		return fmt.Errorf("core: unknown application %q", appName)
+	}
+	if _, ok := g.locals[agentName]; !ok {
+		return fmt.Errorf("core: unknown agent %q", agentName)
+	}
+	if deadlineRel < 0 {
+		return fmt.Errorf("core: negative relative deadline %g", deadlineRel)
+	}
+	if at > g.lastRequestAt {
+		g.lastRequestAt = at
+	}
+	g.requests++
+	g.simr.At(at, func(now float64) {
+		g.advanceAll(now)
+		deadline := now + deadlineRel
+		g.traceEvent(trace.Event{Time: now, Kind: trace.KindArrive, Agent: agentName, App: appName})
+		if g.opts.UseAgents {
+			a, _ := g.hier.Lookup(agentName)
+			d, err := a.HandleRequest(agent.Request{App: app, Env: "test", Deadline: deadline}, now)
+			if err != nil {
+				g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
+				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
+				return
+			}
+			g.dispatches = append(g.dispatches, d)
+			detail := fmt.Sprintf("hops=%d", d.Hops)
+			if d.Fallback {
+				detail += " fallback"
+			}
+			g.traceEvent(trace.Event{
+				Time: now, Kind: trace.KindDispatch, Agent: agentName,
+				Resource: d.Resource, TaskID: d.TaskID, App: appName, Detail: detail,
+			})
+			if g.opts.PushAdverts {
+				if acceptor, ok := g.hier.Lookup(d.Resource); ok {
+					acceptor.MaybePush(now)
+				}
+			}
+			return
+		}
+		id, err := g.locals[agentName].Submit(app, deadline, now)
+		if err != nil {
+			g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
+			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
+			return
+		}
+		g.dispatches = append(g.dispatches, agent.Dispatch{Resource: agentName, TaskID: id})
+		g.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindDispatch, Agent: agentName,
+			Resource: agentName, TaskID: id, App: appName, Detail: "direct",
+		})
+	})
+	return nil
+}
+
+func (g *Grid) traceEvent(ev trace.Event) {
+	if g.opts.Trace != nil {
+		g.opts.Trace.Record(ev)
+	}
+}
+
+// SubmitWorkload schedules a whole request stream.
+func (g *Grid) SubmitWorkload(reqs []workload.Request) error {
+	for _, r := range reqs {
+		if err := g.SubmitAt(r.At, r.AgentName, r.AppName, r.DeadlineRel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Grid) advanceAll(now float64) {
+	names := make([]string, 0, len(g.locals))
+	for n := range g.locals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g.locals[n].AdvanceTo(now)
+	}
+}
+
+// Run executes all scheduled requests in virtual time — with periodic
+// advertisement pulls when agents are enabled — then drains every
+// scheduler so all accepted tasks complete. It returns the combined
+// error of any failed requests.
+func (g *Grid) Run() error {
+	if g.ran {
+		return fmt.Errorf("core: grid already ran")
+	}
+	g.ran = true
+	if g.opts.UseAgents {
+		g.hier.PullAll(0)
+		last := g.lastRequestAt
+		g.simr.Every(g.opts.PullPeriod, func(now float64) bool {
+			g.hier.PullAll(now)
+			return now < last
+		})
+	}
+	g.simr.RunAll(0)
+	for _, name := range g.hier.Names() {
+		g.locals[name].Drain()
+	}
+	return errors.Join(g.errs...)
+}
+
+// Records returns every execution record across the grid.
+func (g *Grid) Records() []scheduler.Record {
+	var out []scheduler.Record
+	for _, name := range g.hier.Names() {
+		out = append(out, g.locals[name].Records()...)
+	}
+	return out
+}
+
+// Dispatches returns where each request landed, in submission order.
+func (g *Grid) Dispatches() []agent.Dispatch {
+	out := make([]agent.Dispatch, len(g.dispatches))
+	copy(out, g.dispatches)
+	return out
+}
+
+// Metrics computes the §3.3 report over all records. minWindow sets the
+// minimum measurement period (typically the request phase length).
+func (g *Grid) Metrics(minWindow float64) (metrics.GridReport, error) {
+	recs := g.Records()
+	return metrics.Compute(recs, g.NodesByResource(), metrics.WindowOver(recs, minWindow))
+}
+
+// Requests returns the number of scheduled requests.
+func (g *Grid) Requests() int { return g.requests }
+
+// fnv64 hashes a string (FNV-1a), used to derive per-resource noise keys.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// tracingExecutor records execution starts and (test-mode) completions.
+type tracingExecutor struct {
+	rec *trace.Recorder
+}
+
+// Launch implements scheduler.Executor.
+func (e *tracingExecutor) Launch(rec scheduler.Record) {
+	app := ""
+	if rec.App != nil {
+		app = rec.App.Name
+	}
+	e.rec.Record(trace.Event{
+		Time: rec.Start, Kind: trace.KindStart,
+		Resource: rec.Resource, TaskID: rec.TaskID, App: app,
+	})
+	e.rec.Record(trace.Event{
+		Time: rec.End, Kind: trace.KindComplete,
+		Resource: rec.Resource, TaskID: rec.TaskID, App: app,
+		Detail: fmt.Sprintf("deadline_met=%v", rec.End <= rec.Deadline),
+	})
+}

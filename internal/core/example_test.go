@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// A minimal grid: two resources under an agent hierarchy, one request
+// whose deadline the slow resource cannot meet, dispatched through
+// service discovery.
+func ExampleGrid() {
+	grid, err := core.New([]core.ResourceSpec{
+		{Name: "fast", Hardware: "SGIOrigin2000", Nodes: 16},
+		{Name: "slow", Hardware: "SunSPARCstation2", Nodes: 16, Parent: "fast"},
+	}, core.Options{Policy: core.PolicyGA, UseAgents: true, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	// sweep3d needs at least 24 s on the SPARCstation2 but only 4 s on
+	// the Origin: a 10-second deadline must migrate to "fast".
+	if err := grid.SubmitAt(0, "slow", "sweep3d", 10); err != nil {
+		panic(err)
+	}
+	if err := grid.Run(); err != nil {
+		panic(err)
+	}
+	for _, r := range grid.Records() {
+		fmt.Printf("%s ran on %s: [%g, %g], met deadline: %v\n",
+			r.App.Name, r.Resource, r.Start, r.End, r.End <= r.Deadline)
+	}
+	// Output:
+	// sweep3d ran on fast: [0, 4], met deadline: true
+}

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// AccuracyPoint is one row of the prediction-accuracy study (§5 future
+// work): the experiment-3 configuration run with actual execution times
+// deviating from PACE predictions by up to Rel relative error.
+type AccuracyPoint struct {
+	Rel      float64 // maximum relative prediction scatter
+	Bias     float64 // systematic optimism of the models
+	Epsilon  float64 // grid-wide ε (s)
+	Upsilon  float64 // grid-wide υ (%)
+	Beta     float64 // grid-wide β (%)
+	MetRate  float64 // fraction of tasks completing by their deadline
+	Requests int
+}
+
+// NoiseCase is one (scatter, bias) configuration of the study.
+type NoiseCase struct {
+	Rel  float64
+	Bias float64
+}
+
+// DefaultNoiseCases sweeps scatter at zero bias and bias at moderate
+// scatter.
+func DefaultNoiseCases() []NoiseCase {
+	return []NoiseCase{
+		{0, 0}, {0.2, 0}, {0.5, 0},
+		{0.2, 0.1}, {0.2, 0.25}, {0.2, 0.5},
+	}
+}
+
+// RunAccuracyStudy sweeps the prediction error over the full agent-based
+// configuration. Rel = 0 is the paper's exact test mode; growing error
+// degrades the scheduler's decisions because both the GA cost function
+// and the eq. 10 matchmaking reason over predictions that reality no
+// longer honours.
+func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
+	out := make([]AccuracyPoint, 0, len(cases))
+	for _, c := range cases {
+		grid, err := core.New(CaseStudyResources(), core.Options{
+			Policy:          core.PolicyGA,
+			GA:              p.GA,
+			UseAgents:       true,
+			Seed:            p.Seed,
+			PredictionError: c.Rel,
+			PredictionBias:  c.Bias,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spec := workload.CaseStudySpec(p.Seed, AgentNames())
+		spec.Count = p.Requests
+		spec.Interval = p.Interval
+		reqs, err := workload.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := grid.SubmitWorkload(reqs); err != nil {
+			return nil, err
+		}
+		if err := grid.Run(); err != nil {
+			return nil, err
+		}
+		rep, err := grid.Metrics(float64(p.Requests) * p.Interval)
+		if err != nil {
+			return nil, err
+		}
+		met := 0
+		recs := grid.Records()
+		for _, r := range recs {
+			if r.End <= r.Deadline {
+				met++
+			}
+		}
+		out = append(out, AccuracyPoint{
+			Rel:      c.Rel,
+			Bias:     c.Bias,
+			Epsilon:  rep.Total.Epsilon,
+			Upsilon:  rep.Total.Upsilon,
+			Beta:     rep.Total.Beta,
+			MetRate:  float64(met) / float64(len(recs)),
+			Requests: len(recs),
+		})
+	}
+	return out, nil
+}
+
+// FormatAccuracy renders the study as a table.
+func FormatAccuracy(points []AccuracyPoint) string {
+	var b strings.Builder
+	b.WriteString("Prediction-accuracy study (§5): experiment 3 with noisy execution times\n\n")
+	fmt.Fprintf(&b, "%9s %7s %10s %8s %8s %10s\n", "scatter", "bias", "eps (s)", "ups (%)", "beta (%)", "met rate")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%8.0f%% %+6.0f%% %10.1f %8.1f %8.1f %9.1f%%\n",
+			pt.Rel*100, pt.Bias*100, pt.Epsilon, pt.Upsilon, pt.Beta, pt.MetRate*100)
+	}
+	return b.String()
+}

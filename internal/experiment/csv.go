@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// WriteCSV exports the experiment outcomes as CSV files in dir — one file
+// per reproduced artefact (table3.csv, fig8.csv, fig9.csv, fig10.csv,
+// dispatch.csv) — for plotting the paper's line charts externally.
+func WriteCSV(dir string, outs []Outcome) error {
+	if len(outs) == 0 {
+		return fmt.Errorf("experiment: no outcomes to export")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeTable3(filepath.Join(dir, "table3.csv"), outs); err != nil {
+		return err
+	}
+	figs := []struct {
+		file  string
+		value func(metrics.Report) float64
+	}{
+		{"fig8.csv", func(r metrics.Report) float64 { return r.Epsilon }},
+		{"fig9.csv", func(r metrics.Report) float64 { return r.Upsilon }},
+		{"fig10.csv", func(r metrics.Report) float64 { return r.Beta }},
+	}
+	for _, f := range figs {
+		if err := writeTrend(filepath.Join(dir, f.file), outs, f.value); err != nil {
+			return err
+		}
+	}
+	return writeDispatch(filepath.Join(dir, "dispatch.csv"), outs)
+}
+
+func writeRows(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func writeTable3(path string, outs []Outcome) error {
+	header := []string{"resource"}
+	for _, o := range outs {
+		id := strconv.Itoa(o.Setup.ID)
+		header = append(header, "eps_"+id, "ups_"+id, "beta_"+id)
+	}
+	rows := [][]string{header}
+	for _, name := range append(namesOf(outs[0].Report), "Total") {
+		row := []string{name}
+		for _, o := range outs {
+			rep := o.Report.Total
+			if name != "Total" {
+				rep, _ = o.Report.ResourceByName(name)
+			}
+			row = append(row, fmtF(rep.Epsilon), fmtF(rep.Upsilon), fmtF(rep.Beta))
+		}
+		rows = append(rows, row)
+	}
+	return writeRows(path, rows)
+}
+
+func writeTrend(path string, outs []Outcome, value func(metrics.Report) float64) error {
+	header := []string{"resource"}
+	for _, o := range outs {
+		header = append(header, "exp"+strconv.Itoa(o.Setup.ID))
+	}
+	rows := [][]string{header}
+	for _, name := range append(namesOf(outs[0].Report), "Total") {
+		row := []string{name}
+		for _, o := range outs {
+			rep := o.Report.Total
+			if name != "Total" {
+				rep, _ = o.Report.ResourceByName(name)
+			}
+			row = append(row, fmtF(value(rep)))
+		}
+		rows = append(rows, row)
+	}
+	return writeRows(path, rows)
+}
+
+func writeDispatch(path string, outs []Outcome) error {
+	header := []string{"resource"}
+	for _, o := range outs {
+		header = append(header, "exp"+strconv.Itoa(o.Setup.ID))
+	}
+	counts := make([]map[string]int, len(outs))
+	for i, o := range outs {
+		counts[i] = map[string]int{}
+		for _, d := range o.Dispatches {
+			counts[i][d.Resource]++
+		}
+	}
+	rows := [][]string{header}
+	for _, name := range namesOf(outs[0].Report) {
+		row := []string{name}
+		for i := range outs {
+			row = append(row, strconv.Itoa(counts[i][name]))
+		}
+		rows = append(rows, row)
+	}
+	return writeRows(path, rows)
+}

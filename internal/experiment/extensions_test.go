@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSyntheticResourcesShape(t *testing.T) {
+	specs := SyntheticResources(13, 3)
+	if len(specs) != 13 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[0].Parent != "" {
+		t.Fatal("first agent is not the head")
+	}
+	// b-ary tree parents: agent i+1 hangs under (i-1)/b + 1.
+	if specs[1].Parent != "A1" || specs[4].Parent != "A2" || specs[12].Parent != "A4" {
+		t.Fatalf("tree wiring wrong: %v %v %v", specs[1].Parent, specs[4].Parent, specs[12].Parent)
+	}
+	// The grid must build and validate as a single-headed hierarchy.
+	if _, err := core.New(specs, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate arguments are clamped.
+	one := SyntheticResources(0, 0)
+	if len(one) != 1 {
+		t.Fatalf("clamped size = %d", len(one))
+	}
+}
+
+func TestScalabilityStudySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability study in short mode")
+	}
+	p := QuickParams()
+	pts, err := RunScalabilityStudy([]int{3, 6}, 3, 20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Requests != 20*pt.Agents {
+			t.Fatalf("point %+v: wrong request count", pt)
+		}
+		if pt.MeanHops < 0 || pt.MaxHops > pt.Agents {
+			t.Fatalf("implausible hop counts: %+v", pt)
+		}
+		if pt.Upsilon <= 0 {
+			t.Fatalf("zero utilisation: %+v", pt)
+		}
+	}
+	out := FormatScalability(pts)
+	if !strings.Contains(out, "agents") || !strings.Contains(out, "mean hops") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestAccuracyStudyBiasDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy study in short mode")
+	}
+	p := QuickParams()
+	pts, err := RunAccuracyStudy([]NoiseCase{{0, 0}, {0.2, 0.5}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, biased := pts[0], pts[1]
+	if exact.Rel != 0 || biased.Bias != 0.5 {
+		t.Fatalf("points mislabelled: %+v", pts)
+	}
+	// Systematically optimistic predictions must hurt deadline compliance
+	// and ε (the §5 accuracy question).
+	if biased.MetRate >= exact.MetRate {
+		t.Errorf("bias did not reduce the met rate: %v -> %v", exact.MetRate, biased.MetRate)
+	}
+	if biased.Epsilon >= exact.Epsilon {
+		t.Errorf("bias did not reduce ε: %v -> %v", exact.Epsilon, biased.Epsilon)
+	}
+	if exact.Requests != p.Requests || biased.Requests != p.Requests {
+		t.Errorf("task accounting wrong: %+v", pts)
+	}
+	out := FormatAccuracy(pts)
+	if !strings.Contains(out, "met rate") {
+		t.Fatalf("format output:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := QuickParams()
+	p.Requests = 30
+	o, err := Run(Configs[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCSV(dir, []Outcome{o}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3.csv", "fig8.csv", "fig9.csv", "fig10.csv", "dispatch.csv"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Header + 12 resources (+ Total except dispatch.csv).
+		want := 14
+		if name == "dispatch.csv" {
+			want = 13
+		}
+		if len(rows) != want {
+			t.Fatalf("%s has %d rows, want %d", name, len(rows), want)
+		}
+		if rows[0][0] != "resource" {
+			t.Fatalf("%s header: %v", name, rows[0])
+		}
+	}
+	if err := WriteCSV(dir, nil); err == nil {
+		t.Fatal("empty export accepted")
+	}
+}
+
+func TestPushAdvertsOptionRuns(t *testing.T) {
+	p := QuickParams()
+	p.Requests = 60
+	grid, err := core.New(CaseStudyResources(), core.Options{
+		Policy: core.PolicyGA, GA: p.GA, Seed: p.Seed,
+		UseAgents: true, PushAdverts: true,
+		PullPeriod: 300, // starve the pulls; pushes must carry the load
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Requests; i++ {
+		if err := grid.SubmitAt(float64(i), AgentNames()[i%12], "fft", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := grid.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pushes := 0
+	for _, name := range AgentNames() {
+		a, _ := grid.Hierarchy().Lookup(name)
+		pushes += a.Stats().PushesSent
+	}
+	if pushes == 0 {
+		t.Fatal("push-advertisement mode sent no pushes")
+	}
+	if len(grid.Records()) != p.Requests {
+		t.Fatalf("%d records", len(grid.Records()))
+	}
+}

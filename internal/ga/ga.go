@@ -1,0 +1,246 @@
+// Package ga implements the iterative heuristic kernel of the paper's
+// local grid scheduler: a genetic algorithm with a fixed population size,
+// stochastic remainder selection and dynamic fitness scaling (§2.1).
+//
+// The engine is generic over the genome type; the scheduling-specific
+// two-part coding scheme, crossover and mutation operators live in
+// internal/schedule.
+package ga
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Problem defines a minimisation problem over genomes of type G. Cost is
+// the f_c of the paper (eq. 8): lower is better. The engine converts costs
+// to fitness values with the dynamic scaling of eq. 9.
+type Problem[G any] interface {
+	// Random returns a new random genome.
+	Random(rng *sim.RNG) G
+	// Crossover combines two parents into two offspring. Implementations
+	// must not mutate the parents.
+	Crossover(a, b G, rng *sim.RNG) (G, G)
+	// Mutate returns a mutated copy of g, leaving g intact.
+	Mutate(g G, rng *sim.RNG) G
+	// Cost evaluates the genome; lower is better.
+	Cost(g G) float64
+	// Clone returns an independent deep copy of g.
+	Clone(g G) G
+}
+
+// Config holds the GA hyper-parameters. The paper fixes the population at
+// 50 (§2.2) but leaves rates unspecified; DefaultConfig supplies
+// conventional values, all of which the ablation benches sweep.
+type Config struct {
+	PopulationSize    int     // fixed population size (paper: 50)
+	MaxGenerations    int     // hard generation budget per scheduling event
+	CrossoverRate     float64 // probability a selected pair recombines
+	MutationRate      float64 // probability an offspring is mutated
+	Elitism           int     // number of best genomes copied unchanged
+	ConvergenceWindow int     // stop early after this many generations without improvement; 0 disables
+}
+
+// DefaultConfig returns the configuration used by the case study.
+func DefaultConfig() Config {
+	return Config{
+		PopulationSize:    50,
+		MaxGenerations:    60,
+		CrossoverRate:     0.8,
+		MutationRate:      0.25,
+		Elitism:           2,
+		ConvergenceWindow: 12,
+	}
+}
+
+func (c *Config) sanitize() {
+	if c.PopulationSize < 2 {
+		c.PopulationSize = 2
+	}
+	if c.MaxGenerations < 1 {
+		c.MaxGenerations = 1
+	}
+	if c.CrossoverRate < 0 {
+		c.CrossoverRate = 0
+	}
+	if c.CrossoverRate > 1 {
+		c.CrossoverRate = 1
+	}
+	if c.MutationRate < 0 {
+		c.MutationRate = 0
+	}
+	if c.MutationRate > 1 {
+		c.MutationRate = 1
+	}
+	if c.Elitism < 0 {
+		c.Elitism = 0
+	}
+	if c.Elitism >= c.PopulationSize {
+		c.Elitism = c.PopulationSize - 1
+	}
+	if c.ConvergenceWindow < 0 {
+		c.ConvergenceWindow = 0
+	}
+}
+
+// Result reports the outcome of a GA run.
+type Result[G any] struct {
+	Best        G
+	BestCost    float64
+	Generations int       // generations actually executed
+	CostEvals   int       // number of Cost invocations
+	History     []float64 // best cost after each generation
+}
+
+// Run evolves a population and returns the best genome found. seeds are
+// injected into the initial population (cloned first), which is how the
+// scheduler carries the previous best schedule across scheduling events so
+// the evolutionary process "absorbs system changes" (§1).
+func Run[G any](p Problem[G], cfg Config, rng *sim.RNG, seeds []G) Result[G] {
+	cfg.sanitize()
+
+	pop := make([]G, 0, cfg.PopulationSize)
+	for _, s := range seeds {
+		if len(pop) == cfg.PopulationSize {
+			break
+		}
+		pop = append(pop, p.Clone(s))
+	}
+	for len(pop) < cfg.PopulationSize {
+		pop = append(pop, p.Random(rng))
+	}
+
+	res := Result[G]{BestCost: math.Inf(1)}
+	costs := make([]float64, cfg.PopulationSize)
+	stale := 0
+
+	for gen := 0; gen < cfg.MaxGenerations; gen++ {
+		// Evaluate.
+		genBest, genBestCost := -1, math.Inf(1)
+		for i, g := range pop {
+			costs[i] = p.Cost(g)
+			res.CostEvals++
+			if costs[i] < genBestCost {
+				genBest, genBestCost = i, costs[i]
+			}
+		}
+		if genBestCost < res.BestCost {
+			res.Best = p.Clone(pop[genBest])
+			res.BestCost = genBestCost
+			stale = 0
+		} else {
+			stale++
+		}
+		res.Generations = gen + 1
+		res.History = append(res.History, res.BestCost)
+		if cfg.ConvergenceWindow > 0 && stale >= cfg.ConvergenceWindow {
+			break
+		}
+		if gen == cfg.MaxGenerations-1 {
+			break
+		}
+
+		// Select a mating pool via stochastic remainder selection over the
+		// dynamically scaled fitness (eq. 9).
+		fitness := scaleFitness(costs)
+		pool := stochasticRemainder(pop, fitness, cfg.PopulationSize, rng, p)
+
+		// Recombine pairs and mutate.
+		next := make([]G, 0, cfg.PopulationSize)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		for i := 0; i+1 < len(pool); i += 2 {
+			a, b := pool[i], pool[i+1]
+			if rng.Bool(cfg.CrossoverRate) {
+				a, b = p.Crossover(a, b, rng)
+			} else {
+				a, b = p.Clone(a), p.Clone(b)
+			}
+			next = append(next, a, b)
+		}
+		if len(pool)%2 == 1 {
+			next = append(next, p.Clone(pool[len(pool)-1]))
+		}
+		for i := range next {
+			if rng.Bool(cfg.MutationRate) {
+				next[i] = p.Mutate(next[i], rng)
+			}
+		}
+
+		// Elitism: the best genome so far always survives, plus clones of
+		// the generation's best for Elitism slots.
+		for i := 0; i < cfg.Elitism && i < len(next); i++ {
+			next[i] = p.Clone(res.Best)
+		}
+		pop = next[:cfg.PopulationSize]
+	}
+	return res
+}
+
+// scaleFitness applies the paper's dynamic scaling (eq. 9):
+//
+//	f_v = (fc_max − fc_k) / (fc_max − fc_min)
+//
+// so the worst genome in the current population has fitness 0 and the best
+// has fitness 1. A degenerate population (all equal costs) gets uniform
+// fitness 1.
+func scaleFitness(costs []float64) []float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range costs {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	out := make([]float64, len(costs))
+	if hi == lo {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	span := hi - lo
+	for i, c := range costs {
+		out[i] = (hi - c) / span
+	}
+	return out
+}
+
+// stochasticRemainder fills a mating pool of size n. Each individual first
+// receives floor(e_k) deterministic copies, where e_k is its expected count
+// f_k·n/Σf; remaining slots are filled by Bernoulli trials on the
+// fractional parts (stochastic remainder selection without replacement).
+func stochasticRemainder[G any](pop []G, fitness []float64, n int, rng *sim.RNG, p Problem[G]) []G {
+	total := 0.0
+	for _, f := range fitness {
+		total += f
+	}
+	pool := make([]G, 0, n)
+	if total <= 0 {
+		// All fitness zero: select uniformly.
+		for len(pool) < n {
+			pool = append(pool, p.Clone(pop[rng.Intn(len(pop))]))
+		}
+		return pool
+	}
+
+	frac := make([]float64, len(pop))
+	for i, f := range fitness {
+		expected := f / total * float64(n)
+		whole := math.Floor(expected)
+		frac[i] = expected - whole
+		for c := 0; c < int(whole) && len(pool) < n; c++ {
+			pool = append(pool, p.Clone(pop[i]))
+		}
+	}
+	// Fill the remainder by cycling Bernoulli trials on fractional parts.
+	for guard := 0; len(pool) < n; guard++ {
+		i := rng.Intn(len(pop))
+		if rng.Bool(frac[i]) || guard > 16*n {
+			pool = append(pool, p.Clone(pop[i]))
+		}
+	}
+	return pool
+}

@@ -1,0 +1,243 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// oneMax is a classic GA sanity problem: maximise the number of set bits,
+// expressed as minimising the number of clear bits.
+type oneMax struct{ bits int }
+
+func (p oneMax) Random(rng *sim.RNG) []bool {
+	g := make([]bool, p.bits)
+	for i := range g {
+		g[i] = rng.Bool(0.5)
+	}
+	return g
+}
+
+func (p oneMax) Crossover(a, b []bool, rng *sim.RNG) ([]bool, []bool) {
+	cut := rng.Intn(p.bits)
+	c := make([]bool, p.bits)
+	d := make([]bool, p.bits)
+	copy(c, a[:cut])
+	copy(c[cut:], b[cut:])
+	copy(d, b[:cut])
+	copy(d[cut:], a[cut:])
+	return c, d
+}
+
+func (p oneMax) Mutate(g []bool, rng *sim.RNG) []bool {
+	out := p.Clone(g)
+	out[rng.Intn(p.bits)] = !out[rng.Intn(p.bits)]
+	return out
+}
+
+func (p oneMax) Cost(g []bool) float64 {
+	clear := 0
+	for _, b := range g {
+		if !b {
+			clear++
+		}
+	}
+	return float64(clear)
+}
+
+func (p oneMax) Clone(g []bool) []bool {
+	out := make([]bool, len(g))
+	copy(out, g)
+	return out
+}
+
+func TestGASolvesOneMax(t *testing.T) {
+	p := oneMax{bits: 32}
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 200
+	cfg.ConvergenceWindow = 0
+	res := Run[[]bool](p, cfg, sim.NewRNG(1), nil)
+	if res.BestCost > 2 {
+		t.Fatalf("GA left %v clear bits after %d generations", res.BestCost, res.Generations)
+	}
+}
+
+func TestGABeatsRandomSearch(t *testing.T) {
+	p := oneMax{bits: 64}
+	rng := sim.NewRNG(2)
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 50
+	cfg.ConvergenceWindow = 0
+	res := Run[[]bool](p, cfg, rng, nil)
+
+	// Random search with the same evaluation budget.
+	randRng := sim.NewRNG(2)
+	bestRandom := math.Inf(1)
+	for i := 0; i < res.CostEvals; i++ {
+		if c := p.Cost(p.Random(randRng)); c < bestRandom {
+			bestRandom = c
+		}
+	}
+	if res.BestCost >= bestRandom {
+		t.Fatalf("GA (%v) did not beat random search (%v) at equal budget %d", res.BestCost, bestRandom, res.CostEvals)
+	}
+}
+
+func TestGADeterministicGivenSeed(t *testing.T) {
+	p := oneMax{bits: 40}
+	cfg := DefaultConfig()
+	a := Run[[]bool](p, cfg, sim.NewRNG(7), nil)
+	b := Run[[]bool](p, cfg, sim.NewRNG(7), nil)
+	if a.BestCost != b.BestCost || a.Generations != b.Generations || a.CostEvals != b.CostEvals {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestGABestCostMonotoneNonIncreasing(t *testing.T) {
+	p := oneMax{bits: 48}
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 80
+	res := Run[[]bool](p, cfg, sim.NewRNG(3), nil)
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1] {
+			t.Fatalf("best cost regressed at generation %d: %v", i, res.History)
+		}
+	}
+	if res.History[len(res.History)-1] != res.BestCost {
+		t.Fatalf("history end %v != BestCost %v", res.History[len(res.History)-1], res.BestCost)
+	}
+}
+
+func TestGASeedsAreUsed(t *testing.T) {
+	p := oneMax{bits: 64}
+	perfect := make([]bool, 64)
+	for i := range perfect {
+		perfect[i] = true
+	}
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 1 // no time to discover the optimum by search
+	res := Run[[]bool](p, cfg, sim.NewRNG(4), [][]bool{perfect})
+	if res.BestCost != 0 {
+		t.Fatalf("seeded optimum lost: best cost %v", res.BestCost)
+	}
+}
+
+func TestGASeedsAreCloned(t *testing.T) {
+	p := oneMax{bits: 16}
+	seed := make([]bool, 16)
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 30
+	Run[[]bool](p, cfg, sim.NewRNG(5), [][]bool{seed})
+	for i, b := range seed {
+		if b {
+			t.Fatalf("caller's seed mutated at bit %d", i)
+		}
+	}
+}
+
+func TestGAConvergenceWindowStopsEarly(t *testing.T) {
+	p := oneMax{bits: 4} // trivially solved, then stalls
+	cfg := DefaultConfig()
+	cfg.MaxGenerations = 1000
+	cfg.ConvergenceWindow = 5
+	res := Run[[]bool](p, cfg, sim.NewRNG(6), nil)
+	if res.Generations >= 1000 {
+		t.Fatalf("convergence window did not stop the run (%d generations)", res.Generations)
+	}
+	if res.BestCost != 0 {
+		t.Fatalf("4-bit one-max unsolved: %v", res.BestCost)
+	}
+}
+
+func TestGAConfigSanitisation(t *testing.T) {
+	p := oneMax{bits: 8}
+	cfg := Config{
+		PopulationSize: -5,
+		MaxGenerations: 0,
+		CrossoverRate:  7,
+		MutationRate:   -1,
+		Elitism:        100,
+	}
+	// Must not panic and must return a valid result.
+	res := Run[[]bool](p, cfg, sim.NewRNG(8), nil)
+	if res.Generations != 1 {
+		t.Fatalf("sanitised MaxGenerations produced %d generations, want 1", res.Generations)
+	}
+	if math.IsInf(res.BestCost, 1) {
+		t.Fatal("no genome evaluated")
+	}
+}
+
+func TestScaleFitness(t *testing.T) {
+	f := scaleFitness([]float64{10, 20, 30})
+	if f[0] != 1 || f[2] != 0 || f[1] != 0.5 {
+		t.Fatalf("scaleFitness = %v, want [1 0.5 0]", f)
+	}
+	// Degenerate population: uniform fitness.
+	f = scaleFitness([]float64{5, 5, 5})
+	for _, v := range f {
+		if v != 1 {
+			t.Fatalf("degenerate scaleFitness = %v, want all 1", f)
+		}
+	}
+}
+
+func TestScaleFitnessBestIsHighest(t *testing.T) {
+	costs := []float64{3, 9, 1, 7}
+	f := scaleFitness(costs)
+	bestIdx, bestFit := 0, f[0]
+	for i, v := range f {
+		if v > bestFit {
+			bestIdx, bestFit = i, v
+		}
+	}
+	if bestIdx != 2 {
+		t.Fatalf("lowest cost did not get highest fitness: costs=%v fitness=%v", costs, f)
+	}
+}
+
+func TestStochasticRemainderProportionality(t *testing.T) {
+	// Individual 0 has fitness 3, individual 1 has fitness 1: expect ~3x
+	// more copies of 0 in the pool.
+	p := oneMax{bits: 2}
+	pop := [][]bool{{true, true}, {false, false}}
+	rng := sim.NewRNG(9)
+	count0 := 0
+	const rounds = 500
+	const n = 8
+	for r := 0; r < rounds; r++ {
+		pool := stochasticRemainder(pop, []float64{3, 1}, n, rng, p)
+		if len(pool) != n {
+			t.Fatalf("pool size %d, want %d", len(pool), n)
+		}
+		for _, g := range pool {
+			if g[0] {
+				count0++
+			}
+		}
+	}
+	frac := float64(count0) / float64(rounds*n)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("individual with 75%% fitness share received %.1f%% of pool slots", frac*100)
+	}
+}
+
+func TestStochasticRemainderAllZeroFitness(t *testing.T) {
+	p := oneMax{bits: 2}
+	pop := [][]bool{{true, false}, {false, true}}
+	pool := stochasticRemainder(pop, []float64{0, 0}, 10, sim.NewRNG(10), p)
+	if len(pool) != 10 {
+		t.Fatalf("pool size %d, want 10", len(pool))
+	}
+}
+
+func TestStochasticRemainderPoolIsCloned(t *testing.T) {
+	p := oneMax{bits: 2}
+	pop := [][]bool{{true, true}}
+	pool := stochasticRemainder(pop, []float64{1}, 3, sim.NewRNG(11), p)
+	pool[0][0] = false
+	if !pop[0][0] {
+		t.Fatal("mutating the pool mutated the source population")
+	}
+}

@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+)
+
+// Compute derives the paper's three load-balancing statistics (§3.3) from
+// execution records: ε (advance time), υ (utilisation) and β (balance).
+func ExampleCompute() {
+	recs := []scheduler.Record{
+		// Node 0 busy the whole 100 s window; node 1 for half of it.
+		{Resource: "S1", Mask: 0b01, Start: 0, End: 100, Deadline: 120},
+		{Resource: "S1", Mask: 0b10, Start: 0, End: 50, Deadline: 40},
+	}
+	rep, err := metrics.Compute(recs, map[string]int{"S1": 2}, metrics.Window{Start: 0, End: 100})
+	if err != nil {
+		panic(err)
+	}
+	s1 := rep.PerResource[0]
+	fmt.Printf("epsilon %.0f s (one early by 20, one late by 10)\n", s1.Epsilon)
+	fmt.Printf("upsilon %.0f%% (nodes at 100%% and 50%%)\n", s1.Upsilon)
+	fmt.Printf("beta %.1f%%\n", s1.Beta)
+	// Output:
+	// epsilon 5 s (one early by 20, one late by 10)
+	// upsilon 75% (nodes at 100% and 50%)
+	// beta 66.7%
+}

@@ -1,0 +1,228 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+func rec(res string, mask uint64, start, end, deadline float64) scheduler.Record {
+	return scheduler.Record{Resource: res, Mask: mask, Start: start, End: end, Deadline: deadline}
+}
+
+func TestComputeEpsilon(t *testing.T) {
+	recs := []scheduler.Record{
+		rec("S1", 1, 0, 10, 30),  // advance +20
+		rec("S1", 1, 10, 50, 40), // advance -10
+	}
+	g, err := Compute(recs, map[string]int{"S1": 1}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PerResource[0].Epsilon; got != 5 {
+		t.Fatalf("ε = %v, want (20-10)/2 = 5", got)
+	}
+	if g.Total.Epsilon != 5 {
+		t.Fatalf("total ε = %v", g.Total.Epsilon)
+	}
+}
+
+func TestComputeEpsilonNegativeWhenDeadlinesFail(t *testing.T) {
+	recs := []scheduler.Record{rec("S1", 1, 0, 500, 100)}
+	g, err := Compute(recs, map[string]int{"S1": 1}, Window{0, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total.Epsilon != -400 {
+		t.Fatalf("ε = %v, want -400 (eq. 11 is negative when most deadlines fail)", g.Total.Epsilon)
+	}
+}
+
+func TestComputeUtilisation(t *testing.T) {
+	// Node 0 busy 50 of 100 s, node 1 busy 100 of 100 s.
+	recs := []scheduler.Record{
+		rec("S1", 0b01, 0, 50, 1e9),
+		rec("S1", 0b10, 0, 100, 1e9),
+	}
+	g, err := Compute(recs, map[string]int{"S1": 2}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.PerResource[0]
+	if r.NodeUtil[0] != 50 || r.NodeUtil[1] != 100 {
+		t.Fatalf("node util = %v", r.NodeUtil)
+	}
+	if r.Upsilon != 75 {
+		t.Fatalf("υ = %v, want 75", r.Upsilon)
+	}
+	wantD := 25.0 // sqrt(((50-75)^2+(100-75)^2)/2)
+	if math.Abs(r.Deviation-wantD) > 1e-9 {
+		t.Fatalf("d = %v, want %v", r.Deviation, wantD)
+	}
+	wantBeta := (1 - wantD/75) * 100
+	if math.Abs(r.Beta-wantBeta) > 1e-9 {
+		t.Fatalf("β = %v, want %v", r.Beta, wantBeta)
+	}
+}
+
+func TestComputePerfectBalance(t *testing.T) {
+	recs := []scheduler.Record{
+		rec("S1", 0b11, 0, 100, 1e9), // both nodes equally busy
+	}
+	g, err := Compute(recs, map[string]int{"S1": 2}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.PerResource[0]
+	if r.Upsilon != 100 || r.Beta != 100 || r.Deviation != 0 {
+		t.Fatalf("perfect balance: %+v", r)
+	}
+}
+
+func TestComputeIdleResourceAppears(t *testing.T) {
+	recs := []scheduler.Record{rec("S1", 1, 0, 10, 1e9)}
+	g, err := Compute(recs, map[string]int{"S1": 1, "S2": 4}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.PerResource) != 2 {
+		t.Fatalf("%d resources reported", len(g.PerResource))
+	}
+	idle, ok := g.ResourceByName("S2")
+	if !ok {
+		t.Fatal("idle resource missing")
+	}
+	if idle.Upsilon != 0 || idle.Beta != 0 || idle.Tasks != 0 {
+		t.Fatalf("idle resource metrics: %+v", idle)
+	}
+}
+
+func TestComputeWindowClipping(t *testing.T) {
+	// Task extends past the window; only the in-window part counts.
+	recs := []scheduler.Record{rec("S1", 1, 50, 150, 1e9)}
+	g, err := Compute(recs, map[string]int{"S1": 1}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PerResource[0].NodeUtil[0]; got != 50 {
+		t.Fatalf("clipped util = %v, want 50", got)
+	}
+	// Entirely outside the window contributes nothing but still counts as
+	// a task for ε.
+	recs = append(recs, rec("S1", 1, 200, 300, 400))
+	g, err = Compute(recs, map[string]int{"S1": 1}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PerResource[0].Tasks != 2 {
+		t.Fatalf("tasks = %d", g.PerResource[0].Tasks)
+	}
+	if got := g.PerResource[0].NodeUtil[0]; got != 50 {
+		t.Fatalf("out-of-window task changed util: %v", got)
+	}
+}
+
+func TestComputeTotalSpansResources(t *testing.T) {
+	// S1 fully busy, S2 fully idle: per-resource βs are 100 and 0, but
+	// the grid-wide β must be low because the imbalance is across
+	// resources — the effect experiment 2 exposes (Table 3).
+	recs := []scheduler.Record{rec("S1", 0b11, 0, 100, 1e9)}
+	g, err := Compute(recs, map[string]int{"S1": 2, "S2": 2}, Window{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := g.ResourceByName("S1")
+	if s1.Beta != 100 {
+		t.Fatalf("S1 β = %v", s1.Beta)
+	}
+	if g.Total.Upsilon != 50 {
+		t.Fatalf("total υ = %v", g.Total.Upsilon)
+	}
+	if g.Total.Beta != 0 { // d = 50, υ = 50 -> β = 0
+		t.Fatalf("total β = %v, want 0", g.Total.Beta)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, map[string]int{"S1": 1}, Window{5, 5}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := Compute(nil, map[string]int{"S1": 0}, Window{0, 1}); err == nil {
+		t.Error("zero-node resource accepted")
+	}
+	if _, err := Compute([]scheduler.Record{rec("SX", 1, 0, 1, 2)}, map[string]int{"S1": 1}, Window{0, 10}); err == nil {
+		t.Error("unknown resource accepted")
+	}
+	if _, err := Compute([]scheduler.Record{rec("S1", 0b10, 0, 1, 2)}, map[string]int{"S1": 1}, Window{0, 10}); err == nil {
+		t.Error("node index beyond resource accepted")
+	}
+}
+
+func TestWindowOver(t *testing.T) {
+	recs := []scheduler.Record{rec("S1", 1, 0, 42, 1), rec("S1", 1, 10, 99, 1)}
+	w := WindowOver(recs, 600)
+	if w.Start != 0 || w.End != 600 {
+		t.Fatalf("window = %+v, want [0, 600]", w)
+	}
+	w = WindowOver(recs, 50)
+	if w.End != 99 {
+		t.Fatalf("window end = %v, want latest completion 99", w.End)
+	}
+	w = WindowOver(nil, 0)
+	if w.Length() <= 0 {
+		t.Fatalf("degenerate window %+v", w)
+	}
+}
+
+func TestBalanceProperties(t *testing.T) {
+	rng := sim.NewRNG(3)
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw)%16 + 1
+		util := make([]float64, n)
+		for i := range util {
+			util[i] = rng.Float64() * 100
+		}
+		u, d, b := balance(util)
+		if u < 0 || u > 100+1e-9 {
+			return false
+		}
+		if d < 0 {
+			return false
+		}
+		if b < 0 || b > 100+1e-9 {
+			return false
+		}
+		// Uniform vectors balance perfectly.
+		uniform := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 42
+		}
+		_, d2, b2 := balance(uniform)
+		return d2 == 0 && b2 == 100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceEmpty(t *testing.T) {
+	u, d, b := balance(nil)
+	if u != 0 || d != 0 || b != 0 {
+		t.Fatalf("balance(nil) = %v %v %v", u, d, b)
+	}
+}
+
+func TestReportOrderingDeterministic(t *testing.T) {
+	recs := []scheduler.Record{}
+	nodes := map[string]int{"S3": 1, "S1": 1, "S2": 1}
+	g, err := Compute(recs, nodes, Window{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PerResource[0].Name != "S1" || g.PerResource[1].Name != "S2" || g.PerResource[2].Name != "S3" {
+		t.Fatalf("resources out of order: %+v", g.PerResource)
+	}
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/scheduler"
+)
+
+// The §3.3 metrics summarise load balancing; this file adds the
+// distributional statistics a grid operator would also want: per-
+// application behaviour, lateness percentiles and queueing delays.
+
+// AppStats aggregates the records of one application.
+type AppStats struct {
+	App        string
+	Tasks      int
+	MetRate    float64 // fraction completing by their deadline
+	MeanAdv    float64 // mean (δ − η) seconds
+	MeanWait   float64 // mean (start − arrival) seconds
+	MeanProcs  float64 // mean allocated node count
+	MeanLength float64 // mean execution time (η − τ)
+}
+
+// ByApp groups execution records per application model.
+func ByApp(recs []scheduler.Record) []AppStats {
+	agg := map[string]*AppStats{}
+	for _, r := range recs {
+		name := "<nil>"
+		if r.App != nil {
+			name = r.App.Name
+		}
+		s := agg[name]
+		if s == nil {
+			s = &AppStats{App: name}
+			agg[name] = s
+		}
+		s.Tasks++
+		if r.End <= r.Deadline {
+			s.MetRate++
+		}
+		s.MeanAdv += r.Deadline - r.End
+		s.MeanWait += r.Start - r.Arrival
+		s.MeanProcs += float64(bits.OnesCount64(r.Mask))
+		s.MeanLength += r.End - r.Start
+	}
+	out := make([]AppStats, 0, len(agg))
+	for _, s := range agg {
+		n := float64(s.Tasks)
+		s.MetRate /= n
+		s.MeanAdv /= n
+		s.MeanWait /= n
+		s.MeanProcs /= n
+		s.MeanLength /= n
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}
+
+// Percentiles returns the q-quantiles (0..1) of the values using linear
+// interpolation; the input is not modified. Empty input yields NaNs.
+func Percentiles(values []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			out[i] = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		} else {
+			out[i] = sorted[lo]
+		}
+	}
+	return out
+}
+
+// LatenessDistribution describes how completions relate to deadlines
+// across a record set.
+type LatenessDistribution struct {
+	Tasks   int
+	Met     int
+	P10     float64 // 10th percentile of advance (δ − η): the worst misses
+	P50     float64
+	P90     float64
+	Worst   float64 // minimum advance (most negative = worst overrun)
+	BestAdv float64 // maximum advance
+}
+
+// Lateness computes the advance-time distribution.
+func Lateness(recs []scheduler.Record) LatenessDistribution {
+	d := LatenessDistribution{Tasks: len(recs), Worst: math.Inf(1), BestAdv: math.Inf(-1)}
+	if len(recs) == 0 {
+		d.Worst, d.BestAdv = 0, 0
+		return d
+	}
+	adv := make([]float64, len(recs))
+	for i, r := range recs {
+		adv[i] = r.Deadline - r.End
+		if r.End <= r.Deadline {
+			d.Met++
+		}
+		if adv[i] < d.Worst {
+			d.Worst = adv[i]
+		}
+		if adv[i] > d.BestAdv {
+			d.BestAdv = adv[i]
+		}
+	}
+	ps := Percentiles(adv, 0.10, 0.50, 0.90)
+	d.P10, d.P50, d.P90 = ps[0], ps[1], ps[2]
+	return d
+}
+
+// FormatStats renders the per-application table plus the lateness
+// distribution for a record set.
+func FormatStats(recs []scheduler.Record) string {
+	var b strings.Builder
+	b.WriteString("Per-application statistics\n\n")
+	fmt.Fprintf(&b, "%-10s %6s %8s %9s %9s %8s %9s\n",
+		"app", "tasks", "met", "adv (s)", "wait (s)", "procs", "exec (s)")
+	for _, s := range ByApp(recs) {
+		fmt.Fprintf(&b, "%-10s %6d %7.0f%% %9.1f %9.1f %8.1f %9.1f\n",
+			s.App, s.Tasks, s.MetRate*100, s.MeanAdv, s.MeanWait, s.MeanProcs, s.MeanLength)
+	}
+	d := Lateness(recs)
+	fmt.Fprintf(&b, "\nAdvance-time distribution over %d tasks: %d met their deadline\n", d.Tasks, d.Met)
+	fmt.Fprintf(&b, "p10 %.1f s, median %.1f s, p90 %.1f s, worst %.1f s, best %.1f s\n",
+		d.P10, d.P50, d.P90, d.Worst, d.BestAdv)
+	return b.String()
+}

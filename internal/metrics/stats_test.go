@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+)
+
+func appRec(t *testing.T, app string, arrival, start, end, deadline float64, mask uint64) scheduler.Record {
+	t.Helper()
+	m, ok := pace.CaseStudyLibrary().Lookup(app)
+	if !ok {
+		t.Fatalf("no model %s", app)
+	}
+	return scheduler.Record{
+		App: m, Resource: "S1", Arrival: arrival, Start: start, End: end,
+		Deadline: deadline, Mask: mask,
+	}
+}
+
+func TestByApp(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 2, 12, 20, 0b11),   // met, wait 2, adv 8, 2 procs, len 10
+		appRec(t, "fft", 5, 5, 30, 20, 0b1),    // missed, wait 0, adv -10, 1 proc, len 25
+		appRec(t, "cpi", 0, 0, 5, 100, 0b1111), // met
+	}
+	stats := ByApp(recs)
+	if len(stats) != 2 {
+		t.Fatalf("%d app groups", len(stats))
+	}
+	// Sorted by name: cpi first.
+	if stats[0].App != "cpi" || stats[1].App != "fft" {
+		t.Fatalf("order: %v %v", stats[0].App, stats[1].App)
+	}
+	fft := stats[1]
+	if fft.Tasks != 2 || fft.MetRate != 0.5 {
+		t.Fatalf("fft stats: %+v", fft)
+	}
+	if fft.MeanAdv != -1 { // (8 + -10) / 2
+		t.Fatalf("fft mean advance %v", fft.MeanAdv)
+	}
+	if fft.MeanWait != 1 || fft.MeanProcs != 1.5 || fft.MeanLength != 17.5 {
+		t.Fatalf("fft stats: %+v", fft)
+	}
+}
+
+func TestByAppNilApp(t *testing.T) {
+	stats := ByApp([]scheduler.Record{{Resource: "S1", Mask: 1, End: 1, Deadline: 2}})
+	if len(stats) != 1 || stats[0].App != "<nil>" {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	vals := []float64{10, 20, 30, 40, 50}
+	ps := Percentiles(vals, 0, 0.25, 0.5, 0.75, 1)
+	want := []float64{10, 20, 30, 40, 50}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("percentiles = %v, want %v", ps, want)
+		}
+	}
+	// Interpolation between points.
+	if p := Percentiles(vals, 0.125)[0]; p != 15 {
+		t.Fatalf("p12.5 = %v, want 15", p)
+	}
+	// Input must not be reordered.
+	vals2 := []float64{3, 1, 2}
+	_ = Percentiles(vals2, 0.5)
+	if vals2[0] != 3 {
+		t.Fatal("Percentiles mutated its input")
+	}
+	// Out-of-range quantiles clamp.
+	if p := Percentiles(vals, -1)[0]; p != 10 {
+		t.Fatalf("q<0 = %v", p)
+	}
+	if p := Percentiles(vals, 2)[0]; p != 50 {
+		t.Fatalf("q>1 = %v", p)
+	}
+	// Empty input yields NaN.
+	if p := Percentiles(nil, 0.5)[0]; !math.IsNaN(p) {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+func TestLateness(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 0, 10, 20, 1),  // adv +10
+		appRec(t, "fft", 0, 0, 30, 20, 1),  // adv -10
+		appRec(t, "fft", 0, 0, 20, 20, 1),  // adv 0 (met)
+		appRec(t, "fft", 0, 0, 120, 20, 1), // adv -100
+	}
+	d := Lateness(recs)
+	if d.Tasks != 4 || d.Met != 2 {
+		t.Fatalf("lateness: %+v", d)
+	}
+	if d.Worst != -100 || d.BestAdv != 10 {
+		t.Fatalf("extremes: %+v", d)
+	}
+	if d.P50 != -5 { // median of {-100,-10,0,10}
+		t.Fatalf("median = %v", d.P50)
+	}
+	empty := Lateness(nil)
+	if empty.Tasks != 0 || empty.Worst != 0 {
+		t.Fatalf("empty lateness: %+v", empty)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 0, 10, 20, 1),
+		appRec(t, "improc", 0, 1, 50, 20, 0b11),
+	}
+	out := FormatStats(recs)
+	for _, want := range []string{"fft", "improc", "met", "median", "2 tasks: 1 met"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatStats missing %q:\n%s", want, out)
+		}
+	}
+}

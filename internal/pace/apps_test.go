@@ -1,0 +1,129 @@
+package pace
+
+import (
+	"testing"
+)
+
+// table1 is the paper's Table 1: predicted execution times in seconds on
+// the SGIOrigin2000 for 1..16 processors, plus the deadline domains.
+var table1 = []struct {
+	app     string
+	lo, hi  float64
+	profile [16]float64
+}{
+	{"sweep3d", 4, 200, [16]float64{50, 40, 30, 25, 23, 20, 17, 15, 13, 11, 9, 7, 6, 5, 4, 4}},
+	{"fft", 10, 100, [16]float64{25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15, 14, 13, 12, 11, 10}},
+	{"improc", 20, 192, [16]float64{48, 41, 35, 30, 26, 23, 21, 20, 20, 21, 23, 26, 30, 35, 41, 48}},
+	{"closure", 2, 36, [16]float64{9, 9, 8, 8, 7, 7, 6, 6, 5, 5, 4, 4, 3, 3, 2, 2}},
+	{"jacobi", 6, 160, [16]float64{40, 35, 30, 25, 23, 20, 17, 15, 13, 11, 10, 9, 8, 7, 6, 6}},
+	{"memsort", 10, 68, [16]float64{17, 16, 15, 14, 13, 12, 11, 10, 10, 11, 12, 13, 14, 15, 16, 17}},
+	{"cpi", 2, 128, [16]float64{32, 26, 21, 17, 14, 11, 9, 7, 5, 4, 3, 2, 4, 7, 12, 20}},
+}
+
+func TestCaseStudyLibraryReproducesTable1(t *testing.T) {
+	lib := CaseStudyLibrary()
+	if lib.Len() != 7 {
+		t.Fatalf("library has %d models, want 7", lib.Len())
+	}
+	for _, row := range table1 {
+		m, ok := lib.Lookup(row.app)
+		if !ok {
+			t.Fatalf("model %q missing", row.app)
+		}
+		if m.DeadlineLo != row.lo || m.DeadlineHi != row.hi {
+			t.Errorf("%s deadline = [%v, %v], want [%v, %v]", row.app, m.DeadlineLo, m.DeadlineHi, row.lo, row.hi)
+		}
+		for n := 1; n <= 16; n++ {
+			got, err := m.Eval(map[string]float64{"n": float64(n)})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", row.app, n, err)
+			}
+			if got != row.profile[n-1] {
+				t.Errorf("%s n=%d: predicted %v, want %v (Table 1)", row.app, n, got, row.profile[n-1])
+			}
+		}
+	}
+}
+
+func TestModelsClampBeyond16Processors(t *testing.T) {
+	lib := CaseStudyLibrary()
+	for _, name := range CaseStudyAppNames {
+		m, _ := lib.Lookup(name)
+		at16, err := m.Eval(map[string]float64{"n": 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at32, err := m.Eval(map[string]float64{"n": 32})
+		if err != nil {
+			t.Fatalf("%s n=32: %v", name, err)
+		}
+		if at16 != at32 {
+			t.Errorf("%s: time at 32 procs (%v) differs from 16 procs (%v); §4.1 says no further improvement", name, at32, at16)
+		}
+	}
+}
+
+func TestCaseStudyAppNamesMatchLibrary(t *testing.T) {
+	lib := CaseStudyLibrary()
+	names := lib.Names()
+	if len(names) != len(CaseStudyAppNames) {
+		t.Fatalf("library names %v vs CaseStudyAppNames %v", names, CaseStudyAppNames)
+	}
+	for i, n := range CaseStudyAppNames {
+		if names[i] != n {
+			t.Fatalf("library order %v, want %v", names, CaseStudyAppNames)
+		}
+	}
+}
+
+func TestLibraryDuplicateRejected(t *testing.T) {
+	lib := NewLibrary()
+	m := mustParse(t, "application dup { time = 1; }")
+	if err := lib.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(m); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if err := lib.Add(nil); err == nil {
+		t.Fatal("nil Add succeeded")
+	}
+}
+
+func TestLibraryAddSourceBadPSL(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.AddSource("application broken {"); err == nil {
+		t.Fatal("AddSource on broken PSL succeeded")
+	}
+}
+
+func TestLibrarySortedNames(t *testing.T) {
+	lib := CaseStudyLibrary()
+	sorted := lib.SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatalf("SortedNames not sorted: %v", sorted)
+		}
+	}
+}
+
+func TestLibraryModelsOrder(t *testing.T) {
+	lib := CaseStudyLibrary()
+	models := lib.Models()
+	for i, m := range models {
+		if m.Name != CaseStudyAppNames[i] {
+			t.Fatalf("Models()[%d] = %q, want %q", i, m.Name, CaseStudyAppNames[i])
+		}
+	}
+}
+
+func TestAllDeadlineDomainsDeclared(t *testing.T) {
+	for _, m := range CaseStudyLibrary().Models() {
+		if !m.HasDeadlineDomain() {
+			t.Errorf("model %q has no deadline domain", m.Name)
+		}
+		if m.DeadlineLo <= 0 || m.DeadlineHi <= m.DeadlineLo {
+			t.Errorf("model %q has degenerate deadline domain [%v, %v]", m.Name, m.DeadlineLo, m.DeadlineHi)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package pace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a node in a PSL expression tree.
+type Expr interface {
+	// String renders the expression as PSL source.
+	String() string
+	eval(env *Env) (Value, error)
+}
+
+// Value is a PSL runtime value: a number or an array of values.
+type Value struct {
+	Num float64
+	Arr []Value // non-nil means array
+}
+
+// IsArray reports whether v holds an array.
+func (v Value) IsArray() bool { return v.Arr != nil }
+
+// NumValue wraps a float64.
+func NumValue(f float64) Value { return Value{Num: f} }
+
+func (v Value) String() string {
+	if !v.IsArray() {
+		return trimFloat(v.Num)
+	}
+	parts := make([]string, len(v.Arr))
+	for i, e := range v.Arr {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Val  float64
+	Line int
+	Col  int
+}
+
+func (n *NumberLit) String() string { return trimFloat(n.Val) }
+
+// Ident references a parameter or let-binding.
+type Ident struct {
+	Name string
+	Line int
+	Col  int
+}
+
+func (id *Ident) String() string { return id.Name }
+
+// ArrayLit is an array literal such as [50, 40, 30].
+type ArrayLit struct {
+	Elems []Expr
+	Line  int
+	Col   int
+}
+
+func (a *ArrayLit) String() string {
+	parts := make([]string, len(a.Elems))
+	for i, e := range a.Elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// IndexExpr selects an element of an array; indices are zero-based.
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Line  int
+	Col   int
+}
+
+func (ix *IndexExpr) String() string {
+	return fmt.Sprintf("%s[%s]", ix.Base, ix.Index)
+}
+
+// UnaryExpr is negation or logical not.
+type UnaryExpr struct {
+	Op   string // "-" or "!"
+	X    Expr
+	Line int
+	Col  int
+}
+
+func (u *UnaryExpr) String() string { return u.Op + u.X.String() }
+
+// BinaryExpr is an infix arithmetic, comparison or logical expression.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+	Col  int
+}
+
+func (b *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// CallExpr invokes a builtin function such as min, ceil or if.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Line int
+	Col  int
+}
+
+func (c *CallExpr) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, strings.Join(parts, ", "))
+}
+
+// ParamDecl declares a model parameter, optionally with a default value.
+type ParamDecl struct {
+	Name    string
+	Default Expr // nil when the parameter is required
+}
+
+// LetDecl binds a name to an expression; lets evaluate in declaration
+// order and may reference params and earlier lets.
+type LetDecl struct {
+	Name string
+	Expr Expr
+}
+
+// AppModel is a parsed PSL application model: the σ_j of the paper. Its
+// Time expression yields the predicted execution time in seconds on the
+// reference platform for a given parameter binding (the processor count n,
+// at minimum).
+type AppModel struct {
+	Name       string
+	Params     []ParamDecl
+	Lets       []LetDecl
+	Time       Expr       // plain seconds expression; optional when Steps exist
+	Steps      []StepDecl // layered computation/communication components
+	DeadlineLo float64    // Table 1 requirement domain lower bound (seconds)
+	DeadlineHi float64    // Table 1 requirement domain upper bound (seconds)
+	Source     string     // original PSL text
+}
+
+// HasDeadlineDomain reports whether the model declared a deadline domain.
+func (m *AppModel) HasDeadlineDomain() bool {
+	return m.DeadlineLo != 0 || m.DeadlineHi != 0
+}
+
+func (m *AppModel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "application %s {\n", m.Name)
+	for _, p := range m.Params {
+		if p.Default != nil {
+			fmt.Fprintf(&b, "  param %s = %s;\n", p.Name, p.Default)
+		} else {
+			fmt.Fprintf(&b, "  param %s;\n", p.Name)
+		}
+	}
+	if m.HasDeadlineDomain() {
+		fmt.Fprintf(&b, "  deadline = [%s, %s];\n", trimFloat(m.DeadlineLo), trimFloat(m.DeadlineHi))
+	}
+	for _, l := range m.Lets {
+		fmt.Fprintf(&b, "  let %s = %s;\n", l.Name, l.Expr)
+	}
+	for _, st := range m.Steps {
+		fmt.Fprintf(&b, "  step %s {", st.Name)
+		for i, f := range st.order {
+			if i == 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s = %s; ", f, st.Fields[f])
+		}
+		b.WriteString("}\n")
+	}
+	if m.Time != nil {
+		fmt.Fprintf(&b, "  time = %s;\n", m.Time)
+	}
+	b.WriteString("}")
+	return b.String()
+}

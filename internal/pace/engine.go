@@ -1,0 +1,179 @@
+package pace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EvalStats records engine activity. The paper motivates the evaluation
+// cache with these numbers: a GA population of 50 over 20 tasks needs 1000
+// evaluations per generation at ~0.01 s each, so without reuse the GA
+// would spend ~10 s per generation (§2.2).
+type EvalStats struct {
+	Evaluations uint64 // model evaluations actually performed
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// SimulatedCost returns the virtual seconds the performed evaluations
+// would have cost at perEval seconds each. The paper quotes ~0.01 s per
+// PACE evaluation.
+func (s EvalStats) SimulatedCost(perEval float64) float64 {
+	return float64(s.Evaluations) * perEval
+}
+
+// DefaultEvalCost is the per-evaluation cost quoted in §2.2, in seconds.
+const DefaultEvalCost = 0.01
+
+type cacheKey struct {
+	app    string
+	hw     string
+	nprocs int
+}
+
+// Engine is the PACE evaluation engine: it combines an application model
+// with a hardware (resource) model at run time to produce performance data
+// (Fig. 1). A demand-driven cache of past evaluations sits between the
+// scheduler and the engine (§2.2); the cache can be disabled for the
+// ablation study.
+//
+// Engine is safe for concurrent use.
+type Engine struct {
+	mu           sync.Mutex
+	cache        map[cacheKey]float64
+	stats        EvalStats
+	cacheEnabled bool
+}
+
+// NewEngine returns an engine with the evaluation cache enabled.
+func NewEngine() *Engine {
+	return &Engine{cache: map[cacheKey]float64{}, cacheEnabled: true}
+}
+
+// NewEngineWithoutCache returns an engine that re-evaluates every request,
+// used by the cache ablation bench.
+func NewEngineWithoutCache() *Engine {
+	return &Engine{cache: map[cacheKey]float64{}}
+}
+
+// Predict returns t_x(ρ, σ): the predicted execution time in seconds of
+// app on nprocs homogeneous nodes of hardware hw. Processor counts above
+// the model's natural range are handled by the model itself (the Table 1
+// models clamp internally: e.g. sweep3d does not improve past 16
+// processors, §4.1).
+func (e *Engine) Predict(app *AppModel, hw Hardware, nprocs int) (float64, error) {
+	if app == nil {
+		return 0, fmt.Errorf("pace: nil application model")
+	}
+	if err := hw.Valid(); err != nil {
+		return 0, err
+	}
+	if nprocs < 1 {
+		return 0, fmt.Errorf("pace: prediction requires at least one processor, got %d", nprocs)
+	}
+	key := cacheKey{app: app.Name, hw: hw.Name, nprocs: nprocs}
+
+	e.mu.Lock()
+	if e.cacheEnabled {
+		if v, ok := e.cache[key]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return v, nil
+		}
+		e.stats.CacheMisses++
+	}
+	e.mu.Unlock()
+
+	ref, err := app.Eval(map[string]float64{"n": float64(nprocs)})
+	if err != nil {
+		return 0, err
+	}
+	v := ref * hw.Factor
+
+	e.mu.Lock()
+	e.stats.Evaluations++
+	if e.cacheEnabled {
+		e.cache[key] = v
+	}
+	e.mu.Unlock()
+	return v, nil
+}
+
+// MustPredict is Predict for callers that have already validated their
+// inputs (e.g. the inner GA loop over registered models); it panics on
+// error.
+func (e *Engine) MustPredict(app *AppModel, hw Hardware, nprocs int) float64 {
+	v, err := e.Predict(app, hw, nprocs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// PredictOn returns t_x for a layered application model on nprocs nodes
+// of a parametric resource model (EvalOn through the engine's
+// demand-driven cache).
+func (e *Engine) PredictOn(app *AppModel, hw *ParametricHardware, nprocs int) (float64, error) {
+	if app == nil {
+		return 0, fmt.Errorf("pace: nil application model")
+	}
+	if hw == nil {
+		return 0, fmt.Errorf("pace: nil hardware model")
+	}
+	if nprocs < 1 {
+		return 0, fmt.Errorf("pace: prediction requires at least one processor, got %d", nprocs)
+	}
+	key := cacheKey{app: app.Name, hw: "parametric:" + hw.Name, nprocs: nprocs}
+
+	e.mu.Lock()
+	if e.cacheEnabled {
+		if v, ok := e.cache[key]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return v, nil
+		}
+		e.stats.CacheMisses++
+	}
+	e.mu.Unlock()
+
+	v, err := app.EvalOn(map[string]float64{"n": float64(nprocs)}, hw)
+	if err != nil {
+		return 0, err
+	}
+
+	e.mu.Lock()
+	e.stats.Evaluations++
+	if e.cacheEnabled {
+		e.cache[key] = v
+	}
+	e.mu.Unlock()
+	return v, nil
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EvalStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the counters without touching the cache.
+func (e *Engine) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = EvalStats{}
+}
+
+// CacheEnabled reports whether the demand-driven cache is active.
+func (e *Engine) CacheEnabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cacheEnabled
+}
+
+// CacheLen returns the number of memoised evaluations.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}

@@ -1,0 +1,226 @@
+package pace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnginePredictReferencePlatform(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	sweep, _ := lib.Lookup("sweep3d")
+	v, err := e.Predict(sweep, SGIOrigin2000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 25 {
+		t.Fatalf("sweep3d on 4 reference procs = %v, want 25", v)
+	}
+}
+
+func TestEnginePredictScalesByHardwareFactor(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	fft, _ := lib.Lookup("fft")
+	ref, err := e.Predict(fft, SGIOrigin2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := e.Predict(fft, SunSPARCstation2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref * SunSPARCstation2.Factor; slow != want {
+		t.Fatalf("SPARCstation prediction = %v, want %v", slow, want)
+	}
+}
+
+func TestEngineCacheHitAvoidsReEvaluation(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	m, _ := lib.Lookup("jacobi")
+	for i := 0; i < 10; i++ {
+		if _, err := e.Predict(m, SunUltra5, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.Evaluations != 1 {
+		t.Fatalf("evaluations = %d, want 1 (cache must absorb repeats)", s.Evaluations)
+	}
+	if s.CacheHits != 9 || s.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 9/1", s.CacheHits, s.CacheMisses)
+	}
+	if e.CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", e.CacheLen())
+	}
+}
+
+func TestEngineWithoutCacheReEvaluates(t *testing.T) {
+	e := NewEngineWithoutCache()
+	lib := CaseStudyLibrary()
+	m, _ := lib.Lookup("jacobi")
+	for i := 0; i < 10; i++ {
+		if _, err := e.Predict(m, SunUltra5, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.Evaluations != 10 {
+		t.Fatalf("evaluations = %d, want 10 without cache", s.Evaluations)
+	}
+	if e.CacheEnabled() {
+		t.Fatal("CacheEnabled() = true for cacheless engine")
+	}
+	if e.CacheLen() != 0 {
+		t.Fatalf("cacheless engine stored %d entries", e.CacheLen())
+	}
+}
+
+func TestEngineCacheKeyDiscriminates(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	a, _ := lib.Lookup("fft")
+	b, _ := lib.Lookup("cpi")
+	_, _ = e.Predict(a, SGIOrigin2000, 4)
+	_, _ = e.Predict(a, SunUltra1, 4)
+	_, _ = e.Predict(a, SGIOrigin2000, 5)
+	_, _ = e.Predict(b, SGIOrigin2000, 4)
+	if e.CacheLen() != 4 {
+		t.Fatalf("cache holds %d entries, want 4 distinct", e.CacheLen())
+	}
+}
+
+func TestEnginePredictErrors(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	m, _ := lib.Lookup("fft")
+	if _, err := e.Predict(nil, SGIOrigin2000, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := e.Predict(m, Hardware{}, 1); err == nil {
+		t.Error("invalid hardware accepted")
+	}
+	if _, err := e.Predict(m, Hardware{Name: "x", Factor: -1}, 1); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if _, err := e.Predict(m, SGIOrigin2000, 0); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := e.Predict(m, SGIOrigin2000, -3); err == nil {
+		t.Error("negative processors accepted")
+	}
+}
+
+func TestEngineMustPredictPanicsOnError(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPredict with nil model did not panic")
+		}
+	}()
+	e.MustPredict(nil, SGIOrigin2000, 1)
+}
+
+func TestEngineResetStats(t *testing.T) {
+	e := NewEngine()
+	m, _ := CaseStudyLibrary().Lookup("fft")
+	_, _ = e.Predict(m, SGIOrigin2000, 1)
+	e.ResetStats()
+	if s := e.Stats(); s != (EvalStats{}) {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+	// Cache survives the reset.
+	if e.CacheLen() != 1 {
+		t.Fatalf("cache flushed by ResetStats: %d entries", e.CacheLen())
+	}
+}
+
+func TestEngineConcurrentPredict(t *testing.T) {
+	e := NewEngine()
+	lib := CaseStudyLibrary()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, name := range CaseStudyAppNames {
+					m, _ := lib.Lookup(name)
+					if _, err := e.Predict(m, SunUltra10, i%16+1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 7 apps x 16 processor counts reachable.
+	if e.CacheLen() != 7*16 {
+		t.Fatalf("cache holds %d entries, want %d", e.CacheLen(), 7*16)
+	}
+}
+
+func TestEvalStatsSimulatedCost(t *testing.T) {
+	s := EvalStats{Evaluations: 1000}
+	if got := s.SimulatedCost(DefaultEvalCost); got != 10 {
+		t.Fatalf("SimulatedCost = %v, want 10 (the §2.2 example)", got)
+	}
+}
+
+// Property: cached and uncached engines always agree.
+func TestEngineCacheTransparency(t *testing.T) {
+	cached := NewEngine()
+	plain := NewEngineWithoutCache()
+	lib := CaseStudyLibrary()
+	hw := []Hardware{SGIOrigin2000, SunUltra10, SunUltra5, SunUltra1, SunSPARCstation2}
+	prop := func(appIdx, hwIdx, nRaw uint8) bool {
+		m, _ := lib.Lookup(CaseStudyAppNames[int(appIdx)%len(CaseStudyAppNames)])
+		h := hw[int(hwIdx)%len(hw)]
+		n := int(nRaw)%16 + 1
+		a, err1 := cached.Predict(m, h, n)
+		b, err2 := plain.Predict(m, h, n)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHardwareRegistry(t *testing.T) {
+	h, ok := LookupHardware("SunUltra10")
+	if !ok || h != SunUltra10 {
+		t.Fatalf("LookupHardware(SunUltra10) = %v, %v", h, ok)
+	}
+	if _, ok := LookupHardware("PDP11"); ok {
+		t.Fatal("LookupHardware invented a PDP11")
+	}
+	names := HardwareNames()
+	if len(names) != 5 {
+		t.Fatalf("HardwareNames = %v", names)
+	}
+	if names[0] != "SGIOrigin2000" {
+		t.Fatalf("fastest platform = %q, want SGIOrigin2000", names[0])
+	}
+	if names[len(names)-1] != "SunSPARCstation2" {
+		t.Fatalf("slowest platform = %q, want SunSPARCstation2", names[len(names)-1])
+	}
+	// §4.1 ordering: Origin2000 > Ultra10 > Ultra5 > Ultra1 > SPARCstation2.
+	prev := 0.0
+	for _, n := range names {
+		h, _ := LookupHardware(n)
+		if h.Factor <= prev {
+			t.Fatalf("hardware factors not strictly increasing: %v", names)
+		}
+		prev = h.Factor
+	}
+	if err := (Hardware{Name: "ok", Factor: 1}).Valid(); err != nil {
+		t.Fatalf("valid hardware rejected: %v", err)
+	}
+	if err := (Hardware{Factor: 1}).Valid(); err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Fatalf("empty-name hardware accepted: %v", err)
+	}
+}

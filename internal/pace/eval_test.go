@@ -1,0 +1,163 @@
+package pace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalExprString(t *testing.T, src string) (float64, error) {
+	t.Helper()
+	m, err := ParseModel("application e { time = " + src + "; }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return m.Eval(nil)
+}
+
+func TestEvalRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"1 / 0", "division by zero"},
+		{"1 % 0", "modulo by zero"},
+		{"[1, 2][5]", "out of range"},
+		{"[1, 2][-1]", "out of range"},
+		{"[1, 2][0.5]", "not an integer"},
+		{"5[0]", "cannot index a number"},
+		{"[1] + 2", "requires numbers"},
+		{"-[1]", "requires a number"},
+		{"[1] && 1", "requires numbers"},
+		{"min([1], 2)", "must be a number"},
+		{"len(5)", "must be an array"},
+		{"sum(5)", "must be an array"},
+		{"sum([1, [2]])", "not a number"},
+		{"if([1], 2, 3)", "condition must be a number"},
+		{"min(1)", "wrong number of arguments"},
+		{"ceil(1, 2)", "wrong number of arguments"},
+		{"nosuchvar", "undefined name"},
+		{"log(0) + 1", "yielded"},   // -Inf propagates to the time check
+		{"sqrt(-1) + 1", "yielded"}, // NaN propagates to the time check
+		{"0 - 5", "negative predicted time"},
+	}
+	for _, c := range cases {
+		_, err := evalExprString(t, c.src)
+		if err == nil {
+			t.Errorf("eval(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("eval(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestEvalMissingRequiredParam(t *testing.T) {
+	m := mustParse(t, "application m { param n; time = n; }")
+	if _, err := m.Eval(nil); err == nil || !strings.Contains(err.Error(), "missing required parameter") {
+		t.Fatalf("err = %v, want missing-parameter error", err)
+	}
+}
+
+func TestEvalRejectsUnknownBinding(t *testing.T) {
+	m := mustParse(t, "application m { param n; time = n; }")
+	if _, err := m.Eval(map[string]float64{"n": 1, "bogus": 2}); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("err = %v, want unknown-parameter error", err)
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right operand divides by zero; short-circuiting must avoid it.
+	v, err := evalExprString(t, "if(0 && (1 / 0), 1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("short-circuit && = %v, want 2", v)
+	}
+	v, err = evalExprString(t, "if(1 || (1 / 0), 3, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("short-circuit || = %v, want 3", v)
+	}
+}
+
+func TestEvalLetShadowsNothing(t *testing.T) {
+	// A let may not redeclare a param; verified at parse time.
+	_, err := ParseModel("application s { param n; let n = 2; time = n; }")
+	if err == nil {
+		t.Fatal("let shadowing a param parsed successfully")
+	}
+}
+
+func TestEnvLookupChain(t *testing.T) {
+	parent := NewEnv(nil)
+	parent.Bind("a", NumValue(1))
+	child := NewEnv(parent)
+	child.Bind("b", NumValue(2))
+	if v, ok := child.Lookup("a"); !ok || v.Num != 1 {
+		t.Fatalf("child lookup of parent binding = %v, %v", v, ok)
+	}
+	if v, ok := child.Lookup("b"); !ok || v.Num != 2 {
+		t.Fatalf("child lookup of own binding = %v, %v", v, ok)
+	}
+	if _, ok := parent.Lookup("b"); ok {
+		t.Fatal("parent sees child binding")
+	}
+	if _, ok := child.Lookup("zzz"); ok {
+		t.Fatal("lookup of unbound name succeeded")
+	}
+	child.Bind("a", NumValue(9))
+	if v, _ := child.Lookup("a"); v.Num != 9 {
+		t.Fatalf("child rebinding not visible: %v", v)
+	}
+	if v, _ := parent.Lookup("a"); v.Num != 1 {
+		t.Fatalf("child rebinding leaked to parent: %v", v)
+	}
+}
+
+// Property: for all integer a, b the PSL arithmetic operators agree with Go.
+func TestEvalArithmeticAgreesWithGo(t *testing.T) {
+	prop := func(aRaw, bRaw int16) bool {
+		a, b := float64(aRaw%1000), float64(bRaw%1000)
+		m, err := ParseModel("application q { param a; param b; time = abs(a + b * 2 - a * b); }")
+		if err != nil {
+			return false
+		}
+		got, err := m.Eval(map[string]float64{"a": a, "b": b})
+		if err != nil {
+			return false
+		}
+		want := a + b*2 - a*b
+		if want < 0 {
+			want = -want
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := Value{Arr: []Value{NumValue(1), NumValue(2.5)}}
+	if got := v.String(); got != "[1, 2.5]" {
+		t.Fatalf("array String() = %q", got)
+	}
+	if got := NumValue(3).String(); got != "3" {
+		t.Fatalf("num String() = %q", got)
+	}
+}
+
+func TestEmptyArrayLiteral(t *testing.T) {
+	v, err := evalExprString(t, "len([])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("len([]) = %v", v)
+	}
+}

@@ -1,0 +1,72 @@
+package pace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Hardware is the ρ_i of the paper: a static resource model for one
+// platform. The paper's PACE resource models are benchmark-derived and
+// static (§1); here a single relative speed factor against the reference
+// platform (SGIOrigin2000) captures the same information. Predictions for
+// other platforms "follow a similar trend" (Table 1 caption), which is
+// exactly what a multiplicative factor produces.
+type Hardware struct {
+	Name   string
+	Factor float64 // execution time multiplier relative to the reference platform
+}
+
+// Valid reports whether the hardware model is usable for prediction.
+func (h Hardware) Valid() error {
+	if h.Name == "" {
+		return fmt.Errorf("pace: hardware model has empty name")
+	}
+	if h.Factor <= 0 {
+		return fmt.Errorf("pace: hardware model %q has non-positive factor %g", h.Name, h.Factor)
+	}
+	return nil
+}
+
+// The platforms of the case study (§4.1, Fig. 7), ordered from most to
+// least powerful: SGI Origin 2000, Sun Ultra 10, Sun Ultra 5, Sun Ultra 1,
+// Sun SPARCstation 2. The factors are synthetic (the paper does not
+// publish its resource models) but preserve that ordering.
+var (
+	SGIOrigin2000     = Hardware{Name: "SGIOrigin2000", Factor: 1.0}
+	SunUltra10        = Hardware{Name: "SunUltra10", Factor: 1.4}
+	SunUltra5         = Hardware{Name: "SunUltra5", Factor: 2.0}
+	SunUltra1         = Hardware{Name: "SunUltra1", Factor: 3.0}
+	SunSPARCstation2  = Hardware{Name: "SunSPARCstation2", Factor: 6.0}
+	ReferenceHardware = SGIOrigin2000
+)
+
+var hardwareRegistry = map[string]Hardware{
+	SGIOrigin2000.Name:    SGIOrigin2000,
+	SunUltra10.Name:       SunUltra10,
+	SunUltra5.Name:        SunUltra5,
+	SunUltra1.Name:        SunUltra1,
+	SunSPARCstation2.Name: SunSPARCstation2,
+}
+
+// LookupHardware returns the built-in hardware model with the given name.
+func LookupHardware(name string) (Hardware, bool) {
+	h, ok := hardwareRegistry[name]
+	return h, ok
+}
+
+// HardwareNames lists the built-in hardware model names sorted by
+// increasing Factor (fastest first), with name as tie-break.
+func HardwareNames() []string {
+	names := make([]string, 0, len(hardwareRegistry))
+	for n := range hardwareRegistry {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := hardwareRegistry[names[i]], hardwareRegistry[names[j]]
+		if a.Factor != b.Factor {
+			return a.Factor < b.Factor
+		}
+		return a.Name < b.Name
+	})
+	return names
+}

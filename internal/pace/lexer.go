@@ -1,0 +1,190 @@
+package pace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer splits PSL source text into tokens. Comments run from "//" to end
+// of line. Whitespace separates tokens and is otherwise insignificant.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token, or an error for characters outside the
+// language.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		start := l.pos
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			switch {
+			case isDigit(c):
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+				seenExp = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+			default:
+				goto done
+			}
+		}
+	done:
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errAt(line, col, "malformed number %q", text)
+		}
+		return Token{Kind: TokNumber, Text: text, Num: v, Line: line, Col: col}, nil
+
+	case strings.IndexByte("{}()[],;", c) >= 0:
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+
+	case c == '=':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokOp, Text: "==", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokPunct, Text: "=", Line: line, Col: col}, nil
+
+	case strings.IndexByte("+-*/%", c) >= 0:
+		l.advance()
+		return Token{Kind: TokOp, Text: string(c), Line: line, Col: col}, nil
+
+	case c == '<' || c == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokOp, Text: string(c) + "=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokOp, Text: string(c), Line: line, Col: col}, nil
+
+	case c == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokOp, Text: "!=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokOp, Text: "!", Line: line, Col: col}, nil
+
+	case c == '&':
+		l.advance()
+		if l.peek() != '&' {
+			return Token{}, errAt(line, col, "unexpected character %q (did you mean \"&&\"?)", "&")
+		}
+		l.advance()
+		return Token{Kind: TokOp, Text: "&&", Line: line, Col: col}, nil
+
+	case c == '|':
+		l.advance()
+		if l.peek() != '|' {
+			return Token{}, errAt(line, col, "unexpected character %q (did you mean \"||\"?)", "|")
+		}
+		l.advance()
+		return Token{Kind: TokOp, Text: "||", Line: line, Col: col}, nil
+	}
+
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+// LexAll tokenises the entire input, excluding the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,113 @@
+package pace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoiseModelDisabled(t *testing.T) {
+	m := NoiseModel{}
+	if m.Enabled() {
+		t.Fatal("zero model enabled")
+	}
+	for key := uint64(0); key < 100; key++ {
+		if f := m.Factor(key); f != 1 {
+			t.Fatalf("zero model factor = %v", f)
+		}
+	}
+	if got := m.Apply(42, 7); got != 42 {
+		t.Fatalf("Apply on zero model = %v", got)
+	}
+}
+
+func TestNoiseModelDeterministic(t *testing.T) {
+	m := NoiseModel{Rel: 0.3, Seed: 9}
+	for key := uint64(0); key < 50; key++ {
+		if m.Factor(key) != m.Factor(key) {
+			t.Fatal("factor not deterministic")
+		}
+	}
+	// Different seeds decorrelate.
+	m2 := NoiseModel{Rel: 0.3, Seed: 10}
+	same := 0
+	for key := uint64(0); key < 64; key++ {
+		if m.Factor(key) == m2.Factor(key) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds barely change factors: %d/64 equal", same)
+	}
+}
+
+func TestNoiseModelBounds(t *testing.T) {
+	prop := func(relRaw uint8, seed uint64, key uint64) bool {
+		rel := float64(relRaw%90) / 100
+		m := NoiseModel{Rel: rel, Seed: seed}
+		f := m.Factor(key)
+		return f >= 1-rel-1e-12 && f <= 1+rel+1e-12 && f > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseModelMeanNearOne(t *testing.T) {
+	m := NoiseModel{Rel: 0.5, Seed: 4}
+	sum := 0.0
+	const n = 100000
+	for key := uint64(0); key < n; key++ {
+		sum += m.Factor(key)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.01 {
+		t.Fatalf("unbiased model has mean factor %v", mean)
+	}
+}
+
+func TestNoiseModelBias(t *testing.T) {
+	m := NoiseModel{Rel: 0.2, Bias: 0.5, Seed: 1}
+	if !m.Enabled() {
+		t.Fatal("biased model not enabled")
+	}
+	sum := 0.0
+	const n = 50000
+	for key := uint64(0); key < n; key++ {
+		f := m.Factor(key)
+		if f < 1.5*(1-0.2)-1e-9 || f > 1.5*(1+0.2)+1e-9 {
+			t.Fatalf("biased factor %v outside band", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-1.5) > 0.02 {
+		t.Fatalf("bias 0.5 gives mean factor %v, want ~1.5", mean)
+	}
+	// Pure bias, no scatter.
+	pure := NoiseModel{Bias: 0.25}
+	if f := pure.Factor(3); f != 1.25 {
+		t.Fatalf("pure bias factor = %v", f)
+	}
+}
+
+func TestNoiseModelClamps(t *testing.T) {
+	// Huge scatter is clamped so times stay positive.
+	m := NoiseModel{Rel: 5, Seed: 2}
+	for key := uint64(0); key < 1000; key++ {
+		if f := m.Factor(key); f <= 0 {
+			t.Fatalf("non-positive factor %v", f)
+		}
+	}
+	// Catastrophic negative bias is floored.
+	n := NoiseModel{Bias: -2}
+	if f := n.Factor(1); f <= 0 {
+		t.Fatalf("negative-bias factor %v", f)
+	}
+	// Negative Rel behaves like positive.
+	p := NoiseModel{Rel: -0.2, Seed: 3}
+	for key := uint64(0); key < 100; key++ {
+		f := p.Factor(key)
+		if f < 0.8-1e-9 || f > 1.2+1e-9 {
+			t.Fatalf("negative-Rel factor %v outside band", f)
+		}
+	}
+}

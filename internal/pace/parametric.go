@@ -1,0 +1,315 @@
+package pace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The real PACE toolkit layers application models over resource models
+// written in its CHIP³S language: an application is decomposed into
+// computation and communication components whose costs are evaluated
+// against per-platform rates (Fig. 1's "resource tools"). The case-study
+// library uses the simpler calibrated-profile form (apps.go) because it
+// reproduces Table 1 exactly; this file adds the layered form for models
+// of new applications on new platforms.
+//
+// PSL grammar additions:
+//
+//	hardware <name> { <rate> = <expr>; ... }
+//	application <name> { ... step <name> { <field> = <expr>; ... } ... }
+//
+// Recognised hardware rates: flops (flop/s), membw (B/s), netlat (s per
+// message), netbw (B/s). Step fields: flops (floating point work), mem
+// (bytes moved through memory), bytes (bytes communicated), messages
+// (network messages), seconds (fixed cost). A step's cost on hardware H
+// is
+//
+//	flops/H.flops + mem/H.membw + messages*H.netlat + bytes/H.netbw + seconds
+//
+// and the model's predicted time is the sum over steps (plus the "time"
+// expression, if present, interpreted as seconds).
+
+// Hardware rate names.
+const (
+	RateFlops  = "flops"
+	RateMemBW  = "membw"
+	RateNetLat = "netlat"
+	RateNetBW  = "netbw"
+)
+
+var knownRates = map[string]bool{
+	RateFlops:  true,
+	RateMemBW:  true,
+	RateNetLat: true,
+	RateNetBW:  true,
+}
+
+// Step field names.
+const (
+	FieldFlops    = "flops"
+	FieldMem      = "mem"
+	FieldBytes    = "bytes"
+	FieldMessages = "messages"
+	FieldSeconds  = "seconds"
+)
+
+var knownFields = map[string]bool{
+	FieldFlops:    true,
+	FieldMem:      true,
+	FieldBytes:    true,
+	FieldMessages: true,
+	FieldSeconds:  true,
+}
+
+// StepDecl is one computation/communication component of an application
+// model. Fields map field names to cost expressions.
+type StepDecl struct {
+	Name   string
+	Fields map[string]Expr
+	order  []string
+}
+
+// ParametricHardware is a PACE-style resource model: named rates measured
+// for one platform.
+type ParametricHardware struct {
+	Name  string
+	Rates map[string]float64
+}
+
+// Rate returns the named rate; missing rates are an error at prediction
+// time, reported by cost evaluation.
+func (h *ParametricHardware) Rate(name string) (float64, bool) {
+	v, ok := h.Rates[name]
+	return v, ok
+}
+
+// Validate checks the resource model.
+func (h *ParametricHardware) Validate() error {
+	if h.Name == "" {
+		return fmt.Errorf("pace: parametric hardware has empty name")
+	}
+	if len(h.Rates) == 0 {
+		return fmt.Errorf("pace: hardware %q declares no rates", h.Name)
+	}
+	for name, v := range h.Rates {
+		if !knownRates[name] {
+			return fmt.Errorf("pace: hardware %q declares unknown rate %q", h.Name, name)
+		}
+		if name == RateNetLat {
+			if v < 0 {
+				return fmt.Errorf("pace: hardware %q: negative latency %g", h.Name, v)
+			}
+			continue
+		}
+		if v <= 0 {
+			return fmt.Errorf("pace: hardware %q: rate %s must be positive, got %g", h.Name, name, v)
+		}
+	}
+	return nil
+}
+
+// String renders the hardware model as PSL.
+func (h *ParametricHardware) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hardware %s {\n", h.Name)
+	names := make([]string, 0, len(h.Rates))
+	for n := range h.Rates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s = %s;\n", n, trimFloat(h.Rates[n]))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// HasSteps reports whether the model uses the layered component form.
+func (m *AppModel) HasSteps() bool { return len(m.Steps) > 0 }
+
+// EvalOn evaluates the model against a parametric resource model: the sum
+// of all step costs at the hardware's rates, plus the plain time
+// expression (seconds) if declared.
+func (m *AppModel) EvalOn(bindings map[string]float64, hw *ParametricHardware) (float64, error) {
+	if hw == nil {
+		return 0, fmt.Errorf("pace: model %q: nil hardware", m.Name)
+	}
+	if err := hw.Validate(); err != nil {
+		return 0, err
+	}
+	if !m.HasSteps() {
+		return 0, fmt.Errorf("pace: model %q has no steps; use Eval with a reference-platform factor", m.Name)
+	}
+	env, err := m.bindEnv(bindings)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, st := range m.Steps {
+		cost, err := stepCost(m.Name, st, env, hw)
+		if err != nil {
+			return 0, err
+		}
+		total += cost
+	}
+	if m.Time != nil {
+		v, err := m.Time.eval(env)
+		if err != nil {
+			return 0, fmt.Errorf("pace: model %q: time: %w", m.Name, err)
+		}
+		if v.IsArray() {
+			return 0, fmt.Errorf("pace: model %q: time expression yielded an array", m.Name)
+		}
+		total += v.Num
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return 0, fmt.Errorf("pace: model %q on %q: prediction is %v", m.Name, hw.Name, total)
+	}
+	if total < 0 {
+		return 0, fmt.Errorf("pace: model %q on %q: negative predicted time %g", m.Name, hw.Name, total)
+	}
+	return total, nil
+}
+
+// bindEnv binds params and evaluates lets, shared by Eval and EvalOn.
+func (m *AppModel) bindEnv(bindings map[string]float64) (*Env, error) {
+	env := NewEnv(nil)
+	for _, p := range m.Params {
+		if v, ok := bindings[p.Name]; ok {
+			env.Bind(p.Name, NumValue(v))
+			continue
+		}
+		if p.Default == nil {
+			return nil, fmt.Errorf("pace: model %q: missing required parameter %q", m.Name, p.Name)
+		}
+		v, err := p.Default.eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("pace: model %q: default for %q: %w", m.Name, p.Name, err)
+		}
+		env.Bind(p.Name, v)
+	}
+	for name := range bindings {
+		if !m.hasParam(name) {
+			return nil, fmt.Errorf("pace: model %q: unknown parameter %q", m.Name, name)
+		}
+	}
+	for _, l := range m.Lets {
+		v, err := l.Expr.eval(env)
+		if err != nil {
+			return nil, fmt.Errorf("pace: model %q: let %s: %w", m.Name, l.Name, err)
+		}
+		env.Bind(l.Name, v)
+	}
+	return env, nil
+}
+
+// ProfileFromLayered evaluates a layered model on a parametric platform
+// across 1..maxProcs processors and returns an equivalent profile-form
+// model (the shape of the Table 1 case-study models), named
+// "<model>_<hardware>". The profile model is resource-independent in the
+// scheduler's sense — the platform is baked in — so it can drive a Local
+// scheduler whose factor is 1. deadlineLo/Hi become the new model's
+// requirement domain.
+func ProfileFromLayered(m *AppModel, hw *ParametricHardware, maxProcs int, deadlineLo, deadlineHi float64) (*AppModel, error) {
+	if m == nil || !m.HasSteps() {
+		return nil, fmt.Errorf("pace: ProfileFromLayered needs a layered model")
+	}
+	if maxProcs < 1 || maxProcs > 64 {
+		return nil, fmt.Errorf("pace: profile over %d processors out of range", maxProcs)
+	}
+	if deadlineHi < deadlineLo || deadlineLo < 0 {
+		return nil, fmt.Errorf("pace: bad deadline domain [%g, %g]", deadlineLo, deadlineHi)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "application %s_%s {\n  param n;\n", m.Name, hw.Name)
+	if deadlineHi > 0 {
+		fmt.Fprintf(&b, "  deadline = [%s, %s];\n", trimFloat(deadlineLo), trimFloat(deadlineHi))
+	}
+	b.WriteString("  let profile = [")
+	for k := 1; k <= maxProcs; k++ {
+		v, err := m.EvalOn(map[string]float64{"n": float64(k)}, hw)
+		if err != nil {
+			return nil, err
+		}
+		if k > 1 {
+			b.WriteString(", ")
+		}
+		b.WriteString(trimFloat(v))
+	}
+	b.WriteString("];\n")
+	fmt.Fprintf(&b, "  time = profile[min(n, %d) - 1];\n}", maxProcs)
+	return ParseModel(b.String())
+}
+
+func stepCost(model string, st StepDecl, env *Env, hw *ParametricHardware) (float64, error) {
+	eval := func(field string) (float64, bool, error) {
+		e, ok := st.Fields[field]
+		if !ok {
+			return 0, false, nil
+		}
+		v, err := e.eval(env)
+		if err != nil {
+			return 0, false, fmt.Errorf("pace: model %q step %q: %s: %w", model, st.Name, field, err)
+		}
+		if v.IsArray() {
+			return 0, false, fmt.Errorf("pace: model %q step %q: %s yielded an array", model, st.Name, field)
+		}
+		if v.Num < 0 {
+			return 0, false, fmt.Errorf("pace: model %q step %q: negative %s (%g)", model, st.Name, field, v.Num)
+		}
+		return v.Num, true, nil
+	}
+	needRate := func(rate string) (float64, error) {
+		r, ok := hw.Rate(rate)
+		if !ok {
+			return 0, fmt.Errorf("pace: hardware %q lacks rate %q needed by model %q step %q", hw.Name, rate, model, st.Name)
+		}
+		return r, nil
+	}
+
+	total := 0.0
+	if v, ok, err := eval(FieldFlops); err != nil {
+		return 0, err
+	} else if ok && v > 0 {
+		r, err := needRate(RateFlops)
+		if err != nil {
+			return 0, err
+		}
+		total += v / r
+	}
+	if v, ok, err := eval(FieldMem); err != nil {
+		return 0, err
+	} else if ok && v > 0 {
+		r, err := needRate(RateMemBW)
+		if err != nil {
+			return 0, err
+		}
+		total += v / r
+	}
+	if v, ok, err := eval(FieldMessages); err != nil {
+		return 0, err
+	} else if ok && v > 0 {
+		r, err := needRate(RateNetLat)
+		if err != nil {
+			return 0, err
+		}
+		total += v * r
+	}
+	if v, ok, err := eval(FieldBytes); err != nil {
+		return 0, err
+	} else if ok && v > 0 {
+		r, err := needRate(RateNetBW)
+		if err != nil {
+			return 0, err
+		}
+		total += v / r
+	}
+	if v, ok, err := eval(FieldSeconds); err != nil {
+		return 0, err
+	} else if ok {
+		total += v
+	}
+	return total, nil
+}

@@ -1,0 +1,376 @@
+package pace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// layeredSrc is a small model suite in the layered CHIP³S-style form: a
+// blocked matrix multiply and a halo-exchange stencil on two platforms.
+const layeredSrc = `
+hardware fastbox {
+  flops  = 1e9;
+  membw  = 4e9;
+  netlat = 20e-6;
+  netbw  = 1e8;
+}
+
+hardware slowbox {
+  flops  = 1e8;
+  membw  = 1e9;
+  netlat = 100e-6;
+  netbw  = 1e7;
+}
+
+// Dense matrix multiply, block-distributed over n processors.
+application matmul {
+  param n;
+  param size = 512;
+  deadline = [5, 600];
+  let work = 2 * pow(size, 3);
+  step compute { flops = work / n; mem = 3 * 8 * size * size / n; }
+  step gather  { messages = n; bytes = 8 * size * size; }
+}
+
+// Jacobi-style stencil with halo exchange per iteration.
+application stencil {
+  param n;
+  param size = 1024;
+  param iters = 100;
+  step compute { flops = 5 * size * size * iters / n; }
+  step halo    { messages = 2 * iters; bytes = 8 * size * 2 * iters; }
+}
+`
+
+func layeredLib(t testing.TB) *Library {
+	t.Helper()
+	lib := NewLibrary()
+	if err := lib.AddSource(layeredSrc); err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestParseSourceHardwareAndApps(t *testing.T) {
+	sf, err := ParseSource(layeredSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Models) != 2 || len(sf.Hardware) != 2 {
+		t.Fatalf("parsed %d models, %d hardware", len(sf.Models), len(sf.Hardware))
+	}
+	if sf.Hardware[0].Name != "fastbox" || sf.Hardware[0].Rates[RateFlops] != 1e9 {
+		t.Fatalf("hardware: %+v", sf.Hardware[0])
+	}
+	if !sf.Models[0].HasSteps() {
+		t.Fatal("matmul lost its steps")
+	}
+}
+
+func TestLayeredModelEvalOn(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+
+	got, err := mm.EvalOn(map[string]float64{"n": 4}, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: work = 2*512^3 = 268435456 flops; /4 procs /1e9
+	// = 0.0671 s. mem = 3*8*512^2/4 = 1572864 B / 4e9 = 0.000393 s.
+	// gather: 4 messages * 20e-6 + 8*512^2 / 1e8 = 8e-5 + 0.0209 s.
+	want := 2*math.Pow(512, 3)/4/1e9 + 3*8*512*512/4/4e9 + 4*20e-6 + 8*512*512/1e8
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("matmul on fastbox(4) = %v, want %v", got, want)
+	}
+}
+
+func TestLayeredModelCrossPlatformOrdering(t *testing.T) {
+	lib := layeredLib(t)
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	slow, _ := lib.LookupParametricHardware("slowbox")
+	for _, name := range []string{"matmul", "stencil"} {
+		m, _ := lib.Lookup(name)
+		for n := 1.0; n <= 16; n *= 2 {
+			f, err := m.EvalOn(map[string]float64{"n": n}, fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := m.EvalOn(map[string]float64{"n": n}, slow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s <= f {
+				t.Fatalf("%s(n=%v): slowbox (%v) not slower than fastbox (%v)", name, n, s, f)
+			}
+		}
+	}
+}
+
+func TestLayeredModelCommunicationDominatesEventually(t *testing.T) {
+	// matmul's gather cost grows with n (more messages) while compute
+	// shrinks: on a latency-bound platform the curve must turn upward,
+	// the same U-shape as Table 1's improc.
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	hw := &ParametricHardware{Name: "lat", Rates: map[string]float64{
+		RateFlops: 1e9, RateMemBW: 4e9, RateNetLat: 0.05, RateNetBW: 1e9,
+	}}
+	t2, _ := mm.EvalOn(map[string]float64{"n": 2}, hw)
+	t64, _ := mm.EvalOn(map[string]float64{"n": 64}, hw)
+	if t64 <= t2 {
+		t.Fatalf("latency-bound matmul kept speeding up: t(2)=%v t(64)=%v", t2, t64)
+	}
+}
+
+func TestEnginePredictOnCaches(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		if _, err := e.PredictOn(mm, fast, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Evaluations != 1 || s.CacheHits != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Parametric and factor-based entries share the cache without
+	// colliding.
+	sweep, _ := CaseStudyLibrary().Lookup("sweep3d")
+	if _, err := e.Predict(sweep, SGIOrigin2000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if e.CacheLen() != 2 {
+		t.Fatalf("cache holds %d entries", e.CacheLen())
+	}
+}
+
+func TestEnginePredictOnValidation(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	e := NewEngine()
+	if _, err := e.PredictOn(nil, fast, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := e.PredictOn(mm, nil, 1); err == nil {
+		t.Error("nil hardware accepted")
+	}
+	if _, err := e.PredictOn(mm, fast, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestEvalOnErrors(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	// Missing rate: a hardware model without network parameters cannot
+	// price the gather step.
+	noNet := &ParametricHardware{Name: "nonet", Rates: map[string]float64{RateFlops: 1e9}}
+	if _, err := mm.EvalOn(map[string]float64{"n": 2}, noNet); err == nil || !strings.Contains(err.Error(), "lacks rate") {
+		t.Fatalf("missing rate: %v", err)
+	}
+	// Profile-form models reject EvalOn...
+	sweep, _ := CaseStudyLibrary().Lookup("sweep3d")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	if _, err := sweep.EvalOn(map[string]float64{"n": 2}, fast); err == nil {
+		t.Fatal("profile model evaluated against parametric hardware")
+	}
+	// ...and layered models reject plain Eval.
+	if _, err := mm.Eval(map[string]float64{"n": 2}); err == nil {
+		t.Fatal("layered model evaluated without hardware")
+	}
+	if _, err := mm.EvalOn(map[string]float64{"n": 2}, nil); err == nil {
+		t.Fatal("nil hardware accepted")
+	}
+}
+
+func TestParseHardwareErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"hardware h { warp = 9; }", "unknown hardware rate"},
+		{"hardware h { flops = 1e9; flops = 2e9; }", "duplicate rate"},
+		{"hardware h { }", "declares no rates"},
+		{"hardware h { flops = 0; }", "must be positive"},
+		{"hardware h { netlat = -1; flops = 1; }", "negative latency"},
+		{"hardware h { flops = [1]; }", "must be a number"},
+		{"hardware { flops = 1; }", "expected identifier"},
+	}
+	for _, c := range cases {
+		_, err := ParseSource(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSource(%q) err = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseStepErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"application a { step s { volume = 1; } }", "unknown step field"},
+		{"application a { step s { flops = 1; flops = 2; } }", "duplicate field"},
+		{"application a { step s { } }", "no cost fields"},
+		{"application a { step s { flops = 1; } step s { flops = 2; } }", "duplicate step"},
+		{"application a { param n; }", "no time definition and no steps"},
+	}
+	for _, c := range cases {
+		_, err := ParseSource(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSource(%q) err = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestStepNegativeCostRejected(t *testing.T) {
+	lib := NewLibrary()
+	err := lib.AddSource("application a { param n; step s { flops = 10 - n; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := lib.Lookup("a")
+	hw := &ParametricHardware{Name: "h", Rates: map[string]float64{RateFlops: 1}}
+	if _, err := m.EvalOn(map[string]float64{"n": 20}, hw); err == nil {
+		t.Fatal("negative step cost accepted")
+	}
+}
+
+func TestLayeredModelMixedWithTime(t *testing.T) {
+	lib := NewLibrary()
+	err := lib.AddSource(`
+	  hardware h { flops = 10; }
+	  application mix { param n; step s { flops = 100; } time = 3; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := lib.Lookup("mix")
+	hw, _ := lib.LookupParametricHardware("h")
+	v, err := m.EvalOn(map[string]float64{"n": 1}, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 13 { // 100/10 + 3
+		t.Fatalf("mixed model = %v, want 13", v)
+	}
+}
+
+func TestHardwareStringRoundTrip(t *testing.T) {
+	lib := layeredLib(t)
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	sf, err := ParseSource(fast.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", fast.String(), err)
+	}
+	if len(sf.Hardware) != 1 || sf.Hardware[0].Rates[RateNetBW] != fast.Rates[RateNetBW] {
+		t.Fatalf("round trip lost rates: %+v", sf.Hardware)
+	}
+}
+
+func TestLayeredModelStringRoundTrip(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	sf, err := ParseSource(mm.String())
+	if err != nil {
+		t.Fatalf("re-parse of rendered model: %v\n%s", err, mm.String())
+	}
+	m2 := sf.Models[0]
+	for n := 1.0; n <= 8; n *= 2 {
+		a, err1 := mm.EvalOn(map[string]float64{"n": n}, fast)
+		b, err2 := m2.EvalOn(map[string]float64{"n": n}, fast)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("n=%v: %v / %v", n, err1, err2)
+		}
+		if a != b {
+			t.Fatalf("round trip changed prediction at n=%v: %v vs %v", n, a, b)
+		}
+	}
+}
+
+func TestLibraryHardwareRegistry(t *testing.T) {
+	lib := layeredLib(t)
+	if got := len(lib.HardwareModels()); got != 2 {
+		t.Fatalf("%d hardware models", got)
+	}
+	if lib.HardwareModels()[0].Name != "fastbox" {
+		t.Fatalf("hardware not sorted: %v", lib.HardwareModels()[0].Name)
+	}
+	if _, ok := lib.LookupParametricHardware("warpdrive"); ok {
+		t.Fatal("phantom hardware found")
+	}
+	if err := lib.AddHardware(nil); err == nil {
+		t.Fatal("nil hardware accepted")
+	}
+	dup := &ParametricHardware{Name: "fastbox", Rates: map[string]float64{RateFlops: 1}}
+	if err := lib.AddHardware(dup); err == nil {
+		t.Fatal("duplicate hardware accepted")
+	}
+}
+
+func TestParseModelsRejectsHardware(t *testing.T) {
+	if _, err := ParseModels("hardware h { flops = 1; }"); err == nil {
+		t.Fatal("ParseModels accepted hardware declarations")
+	}
+}
+
+func TestProfileFromLayered(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	prof, err := ProfileFromLayered(mm, fast, 16, 5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Name != "matmul_fastbox" {
+		t.Fatalf("profile name %q", prof.Name)
+	}
+	if prof.DeadlineLo != 5 || prof.DeadlineHi != 300 {
+		t.Fatalf("deadline domain [%v, %v]", prof.DeadlineLo, prof.DeadlineHi)
+	}
+	// The profile must agree with the layered model at every sampled
+	// count and clamp beyond it.
+	for k := 1; k <= 16; k++ {
+		want, err := mm.EvalOn(map[string]float64{"n": float64(k)}, fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := prof.Eval(map[string]float64{"n": float64(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > math.Abs(want)*1e-9+1e-12 {
+			t.Fatalf("profile(%d) = %v, want %v", k, got, want)
+		}
+	}
+	at16, _ := prof.Eval(map[string]float64{"n": 16})
+	at32, err := prof.Eval(map[string]float64{"n": 32})
+	if err != nil || at32 != at16 {
+		t.Fatalf("profile clamp: %v vs %v (%v)", at32, at16, err)
+	}
+}
+
+func TestProfileFromLayeredValidation(t *testing.T) {
+	lib := layeredLib(t)
+	mm, _ := lib.Lookup("matmul")
+	fast, _ := lib.LookupParametricHardware("fastbox")
+	sweep, _ := CaseStudyLibrary().Lookup("sweep3d")
+	if _, err := ProfileFromLayered(sweep, fast, 16, 1, 2); err == nil {
+		t.Error("profile model accepted as layered input")
+	}
+	if _, err := ProfileFromLayered(nil, fast, 16, 1, 2); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := ProfileFromLayered(mm, fast, 0, 1, 2); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := ProfileFromLayered(mm, fast, 16, 5, 2); err == nil {
+		t.Error("inverted deadline domain accepted")
+	}
+}

@@ -1,0 +1,575 @@
+package pace
+
+import "fmt"
+
+// Parser builds an AppModel from PSL source using recursive descent with
+// standard operator precedence:
+//
+//	||  <  &&  <  comparisons  <  + -  <  * / %  <  unary  <  indexing
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// ParseModel parses a single "application <name> { ... }" definition.
+func ParseModel(src string) (*AppModel, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	m, err := p.parseApplication()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind != TokEOF {
+		return nil, errAt(t.Line, t.Col, "unexpected %s after application body", t)
+	}
+	m.Source = src
+	return m, nil
+}
+
+// SourceFile is the result of parsing one PSL file: application models
+// plus parametric hardware models.
+type SourceFile struct {
+	Models   []*AppModel
+	Hardware []*ParametricHardware
+}
+
+// ParseSource parses a whole PSL file of application and hardware
+// definitions.
+func ParseSource(src string) (*SourceFile, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	out := &SourceFile{}
+	for p.peek().Kind != TokEOF {
+		t := p.peek()
+		switch {
+		case t.Kind == TokKeyword && t.Text == "application":
+			m, err := p.parseApplication()
+			if err != nil {
+				return nil, err
+			}
+			m.Source = src
+			out.Models = append(out.Models, m)
+		case t.Kind == TokKeyword && t.Text == "hardware":
+			h, err := p.parseHardware()
+			if err != nil {
+				return nil, err
+			}
+			out.Hardware = append(out.Hardware, h)
+		default:
+			return nil, errAt(t.Line, t.Col, "expected \"application\" or \"hardware\", found %s", t)
+		}
+	}
+	if len(out.Models) == 0 && len(out.Hardware) == 0 {
+		return nil, errAt(1, 1, "no definitions found")
+	}
+	return out, nil
+}
+
+// ParseModels parses a sequence of application definitions from one source
+// file, as used by model libraries.
+func ParseModels(src string) ([]*AppModel, error) {
+	sf, err := ParseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(sf.Hardware) > 0 {
+		return nil, fmt.Errorf("psl: source declares hardware models; use ParseSource")
+	}
+	if len(sf.Models) == 0 {
+		return nil, errAt(1, 1, "no application definitions found")
+	}
+	return sf.Models, nil
+}
+
+// parseHardware parses "hardware <name> { <rate> = <expr>; ... }" with
+// constant rate expressions.
+func (p *Parser) parseHardware() (*ParametricHardware, error) {
+	if _, err := p.expectKeyword("hardware"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	h := &ParametricHardware{Name: name.Text, Rates: map[string]float64{}}
+	env := NewEnv(nil)
+	for !p.atPunct("}") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !knownRates[id.Text] {
+			return nil, errAt(id.Line, id.Col, "unknown hardware rate %q (known: flops, membw, netlat, netbw)", id.Text)
+		}
+		if _, dup := h.Rates[id.Text]; dup {
+			return nil, errAt(id.Line, id.Col, "duplicate rate %q", id.Text)
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsArray() {
+			return nil, errAt(id.Line, id.Col, "rate %q must be a number", id.Text)
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		h.Rates[id.Text] = v.Num
+	}
+	p.next() // consume "}"
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func (p *Parser) peek() Token {
+	if p.pos >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.peek()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expectPunct(text string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokPunct || t.Text != text {
+		return t, errAt(t.Line, t.Col, "expected %q, found %s", text, t)
+	}
+	return t, nil
+}
+
+func (p *Parser) expectKeyword(text string) (Token, error) {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != text {
+		return t, errAt(t.Line, t.Col, "expected %q, found %s", text, t)
+	}
+	return t, nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return t, errAt(t.Line, t.Col, "expected identifier, found %s", t)
+	}
+	return t, nil
+}
+
+func (p *Parser) atPunct(text string) bool {
+	t := p.peek()
+	return t.Kind == TokPunct && t.Text == text
+}
+
+func (p *Parser) atOp(text string) bool {
+	t := p.peek()
+	return t.Kind == TokOp && t.Text == text
+}
+
+func (p *Parser) parseApplication() (*AppModel, error) {
+	if _, err := p.expectKeyword("application"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	m := &AppModel{Name: name.Text}
+	seen := map[string]bool{}
+	for !p.atPunct("}") {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return nil, errAt(t.Line, t.Col, "unterminated application body for %q", m.Name)
+		}
+		if t.Kind != TokKeyword {
+			return nil, errAt(t.Line, t.Col, "expected statement keyword, found %s", t)
+		}
+		switch t.Text {
+		case "param":
+			p.next()
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if seen[id.Text] {
+				return nil, errAt(id.Line, id.Col, "duplicate declaration of %q", id.Text)
+			}
+			seen[id.Text] = true
+			var def Expr
+			if p.atPunct("=") {
+				p.next()
+				def, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			m.Params = append(m.Params, ParamDecl{Name: id.Text, Default: def})
+
+		case "let":
+			p.next()
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if seen[id.Text] {
+				return nil, errAt(id.Line, id.Col, "duplicate declaration of %q", id.Text)
+			}
+			seen[id.Text] = true
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			m.Lets = append(m.Lets, LetDecl{Name: id.Text, Expr: e})
+
+		case "time":
+			p.next()
+			if m.Time != nil {
+				return nil, errAt(t.Line, t.Col, "duplicate time definition")
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			m.Time = e
+
+		case "deadline":
+			p.next()
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			lo, hi, err := p.parseDeadlineDomain()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			m.DeadlineLo, m.DeadlineHi = lo, hi
+
+		case "step":
+			p.next()
+			st, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			for _, prev := range m.Steps {
+				if prev.Name == st.Name {
+					return nil, errAt(t.Line, t.Col, "duplicate step %q", st.Name)
+				}
+			}
+			m.Steps = append(m.Steps, st)
+
+		default:
+			return nil, errAt(t.Line, t.Col, "unexpected keyword %q in application body", t.Text)
+		}
+	}
+	p.next() // consume "}"
+	if m.Time == nil && len(m.Steps) == 0 {
+		return nil, fmt.Errorf("psl: application %q has no time definition and no steps", m.Name)
+	}
+	return m, nil
+}
+
+// parseStep parses "<name> { <field> = <expr>; ... }" (the step keyword is
+// already consumed).
+func (p *Parser) parseStep() (StepDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return StepDecl{}, err
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return StepDecl{}, err
+	}
+	st := StepDecl{Name: name.Text, Fields: map[string]Expr{}}
+	for !p.atPunct("}") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return StepDecl{}, err
+		}
+		if !knownFields[id.Text] {
+			return StepDecl{}, errAt(id.Line, id.Col, "unknown step field %q (known: flops, mem, bytes, messages, seconds)", id.Text)
+		}
+		if _, dup := st.Fields[id.Text]; dup {
+			return StepDecl{}, errAt(id.Line, id.Col, "duplicate field %q in step %q", id.Text, st.Name)
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return StepDecl{}, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return StepDecl{}, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return StepDecl{}, err
+		}
+		st.Fields[id.Text] = e
+		st.order = append(st.order, id.Text)
+	}
+	p.next() // consume "}"
+	if len(st.Fields) == 0 {
+		return StepDecl{}, fmt.Errorf("psl: step %q declares no cost fields", st.Name)
+	}
+	return st, nil
+}
+
+// parseDeadlineDomain parses "[lo, hi]" with constant numeric bounds.
+func (p *Parser) parseDeadlineDomain() (lo, hi float64, err error) {
+	open, err := p.expectPunct("[")
+	if err != nil {
+		return 0, 0, err
+	}
+	loE, err := p.parseExpr()
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.expectPunct(","); err != nil {
+		return 0, 0, err
+	}
+	hiE, err := p.parseExpr()
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := p.expectPunct("]"); err != nil {
+		return 0, 0, err
+	}
+	env := NewEnv(nil)
+	loV, err := loE.eval(env)
+	if err != nil {
+		return 0, 0, err
+	}
+	hiV, err := hiE.eval(env)
+	if err != nil {
+		return 0, 0, err
+	}
+	if loV.IsArray() || hiV.IsArray() {
+		return 0, 0, errAt(open.Line, open.Col, "deadline bounds must be numbers")
+	}
+	if hiV.Num < loV.Num {
+		return 0, 0, errAt(open.Line, open.Col, "deadline domain is empty: [%g, %g]", loV.Num, hiV.Num)
+	}
+	return loV.Num, hiV.Num, nil
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("||") {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "||", L: l, R: r, Line: op.Line, Col: op.Col}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("&&") {
+		op := p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&&", L: l, R: r, Line: op.Line, Col: op.Col}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp && cmpOps[t.Text] {
+		op := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op.Text, L: l, R: r, Line: op.Line, Col: op.Col}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op.Text, L: l, R: r, Line: op.Line, Col: op.Col}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") || p.atOp("%") {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op.Text, L: l, R: r, Line: op.Line, Col: op.Col}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.atOp("-") || p.atOp("!") {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op.Text, X: x, Line: op.Line, Col: op.Col}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("[") {
+		open := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		e = &IndexExpr{Base: e, Index: idx, Line: open.Line, Col: open.Col}
+	}
+	return e, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch {
+	case t.Kind == TokNumber:
+		return &NumberLit{Val: t.Num, Line: t.Line, Col: t.Col}, nil
+
+	case t.Kind == TokIdent:
+		if p.atPunct("(") {
+			p.next()
+			var args []Expr
+			if !p.atPunct(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.atPunct(",") {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if _, ok := builtins[t.Text]; !ok {
+				return nil, errAt(t.Line, t.Col, "unknown function %q", t.Text)
+			}
+			return &CallExpr{Fn: t.Text, Args: args, Line: t.Line, Col: t.Col}, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line, Col: t.Col}, nil
+
+	case t.Kind == TokPunct && t.Text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.Kind == TokPunct && t.Text == "[":
+		var elems []Expr
+		if !p.atPunct("]") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if p.atPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return &ArrayLit{Elems: elems, Line: t.Line, Col: t.Col}, nil
+	}
+	return nil, errAt(t.Line, t.Col, "expected expression, found %s", t)
+}

@@ -1,0 +1,226 @@
+package schedule
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Solution is the two-part coding scheme of Fig. 2. The ordering part is a
+// permutation of task positions specifying execution order; the mapping
+// part allocates a node set (bitmask) to each task. Maps is indexed by
+// task position in the task slice (not by order rank), which keeps the
+// node mapping associated with a particular task across reordering — the
+// property the paper's crossover preserves by reordering the mapping part
+// before recombining.
+type Solution struct {
+	Order []int
+	Maps  []uint64
+}
+
+// NewRandomSolution draws a uniform solution: a random task permutation
+// and an independent non-empty random node subset per task.
+func NewRandomSolution(numTasks, numNodes int, rng *sim.RNG) Solution {
+	s := Solution{
+		Order: rng.Perm(numTasks),
+		Maps:  make([]uint64, numTasks),
+	}
+	for i := range s.Maps {
+		s.Maps[i] = randomMask(numNodes, rng)
+	}
+	return s
+}
+
+// randomMask returns a uniformly random non-empty subset of numNodes bits.
+func randomMask(numNodes int, rng *sim.RNG) uint64 {
+	full := fullMask(numNodes)
+	for {
+		var m uint64
+		if numNodes == 64 {
+			m = rng.Uint64()
+		} else {
+			m = rng.Uint64() & full
+		}
+		if m != 0 {
+			return m
+		}
+	}
+}
+
+// fullMask returns the mask with the low numNodes bits set.
+func fullMask(numNodes int) uint64 {
+	if numNodes >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(numNodes)) - 1
+}
+
+// Clone returns an independent deep copy.
+func (s Solution) Clone() Solution {
+	out := Solution{
+		Order: make([]int, len(s.Order)),
+		Maps:  make([]uint64, len(s.Maps)),
+	}
+	copy(out.Order, s.Order)
+	copy(out.Maps, s.Maps)
+	return out
+}
+
+// Validate checks that s is a legitimate solution for numTasks tasks on
+// numNodes nodes: the ordering is a permutation and every mapping is a
+// non-empty subset of the node pool.
+func (s Solution) Validate(numTasks, numNodes int) error {
+	if len(s.Order) != numTasks || len(s.Maps) != numTasks {
+		return fmt.Errorf("schedule: solution sized %d/%d for %d tasks", len(s.Order), len(s.Maps), numTasks)
+	}
+	seen := make([]bool, numTasks)
+	for _, p := range s.Order {
+		if p < 0 || p >= numTasks {
+			return fmt.Errorf("schedule: ordering entry %d out of range", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("schedule: ordering repeats task position %d", p)
+		}
+		seen[p] = true
+	}
+	full := fullMask(numNodes)
+	for i, m := range s.Maps {
+		if m == 0 {
+			return fmt.Errorf("schedule: task position %d mapped to no nodes", i)
+		}
+		if m&^full != 0 {
+			return fmt.Errorf("schedule: task position %d mapped outside the %d-node pool", i, numNodes)
+		}
+	}
+	return nil
+}
+
+// Crossover implements the specialised two-part operator of §2.1. The
+// ordering strings are spliced at a random location and the pairs
+// reordered to produce legitimate permutations (one-point order
+// crossover). The mapping parts are first reordered to be consistent with
+// the new task order and then recombined with a single-point binary
+// crossover over the concatenated bit string, so the cut may fall inside
+// one task's node map.
+func Crossover(a, b Solution, numNodes int, rng *sim.RNG) (Solution, Solution) {
+	n := len(a.Order)
+	if n != len(b.Order) {
+		panic("schedule: crossover of differently sized solutions")
+	}
+	if n == 0 {
+		return a.Clone(), b.Clone()
+	}
+	cut := rng.Intn(n + 1)
+	c1 := spliceOrder(a.Order, b.Order, cut)
+	c2 := spliceOrder(b.Order, a.Order, cut)
+
+	bitCut := rng.Intn(n*numNodes + 1)
+	m1 := spliceMaps(c1, a.Maps, b.Maps, numNodes, bitCut)
+	m2 := spliceMaps(c2, b.Maps, a.Maps, numNodes, bitCut)
+
+	return Solution{Order: c1, Maps: m1}, Solution{Order: c2, Maps: m2}
+}
+
+// spliceOrder keeps head[:cut] and appends the remaining task positions in
+// tail's relative order, yielding a legitimate permutation.
+func spliceOrder(head, tail []int, cut int) []int {
+	out := make([]int, 0, len(head))
+	used := make(map[int]bool, cut)
+	for _, p := range head[:cut] {
+		out = append(out, p)
+		used[p] = true
+	}
+	for _, p := range tail {
+		if !used[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// spliceMaps builds the child's task-indexed mapping. Conceptually the two
+// parents' mapping strings are reordered to match the child's task order
+// and concatenated into bit strings; the child takes bits before bitCut
+// from the first parent and bits after it from the second. The rank of a
+// task in the child's order therefore decides which parent supplies its
+// node map, with the boundary task receiving a hybrid mask (repaired to be
+// non-empty).
+func spliceMaps(order []int, first, second []uint64, numNodes int, bitCut int) []uint64 {
+	out := make([]uint64, len(order))
+	for rank, taskPos := range order {
+		lo := rank * numNodes
+		hi := lo + numNodes
+		var m uint64
+		switch {
+		case hi <= bitCut:
+			m = first[taskPos]
+		case lo >= bitCut:
+			m = second[taskPos]
+		default:
+			// The cut falls inside this task's map: low-order bits (< cut
+			// offset) from the first parent, the rest from the second.
+			k := uint(bitCut - lo)
+			lowBits := (uint64(1) << k) - 1
+			m = first[taskPos]&lowBits | second[taskPos]&^lowBits
+		}
+		if m == 0 {
+			// Repair: an empty allocation is not a legitimate solution.
+			m = first[taskPos] | second[taskPos]
+			if m == 0 {
+				m = 1
+			}
+		}
+		out[taskPos] = m
+	}
+	return out
+}
+
+// Mutate implements the two-part mutation of §2.1: a switching operator
+// swaps two positions of the ordering part, and a random bit-flip is
+// applied to the mapping part (repaired to keep allocations non-empty).
+// The receiver is left intact.
+func Mutate(s Solution, numNodes int, rng *sim.RNG) Solution {
+	out := s.Clone()
+	n := len(out.Order)
+	if n == 0 {
+		return out
+	}
+	// Switching operator on the ordering part.
+	i, j := rng.Intn(n), rng.Intn(n)
+	out.Order[i], out.Order[j] = out.Order[j], out.Order[i]
+
+	// Random bit-flip on the mapping part.
+	t := rng.Intn(n)
+	bit := uint64(1) << uint(rng.Intn(numNodes))
+	out.Maps[t] ^= bit
+	if out.Maps[t] == 0 {
+		out.Maps[t] = bit // flipping the last set bit would orphan the task
+	}
+	return out
+}
+
+// NodeCount returns the number of nodes allocated to the task at position
+// taskPos.
+func (s Solution) NodeCount(taskPos int) int {
+	return bits.OnesCount64(s.Maps[taskPos])
+}
+
+// String renders the solution in the style of Fig. 2: the ordering part
+// above the mapping part, with maps shown in task order.
+func (s Solution) String() string {
+	var b strings.Builder
+	b.WriteString("order:")
+	for _, p := range s.Order {
+		fmt.Fprintf(&b, " %d", p)
+	}
+	b.WriteString("\nmaps: ")
+	for i, p := range s.Order {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d:%b", p, s.Maps[p])
+	}
+	return b.String()
+}

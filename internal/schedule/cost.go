@@ -1,0 +1,123 @@
+package schedule
+
+import (
+	"math/bits"
+)
+
+// CostWeights are the W_m, W_i, W_c of eq. 8, weighting makespan ω,
+// weighted idle time φ and contract (deadline) penalty θ in the combined
+// cost. The paper leaves the values unspecified; DefaultWeights biases
+// towards meeting deadlines, matching the stated goal of minimising
+// makespan and idle time "whilst meeting the deadlines set for each task".
+type CostWeights struct {
+	Makespan float64 // W_m
+	Idle     float64 // W_i
+	Deadline float64 // W_c
+}
+
+// DefaultWeights returns the weights used by the case study. The idle
+// weight dominates the makespan weight so the GA prefers keeping nodes
+// busy (wider allocations, denser packing) over shaving the horizon —
+// the balance that reproduces the paper's utilisation gains in
+// experiment 2 (see the idle-weighting ablation bench).
+func DefaultWeights() CostWeights {
+	return CostWeights{Makespan: 1, Idle: 3, Deadline: 2}
+}
+
+// CostBreakdown exposes the individual metrics behind a combined cost,
+// for diagnostics and the idle-weighting ablation.
+type CostBreakdown struct {
+	Makespan    float64 // ω_k relative to the scheduling instant
+	Idle        float64 // φ_k: front-weighted idle time, averaged per node
+	IdleRaw     float64 // unweighted idle time, averaged per node
+	ContractPen float64 // θ_k: total deadline overrun in task-seconds
+	Combined    float64 // f_c of eq. 8
+}
+
+// Cost evaluates the combined cost function (eq. 8) for a built schedule:
+//
+//	f_c = (W_m·ω + W_i·φ + W_c·θ) / (W_m + W_i + W_c)
+//
+// ω is the makespan measured from the scheduling instant. φ is the
+// weighted idle time: idle at the front of the schedule is "particularly
+// undesirable" (§2.1) because it is wasted first and least likely to be
+// recovered, so a pocket of idle time occupying [a, b] within the horizon
+// [base, makespan] is weighted linearly from 2 (at the front) down to 1
+// (at the makespan). θ is the contract penalty: the total amount by which
+// task completions overrun their deadlines. φ is averaged over nodes so
+// all three terms share seconds as their unit.
+func Cost(s *Schedule, tasks []Task, w CostWeights, frontWeighted bool) CostBreakdown {
+	var out CostBreakdown
+	out.Makespan = s.Makespan - s.Base
+	if out.Makespan < 0 {
+		out.Makespan = 0
+	}
+
+	// Gather per-node busy intervals.
+	n := len(s.NodeBusy)
+	type interval struct{ start, end float64 }
+	perNode := make([][]interval, n)
+	for _, it := range s.Items {
+		for m := it.Mask; m != 0; {
+			i := bits.TrailingZeros64(m)
+			perNode[i] = append(perNode[i], interval{it.Start, it.End})
+			m &= m - 1
+		}
+	}
+
+	horizon := s.Makespan - s.Base
+	var idleW, idleRaw float64
+	for i := 0; i < n; i++ {
+		// Items are appended in execution order; on a single node their
+		// intervals are non-overlapping and start-sorted because each
+		// placement pushes the node's availability forward.
+		cursor := s.Base
+		for _, iv := range perNode[i] {
+			if iv.start > cursor {
+				idleRaw += iv.start - cursor
+				idleW += weightedGap(cursor, iv.start, s.Base, horizon, frontWeighted)
+			}
+			if iv.end > cursor {
+				cursor = iv.end
+			}
+		}
+		if s.Makespan > cursor {
+			idleRaw += s.Makespan - cursor
+			idleW += weightedGap(cursor, s.Makespan, s.Base, horizon, frontWeighted)
+		}
+	}
+	if n > 0 {
+		out.Idle = idleW / float64(n)
+		out.IdleRaw = idleRaw / float64(n)
+	}
+
+	for _, it := range s.Items {
+		if d := tasks[it.TaskPos].Deadline; it.End > d {
+			out.ContractPen += it.End - d
+		}
+	}
+
+	den := w.Makespan + w.Idle + w.Deadline
+	if den <= 0 {
+		den = 1
+	}
+	out.Combined = (w.Makespan*out.Makespan + w.Idle*out.Idle + w.Deadline*out.ContractPen) / den
+	return out
+}
+
+// weightedGap integrates the idle weight over the gap [a, b]. With front
+// weighting the weight decreases linearly from 2 at the schedule base to 1
+// at the makespan; without it the weight is uniformly 1 (the ablation
+// baseline).
+func weightedGap(a, b, base, horizon float64, frontWeighted bool) float64 {
+	d := b - a
+	if d <= 0 {
+		return 0
+	}
+	if !frontWeighted || horizon <= 0 {
+		return d
+	}
+	mid := (a+b)/2 - base
+	w := 2 - mid/horizon // linear from 2 (front) to 1 (makespan)
+	return d * w
+}

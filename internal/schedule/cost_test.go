@@ -1,0 +1,193 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCostMakespanTerm(t *testing.T) {
+	tasks := makeTasks(1, 1e9)
+	res := NewResource(1)
+	sol := Solution{Order: []int{0}, Maps: []uint64{1}}
+	s := Build(sol, tasks, res, 0, constPredictor(40))
+	c := Cost(s, tasks, CostWeights{Makespan: 1}, true)
+	if c.Makespan != 40 {
+		t.Fatalf("makespan term = %v, want 40", c.Makespan)
+	}
+	if c.Combined != 40 {
+		t.Fatalf("combined = %v, want 40 with only the makespan weighted", c.Combined)
+	}
+}
+
+func TestCostContractPenalty(t *testing.T) {
+	tasks := []Task{{ID: 0, Deadline: 5}, {ID: 1, Deadline: 25}}
+	res := NewResource(1)
+	sol := Solution{Order: []int{0, 1}, Maps: []uint64{1, 1}}
+	s := Build(sol, tasks, res, 0, constPredictor(10))
+	// Task 0 ends at 10 (5 late); task 1 ends at 20 (on time).
+	c := Cost(s, tasks, DefaultWeights(), true)
+	if c.ContractPen != 5 {
+		t.Fatalf("contract penalty = %v, want 5", c.ContractPen)
+	}
+}
+
+func TestCostIdleTimeMeasured(t *testing.T) {
+	// Two nodes, one task on node 0 for 10s: node 1 idles the whole
+	// horizon, node 0 none. Unweighted idle averaged per node = 5.
+	tasks := makeTasks(1, 1e9)
+	res := NewResource(2)
+	sol := Solution{Order: []int{0}, Maps: []uint64{0b01}}
+	s := Build(sol, tasks, res, 0, constPredictor(10))
+	c := Cost(s, tasks, DefaultWeights(), false)
+	if c.IdleRaw != 5 {
+		t.Fatalf("raw idle = %v, want 5", c.IdleRaw)
+	}
+	if c.Idle != c.IdleRaw {
+		t.Fatalf("unweighted idle %v != raw idle %v", c.Idle, c.IdleRaw)
+	}
+}
+
+func TestCostFrontWeighting(t *testing.T) {
+	// Horizon [0,20] on 2 nodes. Node 0 busy the whole horizon. Node 1
+	// either idles [0,10] then works (early gap) or works then idles
+	// [10,20] (late gap). Equal raw idle; the front-weighted idle must be
+	// strictly larger for the early gap (§2.1: idle at the front of the
+	// schedule is wasted first and least likely to be recovered).
+	mk := func(start float64) *Schedule {
+		return &Schedule{
+			Items: []Placed{
+				{TaskPos: 0, Mask: 0b01, Start: 0, End: 20},
+				{TaskPos: 1, Mask: 0b10, Start: start, End: start + 10},
+			},
+			NodeBusy: []float64{20, start + 10},
+			Makespan: 20,
+			Base:     0,
+		}
+	}
+	tasks := makeTasks(2, 1e9)
+	w := CostWeights{Idle: 1}
+	early := Cost(mk(10), tasks, w, true) // gap [0,10] before the task
+	late := Cost(mk(0), tasks, w, true)   // gap [10,20] after the task
+	if early.IdleRaw != late.IdleRaw {
+		t.Fatalf("raw idle differs: %v vs %v", early.IdleRaw, late.IdleRaw)
+	}
+	if early.Idle <= late.Idle {
+		t.Fatalf("front-weighted idle: early gap %v not penalised above late gap %v", early.Idle, late.Idle)
+	}
+	// Unweighted mode treats them identically.
+	earlyU := Cost(mk(10), tasks, w, false)
+	lateU := Cost(mk(0), tasks, w, false)
+	if earlyU.Idle != lateU.Idle {
+		t.Fatalf("unweighted idle differs: %v vs %v", earlyU.Idle, lateU.Idle)
+	}
+}
+
+func TestCostWeightsCombine(t *testing.T) {
+	s := &Schedule{
+		Items:    []Placed{{TaskPos: 0, Mask: 1, Start: 0, End: 10}},
+		NodeBusy: []float64{10},
+		Makespan: 10,
+	}
+	tasks := []Task{{ID: 0, Deadline: 4}} // 6 late
+	c := Cost(s, tasks, CostWeights{Makespan: 1, Idle: 1, Deadline: 2}, true)
+	want := (1*10.0 + 1*0.0 + 2*6.0) / 4.0
+	if c.Combined != want {
+		t.Fatalf("combined = %v, want %v", c.Combined, want)
+	}
+}
+
+func TestCostZeroWeightsDoNotDivideByZero(t *testing.T) {
+	s := &Schedule{Items: nil, NodeBusy: []float64{0}, Makespan: 0}
+	c := Cost(s, nil, CostWeights{}, true)
+	if c.Combined != 0 {
+		t.Fatalf("combined = %v for empty schedule with zero weights", c.Combined)
+	}
+}
+
+func TestCostEmptySchedule(t *testing.T) {
+	res := NewResource(4)
+	s := Build(Solution{Order: []int{}, Maps: []uint64{}}, nil, res, 100, constPredictor(1))
+	c := Cost(s, nil, DefaultWeights(), true)
+	if c.Combined != 0 || c.Makespan != 0 || c.Idle != 0 {
+		t.Fatalf("empty schedule cost = %+v, want zeros", c)
+	}
+}
+
+func TestWeightedGapProperties(t *testing.T) {
+	// Weight is in (1,2) and decreases towards the makespan.
+	front := weightedGap(0, 10, 0, 100, true)
+	back := weightedGap(90, 100, 0, 100, true)
+	if front <= back {
+		t.Fatalf("front gap weight %v <= back gap weight %v", front, back)
+	}
+	if front > 2*10 || back < 10 {
+		t.Fatalf("gap weights out of [1,2] band: front=%v back=%v", front, back)
+	}
+	if got := weightedGap(5, 5, 0, 100, true); got != 0 {
+		t.Fatalf("zero-length gap = %v", got)
+	}
+	if got := weightedGap(0, 10, 0, 100, false); got != 10 {
+		t.Fatalf("unweighted gap = %v, want 10", got)
+	}
+	if got := weightedGap(0, 10, 0, 0, true); got != 10 {
+		t.Fatalf("degenerate horizon gap = %v, want raw 10", got)
+	}
+}
+
+// Integration: local search over the scheduling problem improves on random
+// solutions, confirming the cost surface rewards balanced schedules.
+func TestCostSurfaceRewardsBalance(t *testing.T) {
+	tasks := makeTasks(8, 1e9)
+	res := NewResource(4)
+	p := NewProblem(tasks, res, 0, scalePredictor(40))
+	rng := sim.NewRNG(12)
+
+	randomBest := 1e18
+	for i := 0; i < 200; i++ {
+		if c := p.Cost(p.Random(rng)); c < randomBest {
+			randomBest = c
+		}
+	}
+	best := p.GreedySeed()
+	bestCost := p.Cost(best)
+	for gen := 0; gen < 400; gen++ {
+		m := p.Mutate(best, rng)
+		if c := p.Cost(m); c < bestCost {
+			best, bestCost = m, c
+		}
+	}
+	if bestCost > randomBest {
+		t.Fatalf("hill-climb from greedy seed (%v) did not beat 200 random draws (%v)", bestCost, randomBest)
+	}
+}
+
+func TestGreedySeedIsLegitimateAndReasonable(t *testing.T) {
+	tasks := makeTasks(10, 1e9)
+	res := NewResource(4)
+	p := NewProblem(tasks, res, 0, scalePredictor(40))
+	seed := p.GreedySeed()
+	if err := seed.Validate(10, 4); err != nil {
+		t.Fatalf("greedy seed invalid: %v", err)
+	}
+	s := Build(seed, tasks, res, 0, scalePredictor(40))
+	// Perfectly scalable work: the serial bound is 10*40/4 = 100.
+	if s.Makespan > 150 {
+		t.Fatalf("greedy seed makespan %v is worse than plausible bounds", s.Makespan)
+	}
+}
+
+func TestCheapestNodesPicksEarliest(t *testing.T) {
+	busy := []float64{9, 2, 5, 7}
+	mask, start := cheapestNodes(busy, 2, 0)
+	if mask != 0b0110 { // nodes 1 and 2
+		t.Fatalf("mask = %b, want 0110", mask)
+	}
+	if start != 5 {
+		t.Fatalf("start = %v, want 5 (latest of chosen)", start)
+	}
+	_, start = cheapestNodes(busy, 1, 10)
+	if start != 10 {
+		t.Fatalf("floor not applied: start = %v", start)
+	}
+}

@@ -1,0 +1,70 @@
+package schedule
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Gantt renders a built schedule as an ASCII chart in the style of Fig. 2:
+// one row per processor, time flowing left to right, each cell showing the
+// task occupying that node (by task position, rendered base-1 to match the
+// figure) or '.' for idle. width is the number of character columns used
+// for the time axis.
+func Gantt(s *Schedule, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	n := len(s.NodeBusy)
+	span := s.Makespan - s.Base
+	if span <= 0 {
+		span = 1
+	}
+	cell := span / float64(width)
+
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, it := range s.Items {
+		label := taskGlyph(it.TaskPos)
+		from := int((it.Start - s.Base) / cell)
+		to := int((it.End - s.Base) / cell)
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		for m := it.Mask; m != 0; m &= m - 1 {
+			node := bits.TrailingZeros64(m)
+			if node >= n {
+				continue
+			}
+			for c := from; c < to; c++ {
+				rows[node][c] = label
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time %.1f .. %.1f (makespan %.1f)\n", s.Base, s.Makespan, s.Makespan-s.Base)
+	for i := n - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "P%-2d |%s|\n", i+1, rows[i])
+	}
+	b.WriteString("    +" + strings.Repeat("-", width) + "+ time ->")
+	return b.String()
+}
+
+// taskGlyph maps a task position to a display character: 1-9, then a-z,
+// then '#' for anything beyond.
+func taskGlyph(pos int) byte {
+	switch {
+	case pos < 9:
+		return byte('1' + pos)
+	case pos < 9+26:
+		return byte('a' + pos - 9)
+	default:
+		return '#'
+	}
+}

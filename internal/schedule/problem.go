@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// Problem adapts the scheduling model to the generic GA engine: genomes
+// are two-part Solutions, the cost is eq. 8 evaluated on the built
+// schedule. It implements ga.Problem[Solution].
+type Problem struct {
+	Tasks         []Task
+	Res           Resource
+	Base          float64 // the scheduling instant
+	Predict       Predictor
+	Weights       CostWeights
+	FrontWeighted bool // front-weighted idle time (§2.1); ablation knob
+}
+
+// NewProblem returns a Problem with default weights and front-weighted
+// idle time enabled.
+func NewProblem(tasks []Task, res Resource, base float64, predict Predictor) *Problem {
+	return &Problem{
+		Tasks:         tasks,
+		Res:           res,
+		Base:          base,
+		Predict:       predict,
+		Weights:       DefaultWeights(),
+		FrontWeighted: true,
+	}
+}
+
+// Random returns a uniformly random legitimate solution.
+func (p *Problem) Random(rng *sim.RNG) Solution {
+	return NewRandomSolution(len(p.Tasks), p.Res.NumNodes, rng)
+}
+
+// Crossover applies the two-part crossover of §2.1.
+func (p *Problem) Crossover(a, b Solution, rng *sim.RNG) (Solution, Solution) {
+	return Crossover(a, b, p.Res.NumNodes, rng)
+}
+
+// Mutate applies the two-part mutation of §2.1.
+func (p *Problem) Mutate(g Solution, rng *sim.RNG) Solution {
+	return Mutate(g, p.Res.NumNodes, rng)
+}
+
+// Cost builds the genome's schedule and evaluates eq. 8.
+func (p *Problem) Cost(g Solution) float64 {
+	s := Build(g, p.Tasks, p.Res, p.Base, p.Predict)
+	return Cost(s, p.Tasks, p.Weights, p.FrontWeighted).Combined
+}
+
+// Clone deep-copies a genome.
+func (p *Problem) Clone(g Solution) Solution { return g.Clone() }
+
+// GreedySeed constructs a reasonable initial solution: tasks in arrival
+// order, each allocated the node count that minimises its own completion
+// time on the currently-best nodes. It gives the GA population a
+// list-scheduling baseline to improve on and is also the shape of
+// solution the previous scheduling round's best maps onto after task
+// arrivals and departures.
+func (p *Problem) GreedySeed() Solution {
+	n := len(p.Tasks)
+	sol := Solution{Order: make([]int, n), Maps: make([]uint64, n)}
+	busy := make([]float64, p.Res.NumNodes)
+	copy(busy, p.Res.Avail)
+	for i := range sol.Order {
+		sol.Order[i] = i
+	}
+	for _, taskPos := range sol.Order {
+		t := p.Tasks[taskPos]
+		bestMask, bestEnd := uint64(0), 0.0
+		for k := 1; k <= p.Res.NumNodes; k++ {
+			mask, start := cheapestNodes(busy, k, maxf(p.Base, t.Arrival))
+			end := start + p.Predict(t.App, k)
+			if bestMask == 0 || end < bestEnd {
+				bestMask, bestEnd = mask, end
+			}
+		}
+		sol.Maps[taskPos] = bestMask
+		for m := bestMask; m != 0; m &= m - 1 {
+			busy[bits.TrailingZeros64(m)] = bestEnd
+		}
+	}
+	return sol
+}
+
+// cheapestNodes picks the k nodes with the earliest availability and
+// returns their mask plus the unison start time (the latest availability
+// among them, clamped below by floor).
+func cheapestNodes(busy []float64, k int, floor float64) (uint64, float64) {
+	type na struct {
+		idx   int
+		avail float64
+	}
+	nodes := make([]na, len(busy))
+	for i, a := range busy {
+		nodes[i] = na{i, a}
+	}
+	// Insertion sort: node counts are small (≤ 64) and this avoids
+	// allocating a closure for sort.Slice in the hot seeding path.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && (nodes[j].avail < nodes[j-1].avail ||
+			(nodes[j].avail == nodes[j-1].avail && nodes[j].idx < nodes[j-1].idx)); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+	var mask uint64
+	start := floor
+	for i := 0; i < k; i++ {
+		mask |= uint64(1) << uint(nodes[i].idx)
+		if nodes[i].avail > start {
+			start = nodes[i].avail
+		}
+	}
+	return mask, start
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package scheduler
+
+import (
+	"math"
+
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// The paper's related work cites Abraham, Buyya and Nath's comparison of
+// nature's heuristics — genetic algorithms, simulated annealing and tabu
+// search — for grid job scheduling ([1], §1). SAPolicy and TabuPolicy
+// implement the other two heuristics over the same two-part solution
+// coding and eq. 8 cost, so the choice of kernel becomes a measurable
+// ablation (BenchmarkHeuristicComparison).
+
+// SAPolicy schedules with simulated annealing: a random walk over the
+// two-part mutation neighbourhood that accepts uphill moves with
+// probability exp(−Δ/T) under a geometric cooling schedule.
+type SAPolicy struct {
+	Iterations    int     // proposal budget per scheduling event
+	InitialTemp   float64 // starting temperature as a fraction of the seed cost
+	Cooling       float64 // geometric factor applied per proposal
+	Weights       schedule.CostWeights
+	FrontWeighted bool
+	rng           *sim.RNG
+	carry         carryState
+}
+
+// NewSAPolicy returns an annealer with a budget comparable to the default
+// GA configuration (~2500 cost evaluations per event).
+func NewSAPolicy(rng *sim.RNG) *SAPolicy {
+	return &SAPolicy{
+		Iterations:    2500,
+		InitialTemp:   0.3,
+		Cooling:       0.998,
+		Weights:       schedule.DefaultWeights(),
+		FrontWeighted: true,
+		rng:           rng,
+		carry:         newCarryState(),
+	}
+}
+
+// Name implements Policy.
+func (s *SAPolicy) Name() string { return "sa" }
+
+// Forget implements Policy.
+func (s *SAPolicy) Forget(taskID int) { s.carry.forget(taskID) }
+
+// Plan implements Policy.
+func (s *SAPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float64, predict schedule.Predictor) *schedule.Schedule {
+	if len(tasks) == 0 {
+		return schedule.Build(schedule.Solution{Order: []int{}, Maps: []uint64{}}, tasks, res, now, predict)
+	}
+	p := &schedule.Problem{
+		Tasks: tasks, Res: res, Base: now, Predict: predict,
+		Weights: s.Weights, FrontWeighted: s.FrontWeighted,
+	}
+	cur := p.GreedySeed()
+	if carried, ok := s.carry.seed(tasks, res.NumNodes); ok {
+		if p.Cost(carried) < p.Cost(cur) {
+			cur = carried
+		}
+	}
+	curCost := p.Cost(cur)
+	best, bestCost := cur.Clone(), curCost
+
+	temp := s.InitialTemp * (curCost + 1)
+	for i := 0; i < s.Iterations; i++ {
+		cand := p.Mutate(cur, s.rng)
+		candCost := p.Cost(cand)
+		delta := candCost - curCost
+		if delta <= 0 || (temp > 0 && s.rng.Float64() < math.Exp(-delta/temp)) {
+			cur, curCost = cand, candCost
+			if curCost < bestCost {
+				best, bestCost = cur.Clone(), curCost
+			}
+		}
+		temp *= s.Cooling
+	}
+	s.carry.remember(tasks, best)
+	return schedule.Build(best, tasks, res, now, predict)
+}
+
+// TabuPolicy schedules with tabu search: steepest-descent over a sampled
+// mutation neighbourhood, forbidding recently visited solutions for a
+// fixed tenure so the walk escapes local minima without cycling.
+type TabuPolicy struct {
+	Iterations    int // neighbourhood evaluations per move
+	Moves         int // moves per scheduling event
+	Tenure        int // how many recent solutions stay tabu
+	Weights       schedule.CostWeights
+	FrontWeighted bool
+	rng           *sim.RNG
+	carry         carryState
+}
+
+// NewTabuPolicy returns a tabu search with a budget comparable to the
+// default GA configuration.
+func NewTabuPolicy(rng *sim.RNG) *TabuPolicy {
+	return &TabuPolicy{
+		Iterations:    25,
+		Moves:         100,
+		Tenure:        50,
+		Weights:       schedule.DefaultWeights(),
+		FrontWeighted: true,
+		rng:           rng,
+		carry:         newCarryState(),
+	}
+}
+
+// Name implements Policy.
+func (t *TabuPolicy) Name() string { return "tabu" }
+
+// Forget implements Policy.
+func (t *TabuPolicy) Forget(taskID int) { t.carry.forget(taskID) }
+
+// Plan implements Policy.
+func (t *TabuPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float64, predict schedule.Predictor) *schedule.Schedule {
+	if len(tasks) == 0 {
+		return schedule.Build(schedule.Solution{Order: []int{}, Maps: []uint64{}}, tasks, res, now, predict)
+	}
+	p := &schedule.Problem{
+		Tasks: tasks, Res: res, Base: now, Predict: predict,
+		Weights: t.Weights, FrontWeighted: t.FrontWeighted,
+	}
+	cur := p.GreedySeed()
+	if carried, ok := t.carry.seed(tasks, res.NumNodes); ok {
+		if p.Cost(carried) < p.Cost(cur) {
+			cur = carried
+		}
+	}
+	best, bestCost := cur.Clone(), p.Cost(cur)
+
+	tabu := map[uint64]bool{}
+	var tabuQueue []uint64
+	admit := func(h uint64) {
+		tabu[h] = true
+		tabuQueue = append(tabuQueue, h)
+		if len(tabuQueue) > t.Tenure {
+			delete(tabu, tabuQueue[0])
+			tabuQueue = tabuQueue[1:]
+		}
+	}
+	admit(solutionHash(cur))
+
+	for move := 0; move < t.Moves; move++ {
+		var moveBest schedule.Solution
+		moveBestCost := math.Inf(1)
+		found := false
+		for i := 0; i < t.Iterations; i++ {
+			cand := p.Mutate(cur, t.rng)
+			h := solutionHash(cand)
+			cost := p.Cost(cand)
+			// Aspiration: a tabu solution that beats the global best is
+			// admitted anyway.
+			if tabu[h] && cost >= bestCost {
+				continue
+			}
+			if cost < moveBestCost {
+				moveBest, moveBestCost, found = cand, cost, true
+			}
+		}
+		if !found {
+			break // the whole sampled neighbourhood is tabu
+		}
+		cur = moveBest
+		admit(solutionHash(cur))
+		if moveBestCost < bestCost {
+			best, bestCost = cur.Clone(), moveBestCost
+		}
+	}
+	t.carry.remember(tasks, best)
+	return schedule.Build(best, tasks, res, now, predict)
+}
+
+// solutionHash fingerprints a solution (FNV-1a over order and maps).
+func solutionHash(s schedule.Solution) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	for _, o := range s.Order {
+		mix(uint64(o))
+	}
+	for _, m := range s.Maps {
+		mix(m)
+	}
+	return h
+}
+
+// carryState carries the previous best solution across scheduling events
+// keyed by task ID — shared by the SA and tabu kernels (the GA has its
+// own seeded-population variant).
+type carryState struct {
+	order []int
+	maps  map[int]uint64
+}
+
+func newCarryState() carryState {
+	return carryState{maps: map[int]uint64{}}
+}
+
+func (c *carryState) forget(taskID int) { delete(c.maps, taskID) }
+
+func (c *carryState) remember(tasks []schedule.Task, best schedule.Solution) {
+	c.order = c.order[:0]
+	for _, pos := range best.Order {
+		c.order = append(c.order, tasks[pos].ID)
+	}
+	fresh := make(map[int]uint64, len(tasks))
+	for pos, t := range tasks {
+		fresh[t.ID] = best.Maps[pos]
+	}
+	c.maps = fresh
+}
+
+func (c *carryState) seed(tasks []schedule.Task, numNodes int) (schedule.Solution, bool) {
+	if len(c.order) == 0 {
+		return schedule.Solution{}, false
+	}
+	posByID := make(map[int]int, len(tasks))
+	for pos, t := range tasks {
+		posByID[t.ID] = pos
+	}
+	order := make([]int, 0, len(tasks))
+	used := make(map[int]bool, len(tasks))
+	for _, id := range c.order {
+		if pos, ok := posByID[id]; ok && !used[pos] {
+			order = append(order, pos)
+			used[pos] = true
+		}
+	}
+	for pos := range tasks {
+		if !used[pos] {
+			order = append(order, pos)
+		}
+	}
+	full := uint64(1)<<uint(numNodes) - 1
+	if numNodes >= 64 {
+		full = ^uint64(0)
+	}
+	maps := make([]uint64, len(tasks))
+	for pos, t := range tasks {
+		if m, ok := c.maps[t.ID]; ok && m&full != 0 {
+			maps[pos] = m & full
+		} else {
+			maps[pos] = full
+		}
+	}
+	sol := schedule.Solution{Order: order, Maps: maps}
+	if sol.Validate(len(tasks), numNodes) != nil {
+		return schedule.Solution{}, false
+	}
+	return sol, true
+}

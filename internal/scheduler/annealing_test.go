@@ -1,0 +1,167 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/pace"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+func heuristicTasks(t *testing.T, n int) []schedule.Task {
+	t.Helper()
+	names := pace.CaseStudyAppNames
+	tasks := make([]schedule.Task, n)
+	for i := range tasks {
+		tasks[i] = schedule.Task{ID: i + 1, App: appOf(t, names[i%len(names)]), Deadline: 300}
+	}
+	return tasks
+}
+
+func TestSAPolicyPlansAllTasks(t *testing.T) {
+	s := NewSAPolicy(sim.NewRNG(1))
+	s.Iterations = 400
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SunUltra5)
+	tasks := heuristicTasks(t, 8)
+	plan := s.Plan(tasks, schedule.NewResource(8), 0, pred)
+	if len(plan.Items) != 8 {
+		t.Fatalf("plan has %d items", len(plan.Items))
+	}
+	if s.Name() != "sa" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestTabuPolicyPlansAllTasks(t *testing.T) {
+	tp := NewTabuPolicy(sim.NewRNG(2))
+	tp.Moves, tp.Iterations = 20, 10
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SunUltra5)
+	tasks := heuristicTasks(t, 8)
+	plan := tp.Plan(tasks, schedule.NewResource(8), 0, pred)
+	if len(plan.Items) != 8 {
+		t.Fatalf("plan has %d items", len(plan.Items))
+	}
+	if tp.Name() != "tabu" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestHeuristicsBeatOrMatchGreedy(t *testing.T) {
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SunUltra5)
+	tasks := heuristicTasks(t, 10)
+	res := schedule.NewResource(16)
+	p := schedule.NewProblem(tasks, res, 0, pred)
+	greedy := p.Cost(p.GreedySeed())
+
+	sa := NewSAPolicy(sim.NewRNG(3))
+	saCost := p.Cost(planToSolution(t, sa, tasks, res, pred))
+	tb := NewTabuPolicy(sim.NewRNG(4))
+	tbCost := p.Cost(planToSolution(t, tb, tasks, res, pred))
+
+	if saCost > greedy+1e-9 {
+		t.Errorf("SA cost %v worse than greedy %v", saCost, greedy)
+	}
+	if tbCost > greedy+1e-9 {
+		t.Errorf("tabu cost %v worse than greedy %v", tbCost, greedy)
+	}
+}
+
+// planToSolution reconstructs the solution a policy settled on from its
+// built schedule (order by execution sequence, masks from placements).
+func planToSolution(t *testing.T, pol Policy, tasks []schedule.Task, res schedule.Resource, pred schedule.Predictor) schedule.Solution {
+	t.Helper()
+	s := pol.Plan(tasks, res, 0, pred)
+	sol := schedule.Solution{Order: make([]int, 0, len(tasks)), Maps: make([]uint64, len(tasks))}
+	for _, it := range s.Items {
+		sol.Order = append(sol.Order, it.TaskPos)
+		sol.Maps[it.TaskPos] = it.Mask
+	}
+	if err := sol.Validate(len(tasks), res.NumNodes); err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestSAPolicyEmptyQueueAndForget(t *testing.T) {
+	s := NewSAPolicy(sim.NewRNG(5))
+	e := pace.NewEngine()
+	plan := s.Plan(nil, schedule.NewResource(4), 3, enginePredictor(e, pace.SGIOrigin2000))
+	if len(plan.Items) != 0 {
+		t.Fatal("empty plan has items")
+	}
+	s.Forget(99) // must not panic on unknown IDs
+}
+
+func TestTabuPolicyEmptyQueueAndForget(t *testing.T) {
+	tp := NewTabuPolicy(sim.NewRNG(6))
+	e := pace.NewEngine()
+	plan := tp.Plan(nil, schedule.NewResource(4), 3, enginePredictor(e, pace.SGIOrigin2000))
+	if len(plan.Items) != 0 {
+		t.Fatal("empty plan has items")
+	}
+	tp.Forget(99)
+}
+
+func TestHeuristicPoliciesInLocalScheduler(t *testing.T) {
+	for _, mk := range []func() Policy{
+		func() Policy { p := NewSAPolicy(sim.NewRNG(7)); p.Iterations = 300; return p },
+		func() Policy { p := NewTabuPolicy(sim.NewRNG(8)); p.Moves, p.Iterations = 15, 10; return p },
+	} {
+		pol := mk()
+		l := newTestLocal(t, "S", pol, 8)
+		for i := 0; i < 12; i++ {
+			if _, err := l.Submit(appOf(t, pace.CaseStudyAppNames[i%7]), 1e9, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Drain()
+		if got := len(l.Records()); got != 12 {
+			t.Fatalf("%s: %d records, want 12", pol.Name(), got)
+		}
+	}
+}
+
+func TestSolutionHashDiscriminates(t *testing.T) {
+	rng := sim.NewRNG(9)
+	a := schedule.NewRandomSolution(8, 8, rng)
+	b := a.Clone()
+	if solutionHash(a) != solutionHash(b) {
+		t.Fatal("identical solutions hash differently")
+	}
+	b.Order[0], b.Order[1] = b.Order[1], b.Order[0]
+	if solutionHash(a) == solutionHash(b) {
+		t.Fatal("reordered solution hashes identically")
+	}
+	c := a.Clone()
+	c.Maps[0] ^= 1 << 3
+	if solutionHash(a) == solutionHash(c) {
+		t.Fatal("remapped solution hashes identically")
+	}
+}
+
+func TestCarryStateSharedSemantics(t *testing.T) {
+	c := newCarryState()
+	if _, ok := c.seed([]schedule.Task{{ID: 1}}, 4); ok {
+		t.Fatal("fresh carry produced a seed")
+	}
+	tasks := []schedule.Task{{ID: 1}, {ID: 2}}
+	c.remember(tasks, schedule.Solution{Order: []int{1, 0}, Maps: []uint64{0b01, 0b10}})
+	seed, ok := c.seed(tasks, 2)
+	if !ok {
+		t.Fatal("no seed after remember")
+	}
+	if seed.Order[0] != 1 || seed.Order[1] != 0 {
+		t.Fatalf("carry lost order: %v", seed.Order)
+	}
+	if seed.Maps[0] != 0b01 || seed.Maps[1] != 0b10 {
+		t.Fatalf("carry lost maps: %v", seed.Maps)
+	}
+	c.forget(1)
+	seed, _ = c.seed(tasks, 2)
+	if seed.Maps[0] != 0b11 { // forgotten task falls back to the full pool
+		t.Fatalf("forgotten task kept its mask: %b", seed.Maps[0])
+	}
+}

@@ -1,0 +1,130 @@
+package scheduler
+
+import (
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CommandExecutor is the task-execution module's real mode: when a task
+// begins execution it launches a pre-compiled program, the way the
+// paper's system runs MPI/PVM binaries that "must be pre-compiled and
+// available in all local file systems" (§2.2). Commands are looked up by
+// application name; tasks without a mapping fall back to test mode
+// (recorded, not executed).
+//
+// Command templates may reference placeholders, substituted per launch:
+//
+//	{task}  the task ID
+//	{nproc} the allocated node count
+//	{app}   the application model name
+//
+// Launches are asynchronous — the virtual schedule is authoritative for
+// timing (test-mode semantics); the spawned process is the side effect.
+// CommandExecutor is safe for concurrent use.
+type CommandExecutor struct {
+	mu       sync.Mutex
+	commands map[string][]string // app name -> argv template
+	launched []Record
+	done     []LaunchResult
+	wg       sync.WaitGroup
+}
+
+// LaunchResult records one finished process.
+type LaunchResult struct {
+	TaskID int
+	App    string
+	Err    error // nil on exit status 0
+	Output string
+}
+
+// NewCommandExecutor returns an executor with no command mappings.
+func NewCommandExecutor() *CommandExecutor {
+	return &CommandExecutor{commands: map[string][]string{}}
+}
+
+// Map registers the argv template to run for an application. The first
+// element is the binary path.
+func (e *CommandExecutor) Map(app string, argv ...string) error {
+	if app == "" || len(argv) == 0 || argv[0] == "" {
+		return fmt.Errorf("scheduler: command mapping needs an app name and a binary")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.commands[app] = append([]string(nil), argv...)
+	return nil
+}
+
+// ParseMapping registers a mapping in "app=binary arg arg..." form, the
+// shape the CLI flags use.
+func (e *CommandExecutor) ParseMapping(spec string) error {
+	app, cmdline, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("scheduler: bad exec mapping %q, want app=binary args...", spec)
+	}
+	fields := strings.Fields(cmdline)
+	return e.Map(strings.TrimSpace(app), fields...)
+}
+
+// Launch implements Executor: record the start and, when a command is
+// mapped, spawn it asynchronously.
+func (e *CommandExecutor) Launch(rec Record) {
+	e.mu.Lock()
+	e.launched = append(e.launched, rec)
+	app := ""
+	if rec.App != nil {
+		app = rec.App.Name
+	}
+	argv, ok := e.commands[app]
+	e.mu.Unlock()
+	if !ok {
+		return // test mode for unmapped applications
+	}
+
+	nproc := 0
+	for m := rec.Mask; m != 0; m &= m - 1 {
+		nproc++
+	}
+	expanded := make([]string, len(argv))
+	for i, a := range argv {
+		a = strings.ReplaceAll(a, "{task}", strconv.Itoa(rec.TaskID))
+		a = strings.ReplaceAll(a, "{nproc}", strconv.Itoa(nproc))
+		a = strings.ReplaceAll(a, "{app}", app)
+		expanded[i] = a
+	}
+
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		out, err := exec.Command(expanded[0], expanded[1:]...).CombinedOutput()
+		e.mu.Lock()
+		e.done = append(e.done, LaunchResult{TaskID: rec.TaskID, App: app, Err: err, Output: string(out)})
+		e.mu.Unlock()
+	}()
+}
+
+// Wait blocks until every spawned process has finished.
+func (e *CommandExecutor) Wait() {
+	e.wg.Wait()
+}
+
+// Launched returns the records seen by Launch, in order.
+func (e *CommandExecutor) Launched() []Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Record, len(e.launched))
+	copy(out, e.launched)
+	return out
+}
+
+// Results returns the finished process results (order is completion
+// order, not launch order).
+func (e *CommandExecutor) Results() []LaunchResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]LaunchResult, len(e.done))
+	copy(out, e.done)
+	return out
+}

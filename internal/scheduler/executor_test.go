@@ -1,0 +1,109 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pace"
+)
+
+func TestCommandExecutorRunsMappedCommand(t *testing.T) {
+	e := NewCommandExecutor()
+	if err := e.Map("fft", "echo", "task={task}", "nproc={nproc}", "app={app}"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLocal(Config{
+		Name: "S1", HW: pace.SGIOrigin2000, NumNodes: 4,
+		Policy: NewFIFOPolicy(), Engine: pace.NewEngine(), Executor: e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Submit(appOf(t, "fft"), 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Drain()
+	e.Wait()
+
+	if got := e.Launched(); len(got) != 1 || got[0].TaskID != id {
+		t.Fatalf("launched: %+v", got)
+	}
+	res := e.Results()
+	if len(res) != 1 {
+		t.Fatalf("%d process results", len(res))
+	}
+	if res[0].Err != nil {
+		t.Fatalf("process failed: %v (%s)", res[0].Err, res[0].Output)
+	}
+	// fft on an idle 4-node pool allocates all 4 nodes (Table 1 is
+	// monotone decreasing to 16).
+	for _, want := range []string{"task=", "nproc=4", "app=fft"} {
+		if !strings.Contains(res[0].Output, want) {
+			t.Fatalf("output %q missing %q", res[0].Output, want)
+		}
+	}
+}
+
+func TestCommandExecutorUnmappedFallsBackToTestMode(t *testing.T) {
+	e := NewCommandExecutor()
+	l, err := NewLocal(Config{
+		Name: "S1", HW: pace.SGIOrigin2000, NumNodes: 2,
+		Policy: NewFIFOPolicy(), Engine: pace.NewEngine(), Executor: e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Submit(appOf(t, "closure"), 1e9, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Drain()
+	e.Wait()
+	if len(e.Launched()) != 1 {
+		t.Fatal("launch not recorded")
+	}
+	if len(e.Results()) != 0 {
+		t.Fatal("unmapped app spawned a process")
+	}
+}
+
+func TestCommandExecutorFailedProcessReported(t *testing.T) {
+	e := NewCommandExecutor()
+	if err := e.Map("closure", "false"); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLocal(Config{
+		Name: "S1", HW: pace.SGIOrigin2000, NumNodes: 2,
+		Policy: NewFIFOPolicy(), Engine: pace.NewEngine(), Executor: e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Submit(appOf(t, "closure"), 1e9, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Drain()
+	e.Wait()
+	res := e.Results()
+	if len(res) != 1 || res[0].Err == nil {
+		t.Fatalf("failing process not reported: %+v", res)
+	}
+}
+
+func TestCommandExecutorParseMapping(t *testing.T) {
+	e := NewCommandExecutor()
+	if err := e.ParseMapping("sweep3d=/bin/echo hello {task}"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nosign", "=", "app=", "=cmd"} {
+		if err := e.ParseMapping(bad); err == nil {
+			t.Errorf("bad mapping %q accepted", bad)
+		}
+	}
+	if err := e.Map("", "x"); err == nil {
+		t.Error("empty app accepted")
+	}
+	if err := e.Map("x"); err == nil {
+		t.Error("empty argv accepted")
+	}
+}

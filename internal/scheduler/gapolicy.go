@@ -1,0 +1,84 @@
+package scheduler
+
+import (
+	"repro/internal/ga"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// GAPolicy is the genetic-algorithm scheduling policy of §2.1. Each Plan
+// call evolves a population of two-part solution strings; the best
+// solution of the previous call is mapped onto the current task set and
+// injected as a seed, which is how the algorithm "absorbs system changes
+// such as the addition or deletion of tasks" rather than restarting from
+// scratch.
+type GAPolicy struct {
+	Config        ga.Config
+	Weights       schedule.CostWeights
+	FrontWeighted bool
+	rng           *sim.RNG
+
+	carry carryState // previous best, keyed by task ID
+	stats GAPolicyStats
+}
+
+// GAPolicyStats accumulates GA activity across Plan calls.
+type GAPolicyStats struct {
+	Plans       int
+	Generations int
+	CostEvals   int
+}
+
+// NewGAPolicy returns a GA policy with the given configuration, drawing
+// randomness from rng.
+func NewGAPolicy(cfg ga.Config, rng *sim.RNG) *GAPolicy {
+	return &GAPolicy{
+		Config:        cfg,
+		Weights:       schedule.DefaultWeights(),
+		FrontWeighted: true,
+		rng:           rng,
+		carry:         newCarryState(),
+	}
+}
+
+// Name implements Policy.
+func (g *GAPolicy) Name() string { return "ga" }
+
+// Forget implements Policy.
+func (g *GAPolicy) Forget(taskID int) { g.carry.forget(taskID) }
+
+// Stats returns cumulative GA activity.
+func (g *GAPolicy) Stats() GAPolicyStats { return g.stats }
+
+// Plan implements Policy.
+func (g *GAPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float64, predict schedule.Predictor) *schedule.Schedule {
+	if len(tasks) == 0 {
+		g.carry.order = nil
+		return schedule.Build(schedule.Solution{Order: []int{}, Maps: []uint64{}}, tasks, res, now, predict)
+	}
+	p := &schedule.Problem{
+		Tasks:         tasks,
+		Res:           res,
+		Base:          now,
+		Predict:       predict,
+		Weights:       g.Weights,
+		FrontWeighted: g.FrontWeighted,
+	}
+
+	// Seed the population with a greedy baseline plus the previous best
+	// mapped onto the current task set (carryState): surviving tasks keep
+	// their relative order and node maps, new tasks append in arrival
+	// order over the whole pool.
+	seeds := []schedule.Solution{p.GreedySeed()}
+	if carried, ok := g.carry.seed(tasks, res.NumNodes); ok {
+		seeds = append(seeds, carried)
+	}
+
+	res2 := ga.Run[schedule.Solution](p, g.Config, g.rng, seeds)
+	g.stats.Plans++
+	g.stats.Generations += res2.Generations
+	g.stats.CostEvals += res2.CostEvals
+
+	g.carry.remember(tasks, res2.Best)
+	return schedule.Build(res2.Best, tasks, res, now, predict)
+}

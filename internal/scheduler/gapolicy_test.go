@@ -1,0 +1,147 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/pace"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+func TestGAPolicyPlansAllTasks(t *testing.T) {
+	g := newGAForTest(1)
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SunUltra10)
+	tasks := []schedule.Task{
+		{ID: 1, App: appOf(t, "sweep3d"), Deadline: 1e9},
+		{ID: 2, App: appOf(t, "fft"), Deadline: 1e9},
+		{ID: 3, App: appOf(t, "improc"), Deadline: 1e9},
+	}
+	s := g.Plan(tasks, schedule.NewResource(8), 0, pred)
+	if len(s.Items) != 3 {
+		t.Fatalf("plan has %d items, want 3", len(s.Items))
+	}
+	seen := map[int]bool{}
+	for _, it := range s.Items {
+		seen[it.TaskPos] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("plan omitted tasks: %+v", s.Items)
+	}
+}
+
+func TestGAPolicyEmptyQueue(t *testing.T) {
+	g := newGAForTest(2)
+	e := pace.NewEngine()
+	s := g.Plan(nil, schedule.NewResource(4), 5, enginePredictor(e, pace.SGIOrigin2000))
+	if len(s.Items) != 0 {
+		t.Fatalf("empty plan has items: %+v", s.Items)
+	}
+	if g.Stats().Plans != 0 {
+		t.Fatal("empty plan counted as a GA run")
+	}
+}
+
+func TestGAPolicyStatsAccumulate(t *testing.T) {
+	g := newGAForTest(3)
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SGIOrigin2000)
+	tasks := []schedule.Task{{ID: 1, App: appOf(t, "fft"), Deadline: 1e9}}
+	_ = g.Plan(tasks, schedule.NewResource(4), 0, pred)
+	s1 := g.Stats()
+	if s1.Plans != 1 || s1.Generations == 0 || s1.CostEvals == 0 {
+		t.Fatalf("stats after one plan: %+v", s1)
+	}
+	_ = g.Plan(tasks, schedule.NewResource(4), 0, pred)
+	s2 := g.Stats()
+	if s2.Plans != 2 || s2.CostEvals <= s1.CostEvals {
+		t.Fatalf("stats did not accumulate: %+v -> %+v", s1, s2)
+	}
+}
+
+func TestGAPolicyCarrySeedSurvivesChurn(t *testing.T) {
+	g := newGAForTest(4)
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SGIOrigin2000)
+	tasks := []schedule.Task{
+		{ID: 10, App: appOf(t, "jacobi"), Deadline: 1e9},
+		{ID: 11, App: appOf(t, "cpi"), Deadline: 1e9},
+	}
+	_ = g.Plan(tasks, schedule.NewResource(4), 0, pred)
+
+	// Task 10 leaves, tasks 12 and 13 arrive.
+	g.Forget(10)
+	tasks = []schedule.Task{
+		{ID: 11, App: appOf(t, "cpi"), Deadline: 1e9},
+		{ID: 12, App: appOf(t, "fft"), Arrival: 1, Deadline: 1e9},
+		{ID: 13, App: appOf(t, "memsort"), Arrival: 2, Deadline: 1e9},
+	}
+	seed, ok := g.carry.seed(tasks, 4)
+	if !ok {
+		t.Fatal("no carry seed after churn")
+	}
+	if err := seed.Validate(3, 4); err != nil {
+		t.Fatalf("carry seed invalid: %v", err)
+	}
+	// Planning again must still cover all tasks.
+	s := g.Plan(tasks, schedule.NewResource(4), 1, pred)
+	if len(s.Items) != 3 {
+		t.Fatalf("plan after churn has %d items", len(s.Items))
+	}
+}
+
+func TestGAPolicyCarrySeedShrunkPool(t *testing.T) {
+	g := newGAForTest(5)
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SGIOrigin2000)
+	tasks := []schedule.Task{{ID: 1, App: appOf(t, "fft"), Deadline: 1e9}}
+	_ = g.Plan(tasks, schedule.NewResource(8), 0, pred)
+	// The node pool shrinks (failures): previous masks must be clipped.
+	seed, ok := g.carry.seed(tasks, 2)
+	if !ok {
+		t.Skip("previous mask entirely outside the shrunk pool; acceptable")
+	}
+	if err := seed.Validate(1, 2); err != nil {
+		t.Fatalf("carry seed invalid on shrunk pool: %v", err)
+	}
+}
+
+func TestGAPolicyNoCarryBeforeFirstPlan(t *testing.T) {
+	g := newGAForTest(6)
+	if _, ok := g.carry.seed([]schedule.Task{{ID: 1}}, 4); ok {
+		t.Fatal("carry seed produced before any plan")
+	}
+}
+
+func TestGAPolicyImprovesOverGreedyOnContention(t *testing.T) {
+	// Several improc tasks (optimal at 8 nodes) on a 16-node pool: greedy
+	// gives each task its solo-optimal 8+ nodes serially, while the
+	// GA can run tasks side by side. The GA plan's cost must be no worse
+	// than the greedy seed's.
+	gaCfg := ga.DefaultConfig()
+	gaCfg.MaxGenerations = 60
+	g := NewGAPolicy(gaCfg, sim.NewRNG(7))
+	e := pace.NewEngine()
+	pred := enginePredictor(e, pace.SGIOrigin2000)
+	var tasks []schedule.Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, schedule.Task{ID: i + 1, App: appOf(t, "improc"), Deadline: 70})
+	}
+	res := schedule.NewResource(16)
+	p := &schedule.Problem{Tasks: tasks, Res: res, Base: 0, Predict: pred,
+		Weights: g.Weights, FrontWeighted: true}
+	greedyCost := p.Cost(p.GreedySeed())
+
+	s := g.Plan(tasks, res, 0, pred)
+	got := schedule.Cost(s, tasks, g.Weights, true).Combined
+	if got > greedyCost+1e-9 {
+		t.Fatalf("GA cost %v worse than greedy seed %v", got, greedyCost)
+	}
+}
+
+func TestGAPolicyName(t *testing.T) {
+	if newGAForTest(8).Name() != "ga" {
+		t.Fatal("wrong policy name")
+	}
+}

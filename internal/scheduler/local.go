@@ -1,0 +1,445 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/pace"
+	"repro/internal/schedule"
+)
+
+// Record is the completed placement of one task: which physical nodes ran
+// it, when it started and completed, and the contract it had to meet. The
+// metrics of §3.3 are computed over these records.
+type Record struct {
+	TaskID   int
+	App      *pace.AppModel
+	Arrival  float64
+	Deadline float64
+	Mask     uint64 // physical node mask on the owning resource
+	Start    float64
+	End      float64
+	Resource string
+}
+
+// Executor is the task-execution module of Fig. 3. Under the paper's test
+// mode tasks are not actually executed: "the predictive application
+// execution times are scheduled and assumed to be accurate" (§3.2).
+type Executor interface {
+	// Launch is called exactly once per task, when it begins execution.
+	Launch(rec Record)
+}
+
+// TestExecutor implements test mode: it records launches and does nothing
+// else.
+type TestExecutor struct {
+	Launched []Record
+}
+
+// Launch implements Executor.
+func (e *TestExecutor) Launch(rec Record) { e.Launched = append(e.Launched, rec) }
+
+// Config configures a Local scheduler.
+type Config struct {
+	Name         string        // resource/agent identity, e.g. "S1"
+	HW           pace.Hardware // static resource model for all nodes
+	NumNodes     int           // homogeneous processing nodes (§3.2)
+	Policy       Policy        // GA or FIFO
+	Engine       *pace.Engine  // PACE evaluation engine (shared or private)
+	Environments []string      // supported execution environments; defaults to {"test"}
+	Executor     Executor      // defaults to a TestExecutor
+
+	// ActualDuration, when set, supplies the task's real execution time
+	// given the prediction — the §5 prediction-accuracy study. The
+	// scheduler keeps planning with predictions; reality diverges at
+	// execution time and subsequent plans see the true node availability.
+	// nil means predictions are exact (the paper's test mode).
+	ActualDuration func(app *pace.AppModel, nprocs int, predicted float64, taskID int) float64
+}
+
+// Local is a performance-driven local grid scheduler (Fig. 3): one input
+// (requests), two outputs (results, service information) and the task
+// management, GA scheduling, resource monitoring, task execution and PACE
+// evaluation modules in between.
+//
+// Local is driven in virtual time by its caller: AdvanceTo promotes
+// planned tasks into execution as the clock passes their start times, and
+// Submit enqueues work and replans the queue. It is not safe for
+// concurrent use; the networked daemon in cmd/gridsched serialises access.
+type Local struct {
+	cfg     Config
+	monitor *Monitor
+
+	pending   []schedule.Task // the GA's optimisation set T, arrival order
+	plan      *schedule.Schedule
+	planPhys  []int // compact node index -> physical node index for plan
+	committed []Record
+	nodeBusy  []float64 // physical per-node busy-until from committed tasks
+
+	nextID int
+	now    float64
+}
+
+// NewLocal validates cfg and returns a scheduler at virtual time 0.
+func NewLocal(cfg Config) (*Local, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("scheduler: config needs a name")
+	}
+	if err := cfg.HW.Valid(); err != nil {
+		return nil, err
+	}
+	if cfg.NumNodes < 1 || cfg.NumNodes > schedule.MaxNodes {
+		return nil, fmt.Errorf("scheduler: %q: node count %d outside [1, %d]", cfg.Name, cfg.NumNodes, schedule.MaxNodes)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("scheduler: %q: no scheduling policy", cfg.Name)
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("scheduler: %q: no PACE evaluation engine", cfg.Name)
+	}
+	if len(cfg.Environments) == 0 {
+		cfg.Environments = []string{"test"}
+	}
+	if cfg.Executor == nil {
+		cfg.Executor = &TestExecutor{}
+	}
+	return &Local{
+		cfg:      cfg,
+		monitor:  NewMonitor(cfg.NumNodes),
+		nodeBusy: make([]float64, cfg.NumNodes),
+	}, nil
+}
+
+// Name returns the resource identity.
+func (l *Local) Name() string { return l.cfg.Name }
+
+// Hardware returns the static resource model.
+func (l *Local) Hardware() pace.Hardware { return l.cfg.HW }
+
+// NumNodes returns the configured node count.
+func (l *Local) NumNodes() int { return l.cfg.NumNodes }
+
+// Environments returns the supported execution environments.
+func (l *Local) Environments() []string { return l.cfg.Environments }
+
+// Monitor exposes the resource monitor (for failure injection).
+func (l *Local) Monitor() *Monitor { return l.monitor }
+
+// PolicyName reports the active scheduling policy.
+func (l *Local) PolicyName() string { return l.cfg.Policy.Name() }
+
+// Now returns the scheduler's current virtual time.
+func (l *Local) Now() float64 { return l.now }
+
+// QueueLen returns the number of tasks waiting to start.
+func (l *Local) QueueLen() int { return len(l.pending) }
+
+// duration returns t_x(k, app) for this resource's hardware. The call
+// goes straight to the evaluation engine: the demand-driven cache of past
+// evaluations "between the scheduler and the PACE evaluation engine"
+// (§2.2) lives inside the engine, so disabling it for the ablation study
+// exposes the full evaluation cost to the GA.
+func (l *Local) duration(app *pace.AppModel, k int) float64 {
+	return l.cfg.Engine.MustPredict(app, l.cfg.HW, k)
+}
+
+// Submit enqueues a task with the given application model and absolute
+// deadline, replans the queue, and returns the task's unique ID. The
+// clock is advanced to now first, promoting any planned starts the clock
+// passes.
+func (l *Local) Submit(app *pace.AppModel, deadline float64, now float64) (int, error) {
+	if app == nil {
+		return 0, fmt.Errorf("scheduler: %q: nil application model", l.cfg.Name)
+	}
+	if l.monitor.NumUp() == 0 {
+		return 0, fmt.Errorf("scheduler: %q: no processing nodes available", l.cfg.Name)
+	}
+	l.AdvanceTo(now)
+	l.nextID++
+	id := l.nextID
+	l.pending = append(l.pending, schedule.Task{ID: id, App: app, Arrival: now, Deadline: deadline})
+	l.replan()
+	return id, nil
+}
+
+// Delete removes a waiting task from the queue (task management supports
+// "adding, deleting or inserting tasks", §2.2). Tasks that already began
+// execution cannot be deleted.
+func (l *Local) Delete(taskID int, now float64) error {
+	l.AdvanceTo(now)
+	for i, t := range l.pending {
+		if t.ID == taskID {
+			l.pending = append(l.pending[:i], l.pending[i+1:]...)
+			l.cfg.Policy.Forget(taskID)
+			l.replan()
+			return nil
+		}
+	}
+	return fmt.Errorf("scheduler: %q: task %d is not waiting", l.cfg.Name, taskID)
+}
+
+// replan runs the scheduling policy over the pending queue against the
+// currently available nodes.
+func (l *Local) replan() {
+	up := l.monitor.UpNodes()
+	if len(up) == 0 {
+		l.plan, l.planPhys = nil, nil
+		return
+	}
+	res := schedule.Resource{NumNodes: len(up), Avail: make([]float64, len(up))}
+	for c, phys := range up {
+		res.Avail[c] = l.nodeBusy[phys]
+	}
+	predict := func(app *pace.AppModel, k int) float64 { return l.duration(app, k) }
+	l.plan = l.cfg.Policy.Plan(l.pending, res, l.now, predict)
+	l.planPhys = up
+}
+
+// AdvanceTo moves the scheduler's clock to now, promoting every planned
+// task whose start time has been reached into execution ("once a task
+// begins execution, it is removed from the task set T", §2.2).
+func (l *Local) AdvanceTo(now float64) {
+	if now < l.now {
+		panic(fmt.Sprintf("scheduler: %q: clock moved backwards %v -> %v", l.cfg.Name, l.now, now))
+	}
+	l.now = now
+	l.promote(func(p schedule.Placed) bool { return p.Start <= now })
+}
+
+// Drain promotes every remaining planned task regardless of the clock,
+// completing the simulation of the queue. It returns the final makespan
+// (the time the last task completes), or the current time for an empty
+// queue.
+func (l *Local) Drain() float64 {
+	l.promote(func(schedule.Placed) bool { return true })
+	end := l.now
+	for _, b := range l.nodeBusy {
+		if b > end {
+			end = b
+		}
+	}
+	return end
+}
+
+// promote moves planned tasks matching ready into the committed set, in
+// start-time order. The surviving items keep their timing: they were
+// computed jointly with the promoted ones, so the residual plan stays
+// feasible and consistent. The policy replans on the next Submit or
+// Delete; rerunning the GA on every clock advance would add cost without
+// new information.
+func (l *Local) promote(ready func(schedule.Placed) bool) {
+	if l.plan == nil || len(l.plan.Items) == 0 {
+		return
+	}
+	byStart := make([]schedule.Placed, len(l.plan.Items))
+	copy(byStart, l.plan.Items)
+	sort.SliceStable(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+
+	oldPending := l.pending
+	promoted := map[int]bool{} // keyed by task ID
+	for _, it := range byStart {
+		if !ready(it) {
+			continue
+		}
+		t := oldPending[it.TaskPos]
+		mask := l.physMask(it.Mask)
+		// When actual execution times diverge from predictions, a node may
+		// still be busy past the planned start; the task then begins late
+		// (in reality the earlier task has not released the node yet).
+		start := it.Start
+		for m := mask; m != 0; m &= m - 1 {
+			if b := l.nodeBusy[bits.TrailingZeros64(m)]; b > start {
+				start = b
+			}
+		}
+		dur := it.End - it.Start
+		if l.cfg.ActualDuration != nil {
+			dur = l.cfg.ActualDuration(t.App, bits.OnesCount64(it.Mask), dur, t.ID)
+			if dur < 0 {
+				dur = 0
+			}
+		}
+		rec := Record{
+			TaskID:   t.ID,
+			App:      t.App,
+			Arrival:  t.Arrival,
+			Deadline: t.Deadline,
+			Mask:     mask,
+			Start:    start,
+			End:      start + dur,
+			Resource: l.cfg.Name,
+		}
+		l.committed = append(l.committed, rec)
+		l.cfg.Executor.Launch(rec)
+		for m := rec.Mask; m != 0; m &= m - 1 {
+			phys := bits.TrailingZeros64(m)
+			if rec.End > l.nodeBusy[phys] {
+				l.nodeBusy[phys] = rec.End
+			}
+		}
+		promoted[t.ID] = true
+		l.cfg.Policy.Forget(t.ID)
+	}
+	if len(promoted) == 0 {
+		return
+	}
+
+	// Rebuild pending and translate the surviving plan items to the new
+	// task positions.
+	newPos := make(map[int]int, len(oldPending)) // task ID -> new position
+	newPending := make([]schedule.Task, 0, len(oldPending)-len(promoted))
+	for _, t := range oldPending {
+		if !promoted[t.ID] {
+			newPos[t.ID] = len(newPending)
+			newPending = append(newPending, t)
+		}
+	}
+	l.pending = newPending
+	if len(l.pending) == 0 {
+		l.plan, l.planPhys = nil, nil
+		return
+	}
+	residual := make([]schedule.Placed, 0, len(l.pending))
+	for _, it := range l.plan.Items {
+		id := oldPending[it.TaskPos].ID
+		if promoted[id] {
+			continue
+		}
+		it.TaskPos = newPos[id]
+		residual = append(residual, it)
+	}
+	l.plan = &schedule.Schedule{
+		Items:    residual,
+		NodeBusy: l.plan.NodeBusy,
+		Makespan: l.plan.Makespan,
+		Base:     l.plan.Base,
+	}
+}
+
+// physMask translates a plan-space (compacted) node mask to physical node
+// indices.
+func (l *Local) physMask(compact uint64) uint64 {
+	var phys uint64
+	for m := compact; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros64(m)
+		phys |= uint64(1) << uint(l.planPhys[c])
+	}
+	return phys
+}
+
+// Records returns the committed (started or finished) tasks in start
+// order.
+func (l *Local) Records() []Record {
+	out := make([]Record, len(l.committed))
+	copy(out, l.committed)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Planned returns the current schedule for tasks that have not begun
+// execution, as records carrying the planned start/completion times, in
+// start order. The plan changes as tasks arrive, start, or are deleted.
+func (l *Local) Planned() []Record {
+	if l.plan == nil {
+		return nil
+	}
+	out := make([]Record, 0, len(l.plan.Items))
+	for _, it := range l.plan.Items {
+		t := l.pending[it.TaskPos]
+		out = append(out, Record{
+			TaskID:   t.ID,
+			App:      t.App,
+			Arrival:  t.Arrival,
+			Deadline: t.Deadline,
+			Mask:     l.physMask(it.Mask),
+			Start:    it.Start,
+			End:      it.End,
+			Resource: l.cfg.Name,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Freetime returns ω: "the earliest (approximate) time that corresponding
+// processors become available for more tasks" (§3.2) — the makespan of
+// the latest schedule over pending work, or the committed busy horizon
+// when the queue is empty. Never earlier than the current clock.
+func (l *Local) Freetime() float64 {
+	ft := l.now
+	if l.plan != nil && len(l.plan.Items) > 0 {
+		if l.plan.Makespan > ft {
+			ft = l.plan.Makespan
+		}
+		return ft
+	}
+	for _, b := range l.nodeBusy {
+		if b > ft {
+			ft = b
+		}
+	}
+	return ft
+}
+
+// EstimateCompletion implements eq. 10 for this resource: the expected
+// completion time of app if it were dispatched here now,
+//
+//	η_r = ω + min over node subsets of t_x(ρ, σ_r),
+//
+// which for a homogeneous resource means evaluating the PACE engine once
+// per node count (§3.2).
+func (l *Local) EstimateCompletion(app *pace.AppModel) (float64, error) {
+	up := l.monitor.NumUp()
+	if up == 0 {
+		return 0, fmt.Errorf("scheduler: %q: no processing nodes available", l.cfg.Name)
+	}
+	best := math.Inf(1)
+	for k := 1; k <= up; k++ {
+		d, err := l.cfg.Engine.Predict(app, l.cfg.HW, k)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return l.Freetime() + best, nil
+}
+
+// ServiceInfo is the advertisement a local scheduler submits to its agent
+// (Fig. 5): identity, hardware model, node count, supported execution
+// environments and the freetime estimate the agents use to judge
+// workload.
+type ServiceInfo struct {
+	Name         string
+	HWType       string
+	NProc        int
+	Environments []string
+	Freetime     float64
+}
+
+// ServiceInfo returns the current advertisement.
+func (l *Local) ServiceInfo() ServiceInfo {
+	envs := make([]string, len(l.cfg.Environments))
+	copy(envs, l.cfg.Environments)
+	return ServiceInfo{
+		Name:         l.cfg.Name,
+		HWType:       l.cfg.HW.Name,
+		NProc:        l.cfg.NumNodes,
+		Environments: envs,
+		Freetime:     l.Freetime(),
+	}
+}
+
+// SupportsEnvironment reports whether the scheduler can execute tasks in
+// the given environment (matchmaking precondition, §3.2).
+func (l *Local) SupportsEnvironment(env string) bool {
+	for _, e := range l.cfg.Environments {
+		if e == env {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultPollInterval is the resource monitor's query period: "the
+// resource monitor queries each known node every five minutes" (§2.2).
+const DefaultPollInterval = 300.0
+
+// AvailabilityEvent records one observed node state change.
+type AvailabilityEvent struct {
+	Time float64
+	Node int
+	Up   bool
+}
+
+// Monitor is the resource-monitoring module of Fig. 3. It tracks host
+// availability — the only statistic the paper's implementation supports —
+// and feeds the GA scheduler the set of nodes tasks may be scheduled on.
+// Failure injection for tests and examples goes through SetNodeDown.
+type Monitor struct {
+	numNodes     int
+	down         map[int]bool
+	PollInterval float64
+	events       []AvailabilityEvent
+}
+
+// NewMonitor returns a monitor over numNodes nodes, all up.
+func NewMonitor(numNodes int) *Monitor {
+	if numNodes < 1 {
+		panic(fmt.Sprintf("scheduler: monitor over %d nodes", numNodes))
+	}
+	return &Monitor{
+		numNodes:     numNodes,
+		down:         map[int]bool{},
+		PollInterval: DefaultPollInterval,
+	}
+}
+
+// NumNodes returns the total node count, up or down.
+func (m *Monitor) NumNodes() int { return m.numNodes }
+
+// SetNodeDown marks a node down (or back up) as of virtual time now.
+// Out-of-range nodes are rejected.
+func (m *Monitor) SetNodeDown(node int, down bool, now float64) error {
+	if node < 0 || node >= m.numNodes {
+		return fmt.Errorf("scheduler: node %d outside [0, %d)", node, m.numNodes)
+	}
+	if m.down[node] == down {
+		return nil // no state change, no event
+	}
+	if down {
+		m.down[node] = true
+	} else {
+		delete(m.down, node)
+	}
+	m.events = append(m.events, AvailabilityEvent{Time: now, Node: node, Up: !down})
+	return nil
+}
+
+// IsUp reports whether the node is available.
+func (m *Monitor) IsUp(node int) bool {
+	return node >= 0 && node < m.numNodes && !m.down[node]
+}
+
+// UpNodes returns the available node indices in ascending order.
+func (m *Monitor) UpNodes() []int {
+	out := make([]int, 0, m.numNodes-len(m.down))
+	for i := 0; i < m.numNodes; i++ {
+		if !m.down[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumUp returns the number of available nodes.
+func (m *Monitor) NumUp() int { return m.numNodes - len(m.down) }
+
+// Events returns the observed availability changes in time order.
+func (m *Monitor) Events() []AvailabilityEvent {
+	out := make([]AvailabilityEvent, len(m.events))
+	copy(out, m.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

@@ -1,0 +1,78 @@
+package scheduler
+
+import "testing"
+
+func TestMonitorInitialState(t *testing.T) {
+	m := NewMonitor(4)
+	if m.NumNodes() != 4 || m.NumUp() != 4 {
+		t.Fatalf("fresh monitor: %d nodes, %d up", m.NumNodes(), m.NumUp())
+	}
+	up := m.UpNodes()
+	if len(up) != 4 {
+		t.Fatalf("UpNodes = %v", up)
+	}
+	for i, n := range up {
+		if n != i {
+			t.Fatalf("UpNodes = %v, want ascending indices", up)
+		}
+	}
+	if m.PollInterval != DefaultPollInterval {
+		t.Fatalf("poll interval %v, want %v (five minutes, §2.2)", m.PollInterval, DefaultPollInterval)
+	}
+}
+
+func TestMonitorDownUpCycle(t *testing.T) {
+	m := NewMonitor(3)
+	if err := m.SetNodeDown(1, true, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsUp(1) || m.NumUp() != 2 {
+		t.Fatalf("node 1 still up after SetNodeDown")
+	}
+	up := m.UpNodes()
+	if len(up) != 2 || up[0] != 0 || up[1] != 2 {
+		t.Fatalf("UpNodes = %v, want [0 2]", up)
+	}
+	if err := m.SetNodeDown(1, false, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsUp(1) || m.NumUp() != 3 {
+		t.Fatal("node 1 did not come back up")
+	}
+	ev := m.Events()
+	if len(ev) != 2 || ev[0].Up || !ev[1].Up || ev[0].Time != 10 || ev[1].Time != 20 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestMonitorNoEventOnNoChange(t *testing.T) {
+	m := NewMonitor(2)
+	_ = m.SetNodeDown(0, true, 1)
+	_ = m.SetNodeDown(0, true, 2)  // already down
+	_ = m.SetNodeDown(1, false, 3) // already up
+	if got := len(m.Events()); got != 1 {
+		t.Fatalf("%d events recorded, want 1", got)
+	}
+}
+
+func TestMonitorRejectsBadNode(t *testing.T) {
+	m := NewMonitor(2)
+	if err := m.SetNodeDown(-1, true, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := m.SetNodeDown(2, true, 0); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if m.IsUp(-1) || m.IsUp(5) {
+		t.Error("IsUp true for out-of-range node")
+	}
+}
+
+func TestMonitorPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMonitor(0) did not panic")
+		}
+	}()
+	NewMonitor(0)
+}

@@ -1,0 +1,26 @@
+// Package scheduler implements the performance-driven local grid scheduler
+// of §2.2 (Fig. 3): task management and queueing, GA scheduling, a FIFO
+// baseline, resource monitoring and test-mode task execution, all driven
+// by PACE predictive data. One Local instance manages one grid resource (a
+// homogeneous cluster or multiprocessor).
+package scheduler
+
+import (
+	"repro/internal/schedule"
+)
+
+// Policy plans the pending task queue onto the resource. Implementations
+// are stateful: the GA carries its previous best solution across calls so
+// the evolutionary process absorbs task arrivals and departures (§1), and
+// FIFO keeps its first allocation for every task fixed (§4.1).
+type Policy interface {
+	// Name identifies the policy in reports ("ga", "fifo").
+	Name() string
+	// Plan schedules tasks onto res starting no earlier than now. tasks
+	// are the pending queue in arrival order; res.Avail reflects nodes'
+	// commitments. The returned schedule must place every task.
+	Plan(tasks []schedule.Task, res schedule.Resource, now float64, predict schedule.Predictor) *schedule.Schedule
+	// Forget drops any per-task state for a task that left the queue
+	// without being planned again (e.g. deleted by the user).
+	Forget(taskID int)
+}

@@ -1,0 +1,22 @@
+package sim
+
+import "fmt"
+
+// Clock tracks virtual time in seconds. The zero value is a clock at time 0.
+//
+// Virtual time is monotone: Advance panics when asked to move backwards,
+// which catches event-ordering bugs early.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward to t.
+func (c *Clock) Advance(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a virtual time. Events at equal
+// times run in the order they were scheduled (FIFO tie-break via sequence
+// numbers), which keeps simulations deterministic.
+type Event struct {
+	At  float64
+	seq uint64
+	Run func(now float64)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator couples a virtual clock with an event queue. It is the driver
+// for the case-study experiments: workload arrivals, agent advertisement
+// pulls and scheduler wake-ups are all simulator events.
+//
+// Simulator is not safe for concurrent use; the case study is a sequential
+// discrete-event simulation (the paper's agents are concurrent processes,
+// but under test mode their interleaving is fixed by the event order).
+type Simulator struct {
+	clock Clock
+	queue eventHeap
+	seq   uint64
+}
+
+// NewSimulator returns an empty simulator at virtual time 0.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.clock.Now() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a causality bug in the caller.
+func (s *Simulator) At(t float64, fn func(now float64)) {
+	if t < s.clock.Now() {
+		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", t, s.clock.Now()))
+	}
+	s.seq++
+	heap.Push(&s.queue, &Event{At: t, seq: s.seq, Run: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn func(now float64)) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.At(s.clock.Now()+d, fn)
+}
+
+// Every schedules fn to run now+d, now+2d, ... until fn returns false.
+func (s *Simulator) Every(d float64, fn func(now float64) bool) {
+	if d <= 0 {
+		panic("sim: non-positive period")
+	}
+	var tick func(now float64)
+	tick = func(now float64) {
+		if fn(now) {
+			s.After(d, tick)
+		}
+	}
+	s.After(d, tick)
+}
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.clock.Advance(e.At)
+	e.Run(e.At)
+	return true
+}
+
+// RunUntil executes events with At <= t in order, then advances the clock
+// to exactly t.
+func (s *Simulator) RunUntil(t float64) {
+	for len(s.queue) > 0 && s.queue[0].At <= t {
+		s.Step()
+	}
+	s.clock.Advance(t)
+}
+
+// RunAll drains the event queue. maxEvents bounds the number of events to
+// protect against runaway self-rescheduling loops; pass 0 for the default
+// of 10 million.
+func (s *Simulator) RunAll(maxEvents int) {
+	if maxEvents <= 0 {
+		maxEvents = 10_000_000
+	}
+	for i := 0; i < maxEvents; i++ {
+		if !s.Step() {
+			return
+		}
+	}
+	panic("sim: RunAll exceeded event budget; runaway event loop?")
+}
+
+// NextEventAt returns the time of the earliest pending event, or +Inf when
+// the queue is empty.
+func (s *Simulator) NextEventAt() float64 {
+	if len(s.queue) == 0 {
+		return math.Inf(1)
+	}
+	return s.queue[0].At
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v, want 0", c.Now())
+	}
+	c.Advance(5)
+	c.Advance(5) // advancing to the same time is allowed
+	c.Advance(7.5)
+	if c.Now() != 7.5 {
+		t.Fatalf("clock at %v, want 7.5", c.Now())
+	}
+}
+
+func TestClockPanicsOnBackwards(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(9) after Advance(10) did not panic")
+		}
+	}()
+	c.Advance(9)
+}
+
+func TestSimulatorRunsEventsInTimeOrder(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.At(3, func(float64) { order = append(order, 3) })
+	s.At(1, func(float64) { order = append(order, 1) })
+	s.At(2, func(float64) { order = append(order, 2) })
+	s.RunAll(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock ended at %v, want 3", s.Now())
+	}
+}
+
+func TestSimulatorFIFOTieBreak(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func(float64) { order = append(order, i) })
+	}
+	s.RunAll(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestSimulatorEventsScheduledDuringRun(t *testing.T) {
+	s := NewSimulator()
+	var times []float64
+	s.At(1, func(now float64) {
+		times = append(times, now)
+		s.After(2, func(now float64) { times = append(times, now) })
+	})
+	s.RunAll(0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("event times = %v, want [1 3]", times)
+	}
+}
+
+func TestSimulatorPastSchedulingPanics(t *testing.T) {
+	s := NewSimulator()
+	s.At(10, func(float64) {})
+	s.RunAll(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func(float64) {})
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var ran []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.At(at, func(now float64) { ran = append(ran, now) })
+	}
+	s.RunUntil(3)
+	if len(ran) != 3 {
+		t.Fatalf("RunUntil(3) ran %d events, want 3", len(ran))
+	}
+	if s.Now() != 3 {
+		t.Fatalf("clock at %v after RunUntil(3)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("%d events pending, want 2", s.Pending())
+	}
+	s.RunAll(0)
+	if len(ran) != 5 || s.Now() != 5 {
+		t.Fatalf("after RunAll: ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestSimulatorEvery(t *testing.T) {
+	s := NewSimulator()
+	var ticks []float64
+	s.Every(10, func(now float64) bool {
+		ticks = append(ticks, now)
+		return now < 50
+	})
+	s.RunAll(0)
+	want := []float64{10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestSimulatorEveryRejectsBadPeriod(t *testing.T) {
+	s := NewSimulator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	s.Every(0, func(float64) bool { return false })
+}
+
+func TestSimulatorNegativeDelayPanics(t *testing.T) {
+	s := NewSimulator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	s.After(-1, func(float64) {})
+}
+
+func TestSimulatorNextEventAt(t *testing.T) {
+	s := NewSimulator()
+	if !math.IsInf(s.NextEventAt(), 1) {
+		t.Fatalf("empty queue NextEventAt = %v, want +Inf", s.NextEventAt())
+	}
+	s.At(4, func(float64) {})
+	s.At(2, func(float64) {})
+	if s.NextEventAt() != 2 {
+		t.Fatalf("NextEventAt = %v, want 2", s.NextEventAt())
+	}
+}
+
+func TestSimulatorRunAllBudget(t *testing.T) {
+	s := NewSimulator()
+	// A self-perpetuating event chain must trip the budget rather than spin.
+	var tick func(now float64)
+	tick = func(now float64) { s.After(1, tick) }
+	s.After(1, tick)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway loop did not trip the event budget")
+		}
+	}()
+	s.RunAll(1000)
+}
+
+func TestSimulatorStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := NewSimulator()
+	if s.Step() {
+		t.Fatal("Step on empty simulator reported work")
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: streams diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n <= 20; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnCoversAllValues(t *testing.T) {
+	r := NewRNG(11)
+	seen := map[int]int{}
+	const n = 7
+	for i := 0; i < 7000; i++ {
+		seen[r.Intn(n)]++
+	}
+	for v := 0; v < n; v++ {
+		if seen[v] == 0 {
+			t.Fatalf("Intn(%d) never produced %d", n, v)
+		}
+		// Expect ~1000 each; allow wide slack.
+		if seen[v] < 700 || seen[v] > 1300 {
+			t.Fatalf("Intn(%d) produced %d with suspicious frequency %d/7000", n, v, seen[v])
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestRNGUniformIn(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		v := r.UniformIn(4, 200)
+		if v < 4 || v > 200 {
+			t.Fatalf("UniformIn(4,200) = %v out of range", v)
+		}
+	}
+	if got := r.UniformIn(7, 7); got != 7 {
+		t.Fatalf("UniformIn(7,7) = %v, want 7", got)
+	}
+}
+
+func TestRNGUniformInPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformIn(2,1) did not panic")
+		}
+	}()
+	NewRNG(1).UniformIn(2, 1)
+}
+
+func TestRNGIntIn(t *testing.T) {
+	r := NewRNG(13)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.IntIn(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntIn(3,6) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Fatalf("IntIn(3,6) never produced %d", v)
+		}
+	}
+	if got := r.IntIn(5, 5); got != 5 {
+		t.Fatalf("IntIn(5,5) = %d, want 5", got)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(21)
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(77)
+	child := parent.Split()
+	// The child stream must not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("child stream tracks parent: %d/64 values equal", same)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(31)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate = %v", frac)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1.1) {
+		t.Fatal("Bool(1.1) returned false")
+	}
+}
+
+func TestMul64MatchesBigArithmetic(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {math.MaxUint64, 2}, {math.MaxUint64, math.MaxUint64},
+		{1 << 32, 1 << 32}, {0xdeadbeefcafebabe, 0x123456789abcdef0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		// Verify via the identity a*b = hi*2^64 + lo using modular checks:
+		// low 64 bits must equal wrapping product.
+		if lo != c.a*c.b {
+			t.Fatalf("mul64(%d,%d) lo = %d, want %d", c.a, c.b, lo, c.a*c.b)
+		}
+		// Check hi via 32-bit decomposition independently.
+		const mask = 1<<32 - 1
+		a0, a1 := c.a&mask, c.a>>32
+		b0, b1 := c.b&mask, c.b>>32
+		carry := ((a0*b0)>>32 + (a1*b0)&mask + (a0*b1)&mask) >> 32
+		wantHi := a1*b1 + (a1*b0)>>32 + (a0*b1)>>32 + carry
+		if hi != wantHi {
+			t.Fatalf("mul64(%d,%d) hi = %d, want %d", c.a, c.b, hi, wantHi)
+		}
+	}
+}

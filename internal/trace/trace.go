@@ -1,0 +1,202 @@
+// Package trace records the lifecycle of task requests through the grid —
+// arrival, discovery dispatch, execution start and completion — the
+// observability layer a production deployment of the paper's system would
+// need. Events live in a bounded ring so long experiments cannot exhaust
+// memory; the recorder is safe for concurrent use (the networked daemons
+// handle requests from multiple connections).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Kind classifies a lifecycle event.
+type Kind string
+
+// Lifecycle events.
+const (
+	KindArrive   Kind = "arrive"   // request entered the grid at an agent
+	KindDispatch Kind = "dispatch" // discovery placed the task on a resource
+	KindStart    Kind = "start"    // the task began execution
+	KindComplete Kind = "complete" // the task completed
+	KindFail     Kind = "fail"     // the request could not be placed
+)
+
+// Event is one lifecycle observation.
+type Event struct {
+	Seq      uint64  // monotone sequence number, assigned by the recorder
+	Time     float64 // virtual time
+	Kind     Kind
+	Agent    string // agent involved (arrival/dispatch)
+	Resource string // resource involved (dispatch/start/complete)
+	TaskID   int
+	App      string
+	Detail   string // free-form context ("fallback", "hops=2", error text)
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%8.2f %-9s", e.Time, e.Kind)
+	if e.App != "" {
+		s += " app=" + e.App
+	}
+	if e.TaskID != 0 {
+		s += fmt.Sprintf(" task=%d", e.TaskID)
+	}
+	if e.Agent != "" {
+		s += " agent=" + e.Agent
+	}
+	if e.Resource != "" {
+		s += " resource=" + e.Resource
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// DefaultCapacity bounds the ring when none is given.
+const DefaultCapacity = 65536
+
+// Recorder is a bounded, thread-safe event ring.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int // ring write position once full
+	full    bool
+	cap     int
+	seq     uint64
+	dropped uint64
+}
+
+// NewRecorder returns a recorder holding up to capacity events; capacity
+// <= 0 selects DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Record appends an event, evicting the oldest when the ring is full.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ev.Seq = r.seq
+	if !r.full {
+		r.events = append(r.events, ev)
+		if len(r.events) == r.cap {
+			r.full = true
+		}
+		return
+	}
+	r.dropped++
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % r.cap
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events in record order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.events))
+	if r.full {
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
+	} else {
+		out = append(out, r.events...)
+	}
+	return out
+}
+
+// TaskHistory returns the events for one task on one resource, in order.
+func (r *Recorder) TaskHistory(resource string, taskID int) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.TaskID == taskID && (ev.Resource == resource || ev.Resource == "") {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies retained events.
+func (r *Recorder) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, ev := range r.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// WriteText renders the retained events one per line.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV exports the retained events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "time", "kind", "agent", "resource", "task", "app", "detail"}); err != nil {
+		return err
+	}
+	for _, ev := range r.Events() {
+		rec := []string{
+			strconv.FormatUint(ev.Seq, 10),
+			strconv.FormatFloat(ev.Time, 'f', 3, 64),
+			string(ev.Kind),
+			ev.Agent,
+			ev.Resource,
+			strconv.Itoa(ev.TaskID),
+			ev.App,
+			ev.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary aggregates per-kind counts into a stable one-line description.
+func (r *Recorder) Summary() string {
+	counts := r.CountByKind()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	s := fmt.Sprintf("%d events", r.Len())
+	for _, k := range kinds {
+		s += fmt.Sprintf(", %s=%d", k, counts[Kind(k)])
+	}
+	if d := r.Dropped(); d > 0 {
+		s += fmt.Sprintf(", %d dropped", d)
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Time: 1, Kind: KindArrive, Agent: "S1", App: "fft"})
+	r.Record(Event{Time: 1, Kind: KindDispatch, Agent: "S1", Resource: "S2", TaskID: 7, App: "fft"})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("sequence numbers: %v %v", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Kind != KindArrive || evs[1].Resource != "S2" {
+		t.Fatalf("events: %+v", evs)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("phantom drops")
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(Event{Time: float64(i), Kind: KindStart, TaskID: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.TaskID != 7+i {
+			t.Fatalf("ring kept wrong events: %+v", evs)
+		}
+	}
+	// Order within the ring must stay chronological.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("out-of-order events: %+v", evs)
+		}
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if r.cap != DefaultCapacity {
+		t.Fatalf("cap = %d", r.cap)
+	}
+}
+
+func TestTaskHistory(t *testing.T) {
+	r := NewRecorder(100)
+	r.Record(Event{Time: 0, Kind: KindArrive, App: "cpi"})
+	r.Record(Event{Time: 0, Kind: KindDispatch, Resource: "S3", TaskID: 1})
+	r.Record(Event{Time: 1, Kind: KindStart, Resource: "S3", TaskID: 1})
+	r.Record(Event{Time: 1, Kind: KindStart, Resource: "S4", TaskID: 1}) // same ID, other resource
+	r.Record(Event{Time: 5, Kind: KindComplete, Resource: "S3", TaskID: 1})
+	hist := r.TaskHistory("S3", 1)
+	if len(hist) != 3 {
+		t.Fatalf("history = %+v", hist)
+	}
+	if hist[0].Kind != KindDispatch || hist[2].Kind != KindComplete {
+		t.Fatalf("history order: %+v", hist)
+	}
+}
+
+func TestCountByKindAndSummary(t *testing.T) {
+	r := NewRecorder(100)
+	r.Record(Event{Kind: KindArrive})
+	r.Record(Event{Kind: KindArrive})
+	r.Record(Event{Kind: KindFail})
+	counts := r.CountByKind()
+	if counts[KindArrive] != 2 || counts[KindFail] != 1 {
+		t.Fatalf("counts: %v", counts)
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "3 events") || !strings.Contains(s, "arrive=2") {
+		t.Fatalf("summary: %q", s)
+	}
+}
+
+func TestWriteTextAndCSV(t *testing.T) {
+	r := NewRecorder(100)
+	r.Record(Event{Time: 1.5, Kind: KindDispatch, Agent: "S1", Resource: "S2", TaskID: 3, App: "fft", Detail: "hops=1"})
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "dispatch") || !strings.Contains(txt.String(), "resource=S2") {
+		t.Fatalf("text: %q", txt.String())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "seq" || rows[1][2] != "dispatch" || rows[1][4] != "S2" {
+		t.Fatalf("csv rows: %v", rows)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Time: float64(i), Kind: KindStart, TaskID: g*1000 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 1000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped() != 3000 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+	// Sequence numbers must be unique.
+	seen := map[uint64]bool{}
+	for _, ev := range r.Events() {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Time: 2, Kind: KindComplete, Resource: "S9", TaskID: 4, App: "jacobi", Detail: "deadline_met=true"}
+	s := ev.String()
+	for _, want := range []string{"complete", "app=jacobi", "task=4", "resource=S9", "(deadline_met=true)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if zero := (Event{}).String(); !strings.Contains(zero, "t=") {
+		t.Fatalf("zero event String() = %q", zero)
+	}
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+// Farm hosts a whole agent hierarchy as networked TCP nodes in one
+// process: one listener per resource, neighbours wired through
+// RemotePeer stubs, so every advertisement and discovery exchange crosses
+// the real wire protocol. It turns the Fig. 7 case-study grid (or any
+// core.ResourceSpec set) into a live deployment that gridsubmit can talk
+// to.
+type Farm struct {
+	nodes map[string]*Node
+	order []string
+	lib   *pace.Library
+}
+
+// FarmConfig configures StartFarm.
+type FarmConfig struct {
+	Specs      []core.ResourceSpec
+	Host       string  // bind host; defaults to 127.0.0.1 (ephemeral ports)
+	BasePort   int     // first port; 0 = ephemeral
+	Policy     string  // "ga" (default) or "fifo"
+	Seed       uint64  // GA seed
+	PullPeriod float64 // advertisement pull period; defaults to §4.1's 10 s
+	Push       bool    // event-triggered advertisement pushes
+	Library    *pace.Library
+}
+
+// StartFarm brings up one TCP node per resource spec, wires the hierarchy
+// through remote peers, and returns the running farm. Close shuts all
+// nodes down.
+func StartFarm(cfg FarmConfig) (*Farm, error) {
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("transport: farm needs resources")
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.Library == nil {
+		cfg.Library = pace.CaseStudyLibrary()
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "ga"
+	}
+
+	f := &Farm{nodes: map[string]*Node{}, lib: cfg.Library}
+	master := sim.NewRNG(cfg.Seed)
+	// Start every node first (ephemeral ports must be known before
+	// neighbours can be wired).
+	for i, spec := range cfg.Specs {
+		hw, ok := pace.LookupHardware(spec.Hardware)
+		if !ok {
+			f.closeAll()
+			return nil, fmt.Errorf("transport: resource %q: unknown hardware %q", spec.Name, spec.Hardware)
+		}
+		var pol scheduler.Policy
+		switch cfg.Policy {
+		case "ga":
+			pol = scheduler.NewGAPolicy(ga.DefaultConfig(), master.Split())
+		case "fifo":
+			pol = scheduler.NewFIFOPolicy()
+		default:
+			f.closeAll()
+			return nil, fmt.Errorf("transport: unknown policy %q", cfg.Policy)
+		}
+		local, err := scheduler.NewLocal(scheduler.Config{
+			Name: spec.Name, HW: hw, NumNodes: spec.Nodes, Policy: pol,
+			Engine: pace.NewEngine(), Environments: spec.Environments,
+		})
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		a, err := agent.New(local, pace.NewEngine())
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		if cfg.PullPeriod > 0 {
+			a.PullPeriod = cfg.PullPeriod
+		}
+		node, err := NewNode(a, cfg.Library)
+		if err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		node.SetPushEnabled(cfg.Push)
+		addr := fmt.Sprintf("%s:0", cfg.Host)
+		if cfg.BasePort > 0 {
+			addr = fmt.Sprintf("%s:%d", cfg.Host, cfg.BasePort+i)
+		}
+		if err := node.Start(addr); err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		f.nodes[spec.Name] = node
+		f.order = append(f.order, spec.Name)
+	}
+	// Wire the hierarchy over the wire protocol.
+	for _, spec := range cfg.Specs {
+		if spec.Parent == "" {
+			continue
+		}
+		child, parent := f.nodes[spec.Name], f.nodes[spec.Parent]
+		if parent == nil {
+			f.closeAll()
+			return nil, fmt.Errorf("transport: resource %q: unknown parent %q", spec.Name, spec.Parent)
+		}
+		if err := child.SetUpper(&RemotePeer{Name: spec.Parent, Addr: parent.Addr(), Lib: cfg.Library}); err != nil {
+			f.closeAll()
+			return nil, err
+		}
+		if err := parent.AddLower(&RemotePeer{Name: spec.Name, Addr: child.Addr(), Lib: cfg.Library}); err != nil {
+			f.closeAll()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func (f *Farm) closeAll() {
+	for _, n := range f.nodes {
+		_ = n.Close()
+	}
+}
+
+// Close shuts every node down.
+func (f *Farm) Close() error {
+	var first error
+	for _, name := range f.order {
+		if err := f.nodes[name].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Node returns the named node.
+func (f *Farm) Node(name string) (*Node, bool) {
+	n, ok := f.nodes[name]
+	return n, ok
+}
+
+// Addr returns the named node's listen address.
+func (f *Farm) Addr(name string) (string, bool) {
+	n, ok := f.nodes[name]
+	if !ok {
+		return "", false
+	}
+	return n.Addr(), true
+}
+
+// Names returns the resource names in start order.
+func (f *Farm) Names() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Describe lists the farm's endpoints, sorted by name.
+func (f *Farm) Describe() string {
+	names := f.Names()
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%-6s %s\n", n, f.nodes[n].Addr())
+	}
+	return s
+}

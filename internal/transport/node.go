@@ -1,0 +1,480 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+	"repro/internal/xmlmsg"
+)
+
+// RemotePeer is a TCP stub for a neighbouring agent: it implements
+// agent.Peer by speaking the agentgrid XML protocol. Applications travel
+// by model name; both sides resolve the name against their own model
+// library, matching the paper's assumption that models "are pre-compiled
+// and available in all local file systems" (§3.2).
+type RemotePeer struct {
+	Name string
+	Addr string
+	Lib  *pace.Library
+}
+
+// PeerName implements agent.Peer.
+func (p *RemotePeer) PeerName() string { return p.Name }
+
+// PullService implements agent.Peer.
+func (p *RemotePeer) PullService() (scheduler.ServiceInfo, error) {
+	reply, _, err := Call(p.Addr, xmlmsg.NewServiceQuery())
+	if err != nil {
+		return scheduler.ServiceInfo{}, err
+	}
+	si, ok := reply.(*xmlmsg.ServiceInfo)
+	if !ok {
+		return scheduler.ServiceInfo{}, fmt.Errorf("transport: %s replied %T to a service query", p.Name, reply)
+	}
+	ft, err := si.FreetimeSeconds()
+	if err != nil {
+		return scheduler.ServiceInfo{}, err
+	}
+	return scheduler.ServiceInfo{
+		Name:         p.Name,
+		HWType:       si.Local.HWType,
+		NProc:        si.Local.NProc,
+		Environments: si.Local.Environments,
+		Freetime:     ft,
+	}, nil
+}
+
+// Handle implements agent.Peer: forward the request for discovery.
+func (p *RemotePeer) Handle(req agent.Request, now float64) (agent.Dispatch, error) {
+	return p.send(req, xmlmsg.ModeDiscover)
+}
+
+// SubmitDirect implements agent.Peer: queue on the remote scheduler
+// unconditionally.
+func (p *RemotePeer) SubmitDirect(req agent.Request, now float64) (agent.Dispatch, error) {
+	return p.send(req, xmlmsg.ModeDirect)
+}
+
+// PushAdvertisement implements agent.AdvertSink: deliver a pushed Fig. 5
+// advertisement to the remote neighbour.
+func (p *RemotePeer) PushAdvertisement(from string, info scheduler.ServiceInfo, now float64) error {
+	msg := xmlmsg.NewServiceInfo(xmlmsg.Endpoint{}, xmlmsg.Endpoint{}, info.HWType, info.NProc, info.Environments, info.Freetime)
+	msg.Local.Name = from
+	_, _, err := Call(p.Addr, msg)
+	return err
+}
+
+func (p *RemotePeer) send(req agent.Request, mode string) (agent.Dispatch, error) {
+	wire := xmlmsg.NewWireRequest(req.App.Name, req.Env, req.Deadline, req.Email, mode, req.Visited)
+	reply, _, err := Call(p.Addr, wire)
+	if err != nil {
+		return agent.Dispatch{}, err
+	}
+	ack, ok := reply.(*xmlmsg.DispatchAck)
+	if !ok {
+		return agent.Dispatch{}, fmt.Errorf("transport: %s replied %T to a request", p.Name, reply)
+	}
+	eta, _ := ack.EtaSeconds()
+	return agent.Dispatch{
+		Resource: ack.Resource,
+		TaskID:   ack.TaskID,
+		Eta:      eta,
+		Hops:     ack.Hops,
+		Fallback: ack.Fallback,
+	}, nil
+}
+
+// Node hosts one agent (and its local scheduler) behind a TCP server,
+// translating wire messages into agent calls. Virtual time is wall time
+// since the node started, so a networked deployment runs in real time
+// like the original system. All agent access is serialised: the agent and
+// scheduler types are deliberately single-threaded.
+type Node struct {
+	mu          sync.Mutex
+	pushEnabled bool
+	agent       *agent.Agent
+	lib         *pace.Library
+	start       time.Time
+	srv         *Server
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	emails      map[int]string // task ID -> submitting email, for result delivery
+	tick        time.Duration
+}
+
+// NewNode creates a node for the agent; Start brings up the server. The
+// virtual clock origin defaults to the node's start instant; a deployment
+// of several daemons plus a portal should share an origin via
+// SetClockOrigin (cmd/gridagent and cmd/gridsubmit use local midnight) so
+// absolute deadlines mean the same thing everywhere.
+func NewNode(a *agent.Agent, lib *pace.Library) (*Node, error) {
+	if a == nil || lib == nil {
+		return nil, fmt.Errorf("transport: node needs an agent and a library")
+	}
+	return &Node{
+		agent: a, lib: lib, start: time.Now(), stop: make(chan struct{}),
+		emails: map[int]string{}, tick: DefaultTickPeriod,
+	}, nil
+}
+
+// SetClockOrigin anchors virtual time 0 at t. Call before Start.
+func (n *Node) SetClockOrigin(t time.Time) { n.start = t }
+
+// SetPushEnabled turns event-triggered advertisement pushes (§3.1) on or
+// off: after accepting work, the node pushes its advertisement to all
+// neighbours once its freetime drifts past the agent's PushThreshold.
+func (n *Node) SetPushEnabled(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pushEnabled = on
+}
+
+// CachedServiceNames lists the agent's service set under the node lock.
+func (n *Node) CachedServiceNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.agent.CachedServiceNames()
+}
+
+// MidnightOrigin returns today's local midnight, the shared clock origin
+// used by the CLI daemons and the portal.
+func MidnightOrigin() time.Time {
+	now := time.Now()
+	return time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, now.Location())
+}
+
+// Now returns the node's virtual time: wall seconds since the clock
+// origin.
+func (n *Node) Now() float64 { return time.Since(n.start).Seconds() }
+
+// Agent returns the hosted agent. Callers must not use it concurrently
+// with a started node; prefer SetUpper/AddLower/Stats on the node.
+func (n *Node) Agent() *agent.Agent { return n.agent }
+
+// SetUpper wires a remote upper neighbour under the node lock.
+func (n *Node) SetUpper(p agent.Peer) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.agent.SetUpper(p)
+}
+
+// AddLower wires a remote lower neighbour under the node lock.
+func (n *Node) AddLower(p agent.Peer) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.agent.AddLower(p)
+}
+
+// Stats returns the hosted agent's counters under the node lock.
+func (n *Node) Stats() agent.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.agent.Stats()
+}
+
+// DefaultTickPeriod is how often an idle node advances its scheduler
+// clock so planned task starts (and their executor launches) happen on
+// time instead of waiting for the next incoming message.
+const DefaultTickPeriod = 250 * time.Millisecond
+
+// SetTickPeriod overrides the clock tick; 0 disables ticking (promotions
+// then only occur when messages arrive). Call before Start.
+func (n *Node) SetTickPeriod(d time.Duration) { n.tick = d }
+
+// Start listens on addr and begins the periodic advertisement pull loop
+// and the scheduler clock tick.
+func (n *Node) Start(addr string) error {
+	srv, err := Serve(addr, n.handle)
+	if err != nil {
+		return err
+	}
+	n.srv = srv
+	n.wg.Add(1)
+	go n.pullLoop()
+	if n.tick != 0 {
+		n.wg.Add(1)
+		go n.tickLoop()
+	}
+	return nil
+}
+
+func (n *Node) tickLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.mu.Lock()
+			n.agent.Local().AdvanceTo(n.Now())
+			n.mu.Unlock()
+		}
+	}
+}
+
+// Addr returns the listen address after Start.
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Close stops the pull loop and the server.
+func (n *Node) Close() error {
+	close(n.stop)
+	n.wg.Wait()
+	if n.srv != nil {
+		return n.srv.Close()
+	}
+	return nil
+}
+
+func (n *Node) pullLoop() {
+	defer n.wg.Done()
+	period := time.Duration(n.agent.PullPeriod * float64(time.Second))
+	if period <= 0 {
+		period = time.Duration(agent.DefaultPullPeriod) * time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	// Prime the cache immediately so early requests can be forwarded.
+	n.pullOnce()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.pullOnce()
+		}
+	}
+}
+
+// pullOnce refreshes the advertisement cache. The network calls happen
+// without holding the node lock — two nodes pulling from each other
+// simultaneously would otherwise deadlock until their exchange timeouts —
+// and the results are stored under the lock afterwards.
+func (n *Node) pullOnce() {
+	n.mu.Lock()
+	peers := n.agent.Lowers()
+	if up := n.agent.Upper(); up != nil {
+		peers = append(peers, up)
+	}
+	n.mu.Unlock()
+
+	type pulled struct {
+		name string
+		info scheduler.ServiceInfo
+	}
+	var got []pulled
+	for _, p := range peers {
+		info, err := p.PullService()
+		if err != nil {
+			continue // unreachable neighbour keeps its previous advertisement
+		}
+		got = append(got, pulled{p.PeerName(), info})
+	}
+
+	n.mu.Lock()
+	now := n.Now()
+	for _, g := range got {
+		n.agent.StoreAdvertisement(g.name, g.info, now)
+	}
+	n.agent.CountPull()
+	n.mu.Unlock()
+}
+
+// handle translates one wire message into an agent call.
+func (n *Node) handle(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
+	switch m := msg.(type) {
+	case *xmlmsg.Query:
+		switch m.What {
+		case "service":
+			n.mu.Lock()
+			n.agent.Local().AdvanceTo(n.Now())
+			si, err := n.agent.PullService()
+			n.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			local := xmlmsg.Endpoint{Address: "127.0.0.1", Port: n.srv.Port()}
+			return xmlmsg.NewServiceInfo(local, local, si.HWType, si.NProc, si.Environments, si.Freetime), nil
+		case "results":
+			return n.results(m.Email), nil
+		}
+		return nil, fmt.Errorf("unknown query %q", m.What)
+
+	case *xmlmsg.ServiceInfo:
+		// A pushed advertisement from a neighbour (§3.1 push strategy).
+		if m.Local.Name == "" {
+			return nil, fmt.Errorf("pushed advertisement carries no sender name")
+		}
+		ft, err := m.FreetimeSeconds()
+		if err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		_ = n.agent.PushAdvertisement(m.Local.Name, scheduler.ServiceInfo{
+			Name:         m.Local.Name,
+			HWType:       m.Local.HWType,
+			NProc:        m.Local.NProc,
+			Environments: m.Local.Environments,
+			Freetime:     ft,
+		}, n.Now())
+		si, err := n.agent.PullService()
+		n.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		// Reply with our own advertisement: pushes double as exchanges.
+		local := xmlmsg.Endpoint{Address: "127.0.0.1", Port: n.srv.Port()}
+		reply := xmlmsg.NewServiceInfo(local, local, si.HWType, si.NProc, si.Environments, si.Freetime)
+		reply.Local.Name = n.agent.Name()
+		return reply, nil
+
+	case *xmlmsg.Request:
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		app, ok := n.lib.Lookup(m.Application.Name)
+		if !ok {
+			return nil, fmt.Errorf("unknown application model %q", m.Application.Name)
+		}
+		deadline, err := m.DeadlineSeconds()
+		if err != nil {
+			return nil, err
+		}
+		req := agent.Request{
+			App:      app,
+			Env:      m.Requirement.Environment,
+			Deadline: deadline,
+			Email:    m.Email,
+			Visited:  m.Visited,
+		}
+		d, err := n.dispatch(req, m.Mode)
+		if err != nil {
+			return nil, err
+		}
+		return xmlmsg.NewDispatchAck(d.Resource, d.TaskID, d.Eta, d.Hops, d.Fallback), nil
+	}
+	return nil, fmt.Errorf("unsupported message kind %q", kind)
+}
+
+// results builds the answer to a results query: every task this node's
+// scheduler has started, marked done once its (test-mode) completion time
+// passes, optionally filtered by submitting email.
+func (n *Node) results(email string) xmlmsg.ResultSet {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.Now()
+	n.agent.Local().AdvanceTo(now)
+	local := n.agent.Local()
+	recs := local.Records()
+	recs = append(recs, local.Planned()...) // queued tasks report planned times
+	var tasks []xmlmsg.TaskResult
+	for _, r := range recs {
+		owner := n.emails[r.TaskID]
+		if email != "" && owner != email {
+			continue
+		}
+		app := ""
+		if r.App != nil {
+			app = r.App.Name
+		}
+		nproc := 0
+		for m := r.Mask; m != 0; m &= m - 1 {
+			nproc++
+		}
+		tasks = append(tasks, xmlmsg.TaskResult{
+			App:      app,
+			TaskID:   r.TaskID,
+			Resource: r.Resource,
+			NProc:    nproc,
+			Start:    xmlmsg.FormatVirtual(r.Start),
+			End:      xmlmsg.FormatVirtual(r.End),
+			Deadline: xmlmsg.FormatVirtual(r.Deadline),
+			Met:      r.End <= r.Deadline,
+			Done:     r.End <= now,
+			Email:    owner,
+		})
+	}
+	return xmlmsg.NewResultSet(tasks)
+}
+
+// dispatch drives the agent's discovery decision, performing remote calls
+// without holding the node lock: a recursive HandleRequest under the lock
+// would deadlock when two nodes forward to each other concurrently.
+func (n *Node) dispatch(req agent.Request, mode string) (agent.Dispatch, error) {
+	if mode == xmlmsg.ModeDirect {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.agent.Local().AdvanceTo(n.Now())
+		d, err := n.agent.SubmitDirect(req, n.Now())
+		if err == nil {
+			n.emails[d.TaskID] = req.Email
+		}
+		return d, err
+	}
+
+	n.mu.Lock()
+	// Keep the scheduler's virtual clock current so freetime and eq. 10
+	// estimates are measured against real elapsed time, not the last
+	// submission instant.
+	n.agent.Local().AdvanceTo(n.Now())
+	dec := n.agent.Decide(req, n.Now())
+	n.mu.Unlock()
+	req.Visited = dec.Visited
+
+	switch dec.Kind {
+	case agent.DecideLocal, agent.DecideFallbackLocal:
+		n.mu.Lock()
+		d, err := n.agent.AcceptLocal(req, n.Now(), dec.Eta, dec.Kind == agent.DecideFallbackLocal)
+		if err == nil {
+			n.emails[d.TaskID] = req.Email
+		}
+		var pushInfo scheduler.ServiceInfo
+		var sinks []agent.AdvertSink
+		if err == nil && n.pushEnabled {
+			if si, ok := n.agent.ShouldPush(); ok {
+				pushInfo = si
+				peers := n.agent.Lowers()
+				if up := n.agent.Upper(); up != nil {
+					peers = append(peers, up)
+				}
+				for _, p := range peers {
+					if s, ok := p.(agent.AdvertSink); ok {
+						sinks = append(sinks, s)
+					}
+				}
+			}
+		}
+		n.mu.Unlock()
+		if len(sinks) > 0 {
+			// Deliveries happen outside the lock: two nodes pushing at
+			// each other simultaneously must not deadlock.
+			sent := 0
+			for _, s := range sinks {
+				if s.PushAdvertisement(n.agent.Name(), pushInfo, n.Now()) == nil {
+					sent++
+				}
+			}
+			n.mu.Lock()
+			n.agent.MarkPushed(pushInfo, sent)
+			n.mu.Unlock()
+		}
+		return d, err
+	case agent.DecideForward, agent.DecideEscalate:
+		// Remote exchange outside the lock.
+		return dec.Peer.Handle(req, n.Now())
+	case agent.DecideFallbackRemote:
+		d, err := dec.Peer.SubmitDirect(req, n.Now())
+		if err != nil {
+			return agent.Dispatch{}, err
+		}
+		d.Eta = dec.Eta
+		d.Fallback = true
+		return d, nil
+	}
+	return agent.Dispatch{}, dec.Err
+}

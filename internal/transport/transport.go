@@ -1,0 +1,144 @@
+// Package transport runs the agent system over real TCP connections with
+// the XML message formats of internal/xmlmsg, the Go analogue of the
+// paper's Java/XML deployment (§3.2). Each exchange is one framed request
+// followed by one framed reply on a fresh connection; agents are
+// long-lived daemons (cmd/gridagent, cmd/gridsched) and the portal
+// (cmd/gridsubmit) is a one-shot client.
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/xmlmsg"
+)
+
+// DialTimeout bounds connection establishment to a peer.
+const DialTimeout = 5 * time.Second
+
+// ExchangeTimeout bounds a full request/reply exchange.
+const ExchangeTimeout = 30 * time.Second
+
+// Handler processes one decoded message and returns the reply message.
+// A returned error is delivered to the caller as an ErrorReply.
+type Handler func(msg interface{}, kind xmlmsg.Kind) (interface{}, error)
+
+// Server accepts framed agentgrid exchanges on a TCP listener.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral
+// port). The returned server is already accepting.
+func Serve(addr string, h Handler) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: h}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Port returns the bound TCP port.
+func (s *Server) Port() int { return s.ln.Addr().(*net.TCPAddr).Port }
+
+// Close stops accepting and waits for in-flight exchanges.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles exchanges until the peer closes or errors. Replies to
+// handler errors are ErrorReply messages rather than dropped connections,
+// so callers always learn what went wrong.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		if s.isClosed() {
+			return
+		}
+		_ = conn.SetDeadline(time.Now().Add(ExchangeTimeout))
+		msg, kind, err := xmlmsg.ReadMessage(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		reply, err := s.handler(msg, kind)
+		if err != nil {
+			reply = xmlmsg.NewErrorReply(err)
+		}
+		if reply == nil {
+			reply = xmlmsg.NewErrorReply(fmt.Errorf("no reply for %s", kind))
+		}
+		if err := xmlmsg.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Call performs one request/reply exchange with a peer. An ErrorReply
+// from the peer is surfaced as an error.
+func Call(addr string, msg interface{}) (interface{}, xmlmsg.Kind, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, "", fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(ExchangeTimeout))
+	if err := xmlmsg.WriteMessage(conn, msg); err != nil {
+		return nil, "", err
+	}
+	reply, kind, err := xmlmsg.ReadMessage(bufio.NewReader(conn))
+	if err != nil {
+		return nil, "", fmt.Errorf("transport: read reply from %s: %w", addr, err)
+	}
+	if er, ok := reply.(*xmlmsg.ErrorReply); ok {
+		return nil, kind, er.Err()
+	}
+	return reply, kind, nil
+}

@@ -1,0 +1,107 @@
+// Package workload generates the case study's request stream (§4.1):
+// requests for one of the seven test applications sent at one-second
+// intervals to randomly selected agents, each with a deadline drawn
+// uniformly from the application's requirement domain (Table 1). The
+// random seed is fixed so the workload is identical across experiments.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/pace"
+	"repro/internal/sim"
+)
+
+// Request is one task execution request to be injected at virtual time At.
+type Request struct {
+	At          float64 // arrival time in virtual seconds
+	AgentName   string  // randomly selected target agent
+	AppName     string  // one of the Table 1 applications
+	DeadlineRel float64 // required deadline relative to arrival (δ − arrival)
+}
+
+// Deadline returns the absolute deadline.
+func (r Request) Deadline() float64 { return r.At + r.DeadlineRel }
+
+// Spec parameterises a workload. The §4.1 case study uses Count=600,
+// Interval=1, the 12 agents of Fig. 7 and the Table 1 library.
+type Spec struct {
+	Seed       uint64
+	Count      int
+	Interval   float64
+	AgentNames []string
+	Library    *pace.Library
+}
+
+// CaseStudySpec returns the §4.1 parameters over the given agents: 600
+// requests at one-second intervals ("the request phase of each experiment
+// lasts for ten minutes during which 600 task execution requests are sent
+// out").
+func CaseStudySpec(seed uint64, agentNames []string) Spec {
+	return Spec{
+		Seed:       seed,
+		Count:      600,
+		Interval:   1,
+		AgentNames: agentNames,
+		Library:    pace.CaseStudyLibrary(),
+	}
+}
+
+// Generate produces the request stream. The same Spec (including Seed)
+// always yields the identical stream, which is what makes the three
+// experiments comparable ("the seed is set to the same so that the
+// workload for each experiment is identical", §4.1).
+func Generate(spec Spec) ([]Request, error) {
+	if spec.Count < 0 {
+		return nil, fmt.Errorf("workload: negative request count %d", spec.Count)
+	}
+	if spec.Interval <= 0 {
+		return nil, fmt.Errorf("workload: non-positive interval %g", spec.Interval)
+	}
+	if len(spec.AgentNames) == 0 {
+		return nil, fmt.Errorf("workload: no agents to target")
+	}
+	if spec.Library == nil || spec.Library.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty application library")
+	}
+	apps := spec.Library.Models()
+	for _, m := range apps {
+		if !m.HasDeadlineDomain() {
+			return nil, fmt.Errorf("workload: model %q has no deadline domain", m.Name)
+		}
+	}
+
+	rng := sim.NewRNG(spec.Seed)
+	out := make([]Request, spec.Count)
+	for i := range out {
+		app := apps[rng.Intn(len(apps))]
+		out[i] = Request{
+			At:          float64(i) * spec.Interval,
+			AgentName:   spec.AgentNames[rng.Intn(len(spec.AgentNames))],
+			AppName:     app.Name,
+			DeadlineRel: rng.UniformIn(app.DeadlineLo, app.DeadlineHi),
+		}
+	}
+	return out, nil
+}
+
+// Summary tallies a workload by application and by agent, for reports and
+// sanity tests.
+type Summary struct {
+	ByApp   map[string]int
+	ByAgent map[string]int
+	Span    float64 // time of the last request
+}
+
+// Summarise computes a Summary.
+func Summarise(reqs []Request) Summary {
+	s := Summary{ByApp: map[string]int{}, ByAgent: map[string]int{}}
+	for _, r := range reqs {
+		s.ByApp[r.AppName]++
+		s.ByAgent[r.AgentName]++
+		if r.At > s.Span {
+			s.Span = r.At
+		}
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/pace"
+)
+
+func agents() []string {
+	return []string{"S1", "S2", "S3", "S4"}
+}
+
+func TestGenerateCaseStudyShape(t *testing.T) {
+	spec := CaseStudySpec(2003, agents())
+	reqs, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 600 {
+		t.Fatalf("%d requests, want 600 (§4.1)", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.At != float64(i) {
+			t.Fatalf("request %d at %v, want one-second intervals", i, r.At)
+		}
+	}
+	s := Summarise(reqs)
+	if s.Span != 599 {
+		t.Fatalf("request phase spans %v, want 599 (ten minutes)", s.Span)
+	}
+	if len(s.ByApp) != 7 {
+		t.Fatalf("workload uses %d apps, want all 7", len(s.ByApp))
+	}
+	if len(s.ByAgent) != 4 {
+		t.Fatalf("workload targets %d agents, want all 4", len(s.ByAgent))
+	}
+}
+
+func TestGenerateDeterministicSeed(t *testing.T) {
+	a, err := Generate(CaseStudySpec(42, agents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(CaseStudySpec(42, agents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs under identical seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Generate(CaseStudySpec(43, agents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateDeadlinesWithinDomains(t *testing.T) {
+	lib := pace.CaseStudyLibrary()
+	reqs, err := Generate(CaseStudySpec(7, agents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reqs {
+		m, ok := lib.Lookup(r.AppName)
+		if !ok {
+			t.Fatalf("unknown app %q in workload", r.AppName)
+		}
+		if r.DeadlineRel < m.DeadlineLo || r.DeadlineRel > m.DeadlineHi {
+			t.Fatalf("%s deadline %v outside [%v, %v]", r.AppName, r.DeadlineRel, m.DeadlineLo, m.DeadlineHi)
+		}
+		if r.Deadline() != r.At+r.DeadlineRel {
+			t.Fatal("Deadline() arithmetic wrong")
+		}
+	}
+}
+
+func TestGenerateUniformAgentSpread(t *testing.T) {
+	reqs, err := Generate(CaseStudySpec(11, agents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarise(reqs)
+	for name, n := range s.ByAgent {
+		if n < 100 || n > 200 { // 150 expected of 600 across 4 agents
+			t.Fatalf("agent %s received %d of 600 requests; selection not uniform", name, n)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	lib := pace.CaseStudyLibrary()
+	cases := []Spec{
+		{Seed: 1, Count: -1, Interval: 1, AgentNames: agents(), Library: lib},
+		{Seed: 1, Count: 10, Interval: 0, AgentNames: agents(), Library: lib},
+		{Seed: 1, Count: 10, Interval: 1, AgentNames: nil, Library: lib},
+		{Seed: 1, Count: 10, Interval: 1, AgentNames: agents(), Library: nil},
+		{Seed: 1, Count: 10, Interval: 1, AgentNames: agents(), Library: pace.NewLibrary()},
+	}
+	for i, spec := range cases {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateRejectsModelsWithoutDeadlines(t *testing.T) {
+	lib := pace.NewLibrary()
+	if err := lib.AddSource("application bare { param n; time = n; }"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Generate(Spec{Seed: 1, Count: 1, Interval: 1, AgentNames: agents(), Library: lib})
+	if err == nil {
+		t.Fatal("model without deadline domain accepted")
+	}
+}
+
+func TestGenerateZeroCount(t *testing.T) {
+	reqs, err := Generate(Spec{Seed: 1, Count: 0, Interval: 1, AgentNames: agents(), Library: pace.CaseStudyLibrary()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("%d requests from zero count", len(reqs))
+	}
+}

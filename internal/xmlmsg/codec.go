@@ -1,0 +1,149 @@
+package xmlmsg
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates the agentgrid message types on the wire.
+type Kind string
+
+// Message kinds.
+const (
+	KindService Kind = "service"
+	KindRequest Kind = "request"
+	KindResult  Kind = "result"
+)
+
+// Marshal renders a message as an indented agentgrid XML document.
+func Marshal(v interface{}) ([]byte, error) {
+	out, err := xml.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xmlmsg: marshal: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// envelope peeks at the agentgrid type attribute.
+type envelope struct {
+	XMLName xml.Name `xml:"agentgrid"`
+	Type    string   `xml:"type,attr"`
+}
+
+// Decode parses an agentgrid document and returns the typed message:
+// *ServiceInfo, *Request or *Result.
+func Decode(data []byte) (interface{}, Kind, error) {
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, "", fmt.Errorf("xmlmsg: decode envelope: %w", err)
+	}
+	switch Kind(env.Type) {
+	case KindService:
+		var m ServiceInfo
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, "", fmt.Errorf("xmlmsg: decode service: %w", err)
+		}
+		return &m, KindService, nil
+	case KindRequest:
+		var m Request
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, "", fmt.Errorf("xmlmsg: decode request: %w", err)
+		}
+		return &m, KindRequest, nil
+	case KindResult:
+		var m Result
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, "", fmt.Errorf("xmlmsg: decode result: %w", err)
+		}
+		return &m, KindResult, nil
+	}
+	return decodeExtended(env, data)
+}
+
+// Framing on stream transports: a 10-digit decimal length prefix followed
+// by the XML document. Fixed-width keeps the framing trivially parseable
+// from any language.
+const lenDigits = 10
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, data []byte) error {
+	if _, err := fmt.Fprintf(w, "%0*d", lenDigits, len(data)); err != nil {
+		return fmt.Errorf("xmlmsg: write frame header: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("xmlmsg: write frame body: %w", err)
+	}
+	return nil
+}
+
+// MaxFrame bounds a single message; anything larger is a protocol error.
+const MaxFrame = 1 << 20
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	head := make([]byte, lenDigits)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := 0
+	for _, c := range head {
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("xmlmsg: malformed frame header %q", head)
+		}
+		n = n*10 + int(c-'0')
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("xmlmsg: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("xmlmsg: short frame: %w", err)
+	}
+	return body, nil
+}
+
+// WriteMessage marshals and frames a message in one step.
+func WriteMessage(w io.Writer, v interface{}) error {
+	data, err := Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, data)
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r *bufio.Reader) (interface{}, Kind, error) {
+	data, err := ReadFrame(r)
+	if err != nil {
+		return nil, "", err
+	}
+	return Decode(data)
+}
+
+// Pretty re-indents an XML document for display; invalid input is
+// returned unchanged.
+func Pretty(data []byte) string {
+	var buf bytes.Buffer
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return string(data)
+		}
+		if err := enc.EncodeToken(tok); err != nil {
+			return string(data)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return string(data)
+	}
+	return buf.String()
+}

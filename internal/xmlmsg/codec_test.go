@@ -1,0 +1,104 @@
+package xmlmsg
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := [][]byte{
+		[]byte("<agentgrid/>"),
+		[]byte(""),
+		bytes.Repeat([]byte("x"), 10000),
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("EOF not surfaced: %v", err)
+	}
+}
+
+func TestReadFrameMalformedHeader(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("abcdefghij body"))
+	if _, err := ReadFrame(r); err == nil {
+		t.Fatal("malformed header accepted")
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, []byte("hello"))
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(data))); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestReadFrameOversize(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader("9999999999"))
+	if _, err := ReadFrame(r); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame: %v", err)
+	}
+}
+
+func TestWriteReadMessage(t *testing.T) {
+	var buf bytes.Buffer
+	req := NewRequest("cpi", "/bin/cpi", "/m/cpi", "test", 50, "x@y")
+	if err := WriteMessage(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	si := NewServiceInfo(Endpoint{"a", 1}, Endpoint{"a", 2}, "SunUltra5", 16, []string{"test"}, 9)
+	if err := WriteMessage(&buf, si); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	m1, k1, err := ReadMessage(r)
+	if err != nil || k1 != KindRequest {
+		t.Fatalf("first message: %v %v", k1, err)
+	}
+	if m1.(*Request).Application.Name != "cpi" {
+		t.Fatalf("request content lost: %+v", m1)
+	}
+	m2, k2, err := ReadMessage(r)
+	if err != nil || k2 != KindService {
+		t.Fatalf("second message: %v %v", k2, err)
+	}
+	if m2.(*ServiceInfo).Local.HWType != "SunUltra5" {
+		t.Fatalf("service content lost: %+v", m2)
+	}
+}
+
+func TestPretty(t *testing.T) {
+	in := []byte(`<a><b>1</b></a>`)
+	out := Pretty(in)
+	if !strings.Contains(out, "\n") || !strings.Contains(out, "<b>1</b>") {
+		t.Fatalf("Pretty output %q", out)
+	}
+	// Invalid input passes through unchanged.
+	if got := Pretty([]byte("<broken")); got != "<broken" {
+		t.Fatalf("Pretty on invalid input = %q", got)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	if got := (Endpoint{Address: "host", Port: 99}).String(); got != "host:99" {
+		t.Fatalf("Endpoint.String() = %q", got)
+	}
+}

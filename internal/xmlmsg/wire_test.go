@@ -1,0 +1,121 @@
+package xmlmsg
+
+import (
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, v interface{}, wantKind Kind) interface{} {
+	t.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, kind, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != wantKind {
+		t.Fatalf("kind = %v, want %v", kind, wantKind)
+	}
+	return back
+}
+
+func TestServiceQueryRoundTrip(t *testing.T) {
+	q := NewServiceQuery()
+	got := roundTrip(t, q, KindQuery).(*Query)
+	if got.What != "service" || got.Email != "" {
+		t.Fatalf("query: %+v", got)
+	}
+}
+
+func TestResultsQueryRoundTrip(t *testing.T) {
+	q := NewResultsQuery("alice@grid")
+	got := roundTrip(t, q, KindQuery).(*Query)
+	if got.What != "results" || got.Email != "alice@grid" {
+		t.Fatalf("query: %+v", got)
+	}
+}
+
+func TestDispatchAckRoundTrip(t *testing.T) {
+	ack := NewDispatchAck("S3", 42, 123, 2, true)
+	got := roundTrip(t, ack, KindDispatch).(*DispatchAck)
+	if got.Resource != "S3" || got.TaskID != 42 || got.Hops != 2 || !got.Fallback {
+		t.Fatalf("ack: %+v", got)
+	}
+	eta, err := got.EtaSeconds()
+	if err != nil || eta != 123 {
+		t.Fatalf("eta %v err %v", eta, err)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "synthetic failure" }
+
+func TestErrorReplyRoundTrip(t *testing.T) {
+	er := NewErrorReply(errFake{})
+	got := roundTrip(t, er, KindError).(*ErrorReply)
+	if !strings.Contains(got.Err().Error(), "synthetic failure") {
+		t.Fatalf("error reply: %v", got.Err())
+	}
+}
+
+func TestResultSetRoundTrip(t *testing.T) {
+	rs := NewResultSet([]TaskResult{
+		{App: "fft", TaskID: 1, Resource: "S1", NProc: 4,
+			Start: FormatVirtual(10), End: FormatVirtual(20), Deadline: FormatVirtual(30),
+			Met: true, Done: true, Email: "a@b"},
+		{App: "cpi", TaskID: 2, Resource: "S1", NProc: 12,
+			Start: FormatVirtual(5), End: FormatVirtual(50), Deadline: FormatVirtual(40)},
+	})
+	got := roundTrip(t, rs, KindResults).(*ResultSet)
+	if len(got.Tasks) != 2 {
+		t.Fatalf("%d tasks", len(got.Tasks))
+	}
+	first := got.Tasks[0]
+	if first.App != "fft" || !first.Met || !first.Done || first.Email != "a@b" {
+		t.Fatalf("first task: %+v", first)
+	}
+	end, err := first.EndSeconds()
+	if err != nil || end != 20 {
+		t.Fatalf("end %v err %v", end, err)
+	}
+	if got.Tasks[1].Met || got.Tasks[1].Done {
+		t.Fatalf("second task flags: %+v", got.Tasks[1])
+	}
+}
+
+func TestEmptyResultSetRoundTrip(t *testing.T) {
+	got := roundTrip(t, NewResultSet(nil), KindResults).(*ResultSet)
+	if len(got.Tasks) != 0 {
+		t.Fatalf("tasks: %+v", got.Tasks)
+	}
+}
+
+func TestWireRequestModeAndVisited(t *testing.T) {
+	r := NewWireRequest("jacobi", "mpi", 77, "u@g", ModeDirect, []string{"S1", "S2"})
+	got := roundTrip(t, r, KindRequest).(*Request)
+	if got.Mode != ModeDirect {
+		t.Fatalf("mode %q", got.Mode)
+	}
+	if len(got.Visited) != 2 || got.Visited[0] != "S1" {
+		t.Fatalf("visited %v", got.Visited)
+	}
+	if got.Application.Performance.ModelName != "jacobi" {
+		t.Fatalf("model name %q", got.Application.Performance.ModelName)
+	}
+}
+
+func TestDecodeExtendedMalformed(t *testing.T) {
+	// Valid envelope types with bodies that cannot unmarshal into the
+	// target structs are rejected.
+	for _, data := range []string{
+		`<agentgrid type="dispatch"><taskid>notanumber</taskid></agentgrid>`,
+		`<agentgrid type="results"><task><id>x</id></task></agentgrid>`,
+	} {
+		if _, _, err := Decode([]byte(data)); err == nil {
+			t.Errorf("malformed %q decoded", data)
+		}
+	}
+}
