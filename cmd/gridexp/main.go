@@ -37,6 +37,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-application statistics and the lateness distribution per experiment")
 		accuracy = flag.Bool("accuracy", false, "run the §5 prediction-accuracy study")
 		scale    = flag.Bool("scale", false, "run the §5 scalability study on synthetic hierarchies")
+		exp4     = flag.Bool("exp4", false, "run Experiment 4: the resilience study under agent crashes")
 		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
 		requests = flag.Int("requests", 600, "number of task requests (§4.1 uses 600)")
@@ -44,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale)
+	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4)
 
 	if all || *table1 {
 		engine := pace.NewEngine()
@@ -82,6 +83,16 @@ func main() {
 		pts, err := experiment.RunScalabilityStudy([]int{6, 12, 24, 48}, 3, 50, params)
 		fail(err)
 		fmt.Println(experiment.FormatScalability(pts))
+	}
+	if *exp4 {
+		plan := experiment.ScaledFaultPlan(float64(params.Requests) * params.Interval)
+		fmt.Printf("Running experiment 4 (resilience): %d requests, seed %d, %d fault events\n",
+			params.Requests, params.Seed, len(plan.Events))
+		start := time.Now()
+		r, err := experiment.RunResilience(params, plan)
+		fail(err)
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.FormatResilience(r))
 	}
 
 	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""

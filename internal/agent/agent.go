@@ -58,6 +58,19 @@ type Stats struct {
 	Pulls          int // advertisement pulls performed
 	PushesSent     int // event-triggered advertisements sent to neighbours
 	PushesReceived int // advertisements received by push
+	FailedPulls    int // per-neighbour pull attempts that errored
+	Redispatches   int // tasks this agent re-placed after a resource failed
+}
+
+// Gate models the network between agents: an optional hook consulted
+// before every peer exchange (pull, push, forward, direct submit). A
+// non-nil error means the exchange fails without reaching the peer —
+// the in-process analogue of a dead daemon or a severed link, which is
+// how internal/fault injects failures into the simulated grid.
+type Gate interface {
+	// ExchangeErr reports whether an exchange from one agent to another
+	// can proceed at virtual time now.
+	ExchangeErr(from, to string, now float64) error
 }
 
 // AdvertSink is implemented by peers that accept pushed advertisements
@@ -116,11 +129,32 @@ type Agent struct {
 	// strategy trades messages for freshness against the periodic pull.
 	PushThreshold float64
 
-	cache map[string]cachedService
-	stats Stats
+	// FailureThreshold is the number of consecutive failed exchanges
+	// with one peer after which that peer's circuit trips: discovery and
+	// fallback skip it until a successful probe (the periodic pull keeps
+	// probing tripped peers) resets the breaker.
+	FailureThreshold int
+
+	// AdvertTTL is the maximum age (seconds) of a cached advertisement
+	// before discovery stops trusting it — a dead neighbour's stale
+	// freetime must not keep attracting dispatches. 0 means
+	// advertisements never expire (the paper's behaviour).
+	AdvertTTL float64
+
+	cache  map[string]cachedService
+	stats  Stats
+	gate   Gate
+	health map[string]*peerHealth
 
 	lastPushedFreetime float64
 	pushedOnce         bool
+}
+
+// peerHealth tracks one neighbour's exchange history for the circuit
+// breaker.
+type peerHealth struct {
+	consecFails int
+	tripped     bool
 }
 
 // DefaultPushThreshold is the freetime delta that triggers a push.
@@ -128,6 +162,10 @@ const DefaultPushThreshold = 5.0
 
 // DefaultPullPeriod is the §4.1 advertisement interval in seconds.
 const DefaultPullPeriod = 10.0
+
+// DefaultFailureThreshold trips a peer's circuit after this many
+// consecutive failed exchanges.
+const DefaultFailureThreshold = 3
 
 // New creates an agent fronting the given local scheduler. The agent and
 // scheduler names must match: the agent is the resource's representative.
@@ -139,14 +177,82 @@ func New(local *scheduler.Local, engine *pace.Engine) (*Agent, error) {
 		return nil, fmt.Errorf("agent: nil PACE engine")
 	}
 	return &Agent{
-		name:          local.Name(),
-		local:         local,
-		engine:        engine,
-		PullPeriod:    DefaultPullPeriod,
-		PushThreshold: DefaultPushThreshold,
-		cache:         map[string]cachedService{},
+		name:             local.Name(),
+		local:            local,
+		engine:           engine,
+		PullPeriod:       DefaultPullPeriod,
+		PushThreshold:    DefaultPushThreshold,
+		FailureThreshold: DefaultFailureThreshold,
+		cache:            map[string]cachedService{},
+		health:           map[string]*peerHealth{},
 	}, nil
 }
+
+// SetGate installs the exchange gate consulted before every peer call.
+func (a *Agent) SetGate(g Gate) { a.gate = g }
+
+// gateErr asks the gate (when present) whether an exchange with the
+// named peer can proceed.
+func (a *Agent) gateErr(to string, now float64) error {
+	if a.gate == nil {
+		return nil
+	}
+	return a.gate.ExchangeErr(a.name, to, now)
+}
+
+func (a *Agent) healthOf(name string) *peerHealth {
+	h, ok := a.health[name]
+	if !ok {
+		h = &peerHealth{}
+		a.health[name] = h
+	}
+	return h
+}
+
+// RecordPeerFailure counts one failed exchange with the named peer,
+// tripping its circuit at FailureThreshold consecutive failures. It
+// reports whether this failure newly tripped the breaker. The networked
+// node calls this for exchanges it performs outside the agent; the
+// in-process paths call it internally.
+func (a *Agent) RecordPeerFailure(name string) bool {
+	h := a.healthOf(name)
+	h.consecFails++
+	threshold := a.FailureThreshold
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	if !h.tripped && h.consecFails >= threshold {
+		h.tripped = true
+		return true
+	}
+	return false
+}
+
+// RecordPeerSuccess resets the named peer's failure streak, closing a
+// tripped circuit. It reports whether a tripped breaker was reset.
+func (a *Agent) RecordPeerSuccess(name string) bool {
+	h := a.healthOf(name)
+	was := h.tripped
+	h.consecFails = 0
+	h.tripped = false
+	return was
+}
+
+// PeerTripped reports whether the named peer's circuit is open: the
+// peer is skipped by discovery and fallback until a probe succeeds.
+func (a *Agent) PeerTripped(name string) bool {
+	h, ok := a.health[name]
+	return ok && h.tripped
+}
+
+// CountFailedPull bumps the failed-pull counter for an externally
+// driven refresh attempt that errored.
+func (a *Agent) CountFailedPull() { a.stats.FailedPulls++ }
+
+// CountRedispatch records that this agent re-placed a task rescued from
+// a failed resource (the injector drives the re-dispatch through
+// HandleRequest, then attributes it here).
+func (a *Agent) CountRedispatch() { a.stats.Redispatches++ }
 
 // Name returns the agent's identity.
 func (a *Agent) Name() string { return a.name }
@@ -202,16 +308,26 @@ func (a *Agent) neighbours() []Peer {
 // Pull refreshes the agent's service-information set from its upper and
 // lower neighbours ("an agent pulls service information from its lower
 // and upper agents every ten seconds", §4.1). Unreachable neighbours keep
-// their previous advertisement.
+// their previous advertisement (subject to AdvertTTL at read time); each
+// failed attempt feeds the peer's circuit breaker, and each success
+// doubles as the probe that closes a tripped breaker.
 func (a *Agent) Pull(now float64) {
 	for _, n := range a.neighbours() {
-		info, err := n.PullService()
+		name := n.PeerName()
+		var info scheduler.ServiceInfo
+		err := a.gateErr(name, now)
+		if err == nil {
+			info, err = n.PullService()
+		}
 		if err != nil {
+			a.stats.FailedPulls++
+			a.RecordPeerFailure(name)
 			continue
 		}
-		a.cache[n.PeerName()] = cachedService{
+		a.RecordPeerSuccess(name)
+		a.cache[name] = cachedService{
 			info:      info,
-			agentName: n.PeerName(),
+			agentName: name,
 			pulledAt:  now,
 		}
 	}
@@ -280,9 +396,15 @@ func (a *Agent) MaybePush(now float64) int {
 		if !ok {
 			continue
 		}
-		if err := sink.PushAdvertisement(a.name, si, now); err != nil {
+		if err := a.gateErr(n.PeerName(), now); err != nil {
+			a.RecordPeerFailure(n.PeerName())
 			continue
 		}
+		if err := sink.PushAdvertisement(a.name, si, now); err != nil {
+			a.RecordPeerFailure(n.PeerName())
+			continue
+		}
+		a.RecordPeerSuccess(n.PeerName())
 		sent++
 	}
 	a.MarkPushed(si, sent)
@@ -293,9 +415,13 @@ func (a *Agent) MaybePush(now float64) int {
 func (a *Agent) PeerName() string { return a.name }
 
 // PullService implements Peer: the agent's advertisement is its local
-// scheduler's service information.
+// scheduler's service information, annotated with the agent's fault
+// counters so peers can observe a resource's failure history.
 func (a *Agent) PullService() (scheduler.ServiceInfo, error) {
-	return a.local.ServiceInfo(), nil
+	si := a.local.ServiceInfo()
+	si.FailedPulls = a.stats.FailedPulls
+	si.Redispatches = a.stats.Redispatches
+	return si, nil
 }
 
 // Handle implements Peer.
@@ -346,6 +472,13 @@ func (a *Agent) estimateRemote(cs cachedService, app *pace.AppModel, now float64
 		ft = now
 	}
 	return ft + best, nil
+}
+
+// fresh reports whether a cached advertisement is still within the
+// agent's staleness budget. With AdvertTTL unset every advertisement is
+// trusted forever, the paper's (fault-free) behaviour.
+func (a *Agent) fresh(cs cachedService, now float64) bool {
+	return a.AdvertTTL <= 0 || now-cs.pulledAt <= a.AdvertTTL
 }
 
 // supportsEnv checks a cached advertisement against the request's
@@ -425,8 +558,11 @@ func (a *Agent) Decide(req Request, now float64) Decision {
 		return d
 	}
 
-	// 3. No service meets the requirement: submit to the upper agent.
-	if a.upper != nil && !req.visited(a.upper.PeerName()) {
+	// 3. No service meets the requirement: submit to the upper agent —
+	// unless its circuit is tripped, in which case this agent behaves
+	// like the head and falls back rather than escalating into a known
+	// failure.
+	if a.upper != nil && !req.visited(a.upper.PeerName()) && !a.PeerTripped(a.upper.PeerName()) {
 		a.stats.Escalated++
 		d.Kind, d.Peer = DecideEscalate, a.upper
 		return d
@@ -447,9 +583,47 @@ func (a *Agent) Decide(req Request, now float64) Decision {
 	return d
 }
 
+// callHandle forwards the request to the peer for discovery, feeding
+// the peer's circuit breaker: a gate block counts exactly like a
+// transport failure, a success closes a tripped breaker.
+func (a *Agent) callHandle(p Peer, req Request, now float64) (Dispatch, error) {
+	if err := a.gateErr(p.PeerName(), now); err != nil {
+		a.RecordPeerFailure(p.PeerName())
+		return Dispatch{}, err
+	}
+	d, err := p.Handle(req, now)
+	if err != nil {
+		a.RecordPeerFailure(p.PeerName())
+		return Dispatch{}, err
+	}
+	a.RecordPeerSuccess(p.PeerName())
+	return d, nil
+}
+
+// callSubmitDirect queues the task on the peer's scheduler directly,
+// with the same health tracking as callHandle.
+func (a *Agent) callSubmitDirect(p Peer, req Request, now float64) (Dispatch, error) {
+	if err := a.gateErr(p.PeerName(), now); err != nil {
+		a.RecordPeerFailure(p.PeerName())
+		return Dispatch{}, err
+	}
+	d, err := p.SubmitDirect(req, now)
+	if err != nil {
+		a.RecordPeerFailure(p.PeerName())
+		return Dispatch{}, err
+	}
+	a.RecordPeerSuccess(p.PeerName())
+	return d, nil
+}
+
 // HandleRequest runs discovery and carries out the decision, recursing
 // through in-process peers. The networked node drives the same Decide
 // logic itself so it can release its lock around remote calls.
+//
+// Every peer failure en route (dead agent, severed link) re-enters the
+// eq. 10 machinery — escalation, then the best-effort fallback — so a
+// request is only ever lost when no reachable resource supports its
+// environment at all.
 func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 	dec := a.Decide(req, now)
 	req.Visited = dec.Visited
@@ -457,7 +631,7 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 	case DecideLocal:
 		return a.AcceptLocal(req, now, dec.Eta, false)
 	case DecideForward:
-		d, err := dec.Peer.Handle(req, now)
+		d, err := a.callHandle(dec.Peer, req, now)
 		if err == nil {
 			d.Hops = len(req.Visited) // approximate travel count
 			return d, nil
@@ -466,18 +640,28 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 		// unreachable): continue with escalation or fallback as if no
 		// neighbour had matched, never retrying the failed peer.
 		failed := map[string]bool{dec.Peer.PeerName(): true}
-		if a.upper != nil && !req.visited(a.upper.PeerName()) && !failed[a.upper.PeerName()] {
+		if a.upper != nil && !req.visited(a.upper.PeerName()) && !failed[a.upper.PeerName()] &&
+			!a.PeerTripped(a.upper.PeerName()) {
 			a.stats.Escalated++
-			return a.upper.Handle(req, now)
+			if d, err := a.callHandle(a.upper, req, now); err == nil {
+				return d, nil
+			}
+			failed[a.upper.PeerName()] = true
 		}
 		a.stats.Fallbacks++
 		return a.dispatchFallback(req, now, failed)
 	case DecideEscalate:
-		return dec.Peer.Handle(req, now)
+		d, err := a.callHandle(dec.Peer, req, now)
+		if err == nil {
+			return d, nil
+		}
+		// Upper agent unreachable: behave like the head and fall back.
+		a.stats.Fallbacks++
+		return a.dispatchFallback(req, now, map[string]bool{dec.Peer.PeerName(): true})
 	case DecideFallbackLocal:
 		return a.AcceptLocal(req, now, dec.Eta, true)
 	case DecideFallbackRemote:
-		d, err := dec.Peer.SubmitDirect(req, now)
+		d, err := a.callSubmitDirect(dec.Peer, req, now)
 		if err != nil {
 			// Best-effort target gone too: retry excluding it.
 			return a.dispatchFallback(req, now, map[string]bool{dec.Peer.PeerName(): true})
@@ -504,16 +688,17 @@ func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispa
 }
 
 // bestNeighbour returns the unvisited neighbour whose advertised service
-// yields the lowest η within the deadline.
+// yields the lowest η within the deadline. Peers with a tripped circuit
+// or an expired advertisement are not candidates.
 func (a *Agent) bestNeighbour(req Request, now float64) (Peer, float64, bool) {
 	var best Peer
 	bestEta := math.Inf(1)
 	for _, n := range a.neighbours() {
-		if req.visited(n.PeerName()) {
+		if req.visited(n.PeerName()) || a.PeerTripped(n.PeerName()) {
 			continue
 		}
 		cs, ok := a.cache[n.PeerName()]
-		if !ok || !supportsEnv(cs, req.Env) {
+		if !ok || !supportsEnv(cs, req.Env) || !a.fresh(cs, now) {
 			continue
 		}
 		eta, err := a.estimateRemote(cs, req.App, now)
@@ -541,11 +726,11 @@ func (a *Agent) fallbackTarget(req Request, now float64, exclude map[string]bool
 		}
 	}
 	for _, n := range a.neighbours() {
-		if exclude[n.PeerName()] {
+		if exclude[n.PeerName()] || a.PeerTripped(n.PeerName()) {
 			continue
 		}
 		cs, ok := a.cache[n.PeerName()]
-		if !ok || !supportsEnv(cs, req.Env) {
+		if !ok || !supportsEnv(cs, req.Env) || !a.fresh(cs, now) {
 			continue
 		}
 		e, err := a.estimateRemote(cs, req.App, now)
@@ -575,7 +760,7 @@ func (a *Agent) dispatchFallback(req Request, now float64, exclude map[string]bo
 		if local {
 			return a.AcceptLocal(req, now, eta, true)
 		}
-		d, err := peer.SubmitDirect(req, now)
+		d, err := a.callSubmitDirect(peer, req, now)
 		if err != nil {
 			if exclude == nil {
 				exclude = map[string]bool{}

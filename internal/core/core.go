@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/agent"
+	"repro/internal/fault"
 	"repro/internal/ga"
 	"repro/internal/metrics"
 	"repro/internal/pace"
@@ -78,6 +79,21 @@ type Options struct {
 	// Trace, when set, records the lifecycle of every request (arrival,
 	// dispatch, execution start, completion).
 	Trace *trace.Recorder
+
+	// FaultPlan schedules deterministic grid-level failures (agent
+	// crashes, link partitions, lossy links) against the run
+	// (Experiment 4). Requires UseAgents: the fault model targets the
+	// agent layer, not the standalone schedulers.
+	FaultPlan *fault.Plan
+	// AdvertTTL expires cached advertisements older than this many
+	// seconds from discovery decisions, so dead resources stop
+	// attracting dispatches. 0 (the default) never expires them — the
+	// paper's fault-free behaviour.
+	AdvertTTL float64
+	// FailureThreshold overrides the per-peer consecutive-failure count
+	// that trips an agent's circuit breaker; 0 keeps
+	// agent.DefaultFailureThreshold.
+	FailureThreshold int
 }
 
 func (o *Options) setDefaults() {
@@ -104,9 +120,10 @@ type Grid struct {
 	opts   Options
 	engine *pace.Engine
 	lib    *pace.Library
-	hier   *agent.Hierarchy
-	locals map[string]*scheduler.Local
-	simr   *sim.Simulator
+	hier     *agent.Hierarchy
+	locals   map[string]*scheduler.Local
+	simr     *sim.Simulator
+	injector *fault.Injector
 
 	dispatches []agent.Dispatch
 	errs       []error
@@ -198,6 +215,26 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		return nil, err
 	}
 	g.hier = hier
+
+	for _, a := range ordered {
+		a.AdvertTTL = opts.AdvertTTL
+		if opts.FailureThreshold > 0 {
+			a.FailureThreshold = opts.FailureThreshold
+		}
+	}
+	if opts.FaultPlan != nil {
+		if !opts.UseAgents {
+			return nil, fmt.Errorf("core: fault injection requires agent-based discovery (UseAgents)")
+		}
+		inj, err := fault.NewInjector(*opts.FaultPlan, hier, opts.Trace)
+		if err != nil {
+			return nil, err
+		}
+		g.injector = inj
+		for _, a := range ordered {
+			a.SetGate(inj.Registry())
+		}
+	}
 	return g, nil
 }
 
@@ -277,9 +314,26 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 	g.simr.At(at, func(now float64) {
 		g.advanceAll(now)
 		deadline := now + deadlineRel
-		g.traceEvent(trace.Event{Time: now, Kind: trace.KindArrive, Agent: agentName, App: appName})
+		arriveDetail := ""
+		arrival := agentName
+		if g.injector != nil {
+			// A crashed agent cannot receive arrivals; the portal
+			// retries the nearest live ancestor instead.
+			target, ok := g.injector.RerouteArrival(agentName)
+			if !ok {
+				err := fmt.Errorf("request at %g: no live agent for arrival at %s", now, agentName)
+				g.errs = append(g.errs, err)
+				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
+				return
+			}
+			if target != agentName {
+				arrival = target
+				arriveDetail = "rerouted to " + target + " (agent down)"
+			}
+		}
+		g.traceEvent(trace.Event{Time: now, Kind: trace.KindArrive, Agent: agentName, App: appName, Detail: arriveDetail})
 		if g.opts.UseAgents {
-			a, _ := g.hier.Lookup(agentName)
+			a, _ := g.hier.Lookup(arrival)
 			d, err := a.HandleRequest(agent.Request{App: app, Env: "test", Deadline: deadline}, now)
 			if err != nil {
 				g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
@@ -354,12 +408,27 @@ func (g *Grid) Run() error {
 	}
 	g.ran = true
 	if g.opts.UseAgents {
-		g.hier.PullAll(0)
+		pull := func(now float64) {
+			// A crashed agent neither pulls nor is pulled; the gate fails
+			// its peers' exchanges, but skipping the crashed agent's own
+			// loop keeps it from racking up failures against live peers.
+			for _, name := range g.hier.Names() {
+				if g.injector != nil && g.injector.Registry().AgentDown(name) {
+					continue
+				}
+				a, _ := g.hier.Lookup(name)
+				a.Pull(now)
+			}
+		}
+		pull(0)
 		last := g.lastRequestAt
 		g.simr.Every(g.opts.PullPeriod, func(now float64) bool {
-			g.hier.PullAll(now)
+			pull(now)
 			return now < last
 		})
+	}
+	if g.injector != nil {
+		g.injector.Schedule(g.simr)
 	}
 	g.simr.RunAll(0)
 	for _, name := range g.hier.Names() {
@@ -393,6 +462,15 @@ func (g *Grid) Metrics(minWindow float64) (metrics.GridReport, error) {
 
 // Requests returns the number of scheduled requests.
 func (g *Grid) Requests() int { return g.requests }
+
+// FaultStats reports what the fault injector did during the run; the
+// zero value when no fault plan was configured.
+func (g *Grid) FaultStats() fault.Stats {
+	if g.injector == nil {
+		return fault.Stats{}
+	}
+	return g.injector.Stats()
+}
 
 // fnv64 hashes a string (FNV-1a), used to derive per-resource noise keys.
 func fnv64(s string) uint64 {

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// Exp4 is the resilience configuration: experiment 3 (GA + agent
+// discovery) re-run under a deterministic fault schedule. It extends the
+// paper's Table 2, which never kills an agent.
+var Exp4 = Setup{ID: 4, Policy: core.PolicyGA, UseAgents: true, Label: "GA + agents + faults"}
+
+// ScaledFaultPlan returns the Experiment 4 fault schedule scaled to a
+// request phase of the given length (seconds): three agents crash and
+// recover at staggered points of the phase — S2 (a powerful resource
+// that attracts many dispatches), S7 (a mid-tree Ultra 5) and S10 (a
+// leaf-ish Ultra 1) — and the S1-S4 link partitions briefly while S10
+// is still down. Crash windows overlap, so discovery must route around
+// two dead agents at once.
+func ScaledFaultPlan(phase float64) fault.Plan {
+	at := func(f float64) float64 { return phase * f }
+	return fault.Plan{
+		Seed: 2003,
+		Events: []fault.Event{
+			{At: at(0.20), Kind: fault.Crash, Agent: "S2"},
+			{At: at(0.40), Kind: fault.Recover, Agent: "S2"},
+			{At: at(0.30), Kind: fault.Crash, Agent: "S7"},
+			{At: at(0.55), Kind: fault.Recover, Agent: "S7"},
+			{At: at(0.50), Kind: fault.Crash, Agent: "S10"},
+			{At: at(0.75), Kind: fault.Recover, Agent: "S10"},
+			{At: at(0.60), Kind: fault.Cut, A: "S1", B: "S4"},
+			{At: at(0.70), Kind: fault.Heal, A: "S1", B: "S4"},
+		},
+	}
+}
+
+// DefaultFaultPlan returns the Experiment 4 schedule for the full §4.1
+// request phase (600 requests at 1 s intervals).
+func DefaultFaultPlan() fault.Plan { return ScaledFaultPlan(600) }
+
+// ResilienceOutcome pairs the fault-free experiment 3 run with the
+// faulted re-run over the identical workload.
+type ResilienceOutcome struct {
+	Baseline Outcome // experiment 3, no faults
+	Faulted  Outcome // same workload under the fault plan
+	Plan     fault.Plan
+	Fault    fault.Stats
+}
+
+// RunResilience executes Experiment 4: the experiment 3 configuration
+// over the case-study workload, first fault-free (the baseline), then
+// with the fault plan injected. The faulted grid gets an advertisement
+// TTL of three pull periods so dead resources stop attracting
+// dispatches once their adverts go stale.
+func RunResilience(p Params, plan fault.Plan) (ResilienceOutcome, error) {
+	baseline, err := Run(Configs[2], p)
+	if err != nil {
+		return ResilienceOutcome{}, err
+	}
+
+	grid, err := core.New(CaseStudyResources(), core.Options{
+		Policy:    Exp4.Policy,
+		GA:        p.GA,
+		UseAgents: true,
+		Seed:      p.Seed,
+		Trace:     p.Trace,
+		FaultPlan: &plan,
+		AdvertTTL: 3 * agent.DefaultPullPeriod,
+	})
+	if err != nil {
+		return ResilienceOutcome{}, err
+	}
+	spec := workload.CaseStudySpec(p.Seed, AgentNames())
+	spec.Count = p.Requests
+	spec.Interval = p.Interval
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		return ResilienceOutcome{}, err
+	}
+	if err := grid.SubmitWorkload(reqs); err != nil {
+		return ResilienceOutcome{}, err
+	}
+	if err := grid.Run(); err != nil {
+		return ResilienceOutcome{}, fmt.Errorf("experiment 4: %w", err)
+	}
+	report, err := grid.Metrics(float64(p.Requests) * p.Interval)
+	if err != nil {
+		return ResilienceOutcome{}, err
+	}
+	return ResilienceOutcome{
+		Baseline: baseline,
+		Faulted: Outcome{
+			Setup:      Exp4,
+			Report:     report,
+			Dispatches: grid.Dispatches(),
+			Records:    grid.Records(),
+			EvalStats:  grid.Engine().Stats(),
+			Requests:   len(reqs),
+		},
+		Plan:  plan,
+		Fault: grid.FaultStats(),
+	}, nil
+}
+
+// FormatResilience renders the Experiment 4 report: the fault schedule,
+// the recovery bookkeeping, and the grid-level ε/υ/β of the faulted run
+// against the fault-free baseline.
+func FormatResilience(r ResilienceOutcome) string {
+	var b strings.Builder
+	b.WriteString("Experiment 4: resilience under agent failures\n\n")
+	b.WriteString("Fault schedule:\n")
+	b.WriteString(r.Plan.String())
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Requests submitted:    %d\n", r.Faulted.Requests)
+	fmt.Fprintf(&b, "Tasks completed:       %d\n", len(r.Faulted.Records))
+	fmt.Fprintf(&b, "Agent crashes:         %d (recoveries: %d)\n", r.Fault.Crashes, r.Fault.Recoveries)
+	fmt.Fprintf(&b, "Tasks re-dispatched:   %d\n", r.Fault.Redispatched)
+	fmt.Fprintf(&b, "Arrivals rerouted:     %d\n", r.Fault.Rerouted)
+	fmt.Fprintf(&b, "Tasks lost:            %d\n", r.Fault.Lost)
+	b.WriteString("\n")
+
+	base, flt := r.Baseline.Report.Total, r.Faulted.Report.Total
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "grid totals", "exp 3", "exp 4", "delta")
+	row := func(label, unit string, a, f float64) {
+		fmt.Fprintf(&b, "%-24s %10.1f %10.1f %+10.1f  %s\n", label, a, f, f-a, unit)
+	}
+	row("epsilon (advance time)", "s", base.Epsilon, flt.Epsilon)
+	row("upsilon (utilisation)", "%", base.Upsilon, flt.Upsilon)
+	row("beta (balance level)", "%", base.Beta, flt.Beta)
+	return b.String()
+}

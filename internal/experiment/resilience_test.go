@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestResilienceZeroLostAndDeterministic runs Experiment 4 on the
+// reduced workload: every accepted request must complete despite three
+// crash windows and a partition, and two identical runs must produce an
+// identical report.
+func TestResilienceZeroLostAndDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilience experiment is slow")
+	}
+	p := QuickParams()
+	plan := ScaledFaultPlan(float64(p.Requests) * p.Interval)
+
+	run := func() (ResilienceOutcome, string) {
+		r, err := RunResilience(p, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, FormatResilience(r)
+	}
+	r, report := run()
+
+	if r.Fault.Crashes != 3 || r.Fault.Recoveries != 3 {
+		t.Fatalf("crashes/recoveries = %d/%d, want 3/3", r.Fault.Crashes, r.Fault.Recoveries)
+	}
+	if r.Fault.Lost != 0 {
+		t.Fatalf("lost %d tasks under the default crash schedule", r.Fault.Lost)
+	}
+	if got := len(r.Faulted.Records); got != r.Faulted.Requests {
+		t.Fatalf("completed %d of %d requests", got, r.Faulted.Requests)
+	}
+	if r.Fault.Redispatched == 0 {
+		t.Fatal("crashing S2 mid-phase should strand queued tasks for re-dispatch")
+	}
+	if r.Fault.Rerouted == 0 {
+		t.Fatal("no arrivals rerouted although crashed agents receive workload requests")
+	}
+
+	// Degradation is reported, not hidden: the faulted total utilisation
+	// must stay within a sane envelope of the baseline (the crashed
+	// capacity is idle while its agent is down, so some drop is real).
+	base, flt := r.Baseline.Report.Total, r.Faulted.Report.Total
+	if flt.Upsilon > base.Upsilon+10 {
+		t.Fatalf("faulted upsilon %.1f implausibly above baseline %.1f", flt.Upsilon, base.Upsilon)
+	}
+	if flt.Upsilon < base.Upsilon-40 {
+		t.Fatalf("faulted upsilon %.1f collapsed versus baseline %.1f", flt.Upsilon, base.Upsilon)
+	}
+	if flt.Beta <= 0 || flt.Beta > 100 {
+		t.Fatalf("faulted beta %.1f outside (0, 100]", flt.Beta)
+	}
+
+	for _, want := range []string{"Experiment 4", "crash", "Tasks lost:            0"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Fixed seed, fixed plan: the whole report reproduces bit-for-bit.
+	_, report2 := run()
+	if report != report2 {
+		t.Fatalf("two identical Experiment 4 runs diverged:\n--- first\n%s\n--- second\n%s", report, report2)
+	}
+}

@@ -1,0 +1,131 @@
+// Package fault drives deterministic failure scenarios against the
+// simulated grid: agent crashes and recoveries, link partitions between
+// peers, and lossy links that drop a fraction of exchanges. The paper's
+// resource-monitoring module (§2.2) only handles node outages inside one
+// cluster; this package injects the wide-area failures the agent layer
+// (§3) silently assumes away, so the defensive machinery — circuit
+// breakers, advertisement TTLs, re-dispatch — can be exercised and
+// measured (Experiment 4).
+//
+// Everything is scheduled in virtual time on the internal/sim clock and
+// every random decision comes from a seeded generator, so a fault run is
+// exactly as reproducible as a fault-free one.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a scheduled fault event.
+type Kind string
+
+// Fault event kinds.
+const (
+	// Crash takes an agent (and the resource it fronts) off the grid:
+	// every exchange to or from it fails, and its unstarted tasks are
+	// handed back to the grid for re-dispatch.
+	Crash Kind = "crash"
+	// Recover brings a crashed agent back; peers re-learn of it through
+	// their next successful pull (the circuit-breaker probe).
+	Recover Kind = "recover"
+	// Cut severs the link between two agents in both directions while
+	// leaving both agents alive (a network partition).
+	Cut Kind = "cut"
+	// Heal restores a cut link.
+	Heal Kind = "heal"
+	// Lossy sets the loss rate of a link: each exchange over it fails
+	// independently with probability Rate (deterministic given the plan
+	// seed). Rate 0 restores a reliable link.
+	Lossy Kind = "lossy"
+)
+
+// Event is one scheduled state change of a fault plan.
+type Event struct {
+	At    float64 // virtual time the fault takes effect
+	Kind  Kind
+	Agent string  // Crash/Recover target
+	A, B  string  // Cut/Heal/Lossy link endpoints
+	Rate  float64 // Lossy loss probability in [0, 1]
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case Crash, Recover:
+		return fmt.Sprintf("t=%-6g %-7s %s", e.At, e.Kind, e.Agent)
+	case Lossy:
+		return fmt.Sprintf("t=%-6g %-7s %s-%s rate=%g", e.At, e.Kind, e.A, e.B, e.Rate)
+	default:
+		return fmt.Sprintf("t=%-6g %-7s %s-%s", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// Plan is a deterministic fault scenario: a set of events plus the seed
+// for lossy-link decisions.
+type Plan struct {
+	Events []Event
+	Seed   uint64 // lossy-link RNG seed (0 is a valid seed)
+}
+
+// Sorted returns the events ordered by time (stable for equal times, so
+// the declaration order breaks ties deterministically).
+func (p Plan) Sorted() []Event {
+	out := make([]Event, len(p.Events))
+	copy(out, p.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Validate checks every event against the set of known agent names.
+func (p Plan) Validate(known map[string]bool) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s) at negative time %g", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case Crash, Recover:
+			if !known[ev.Agent] {
+				return fmt.Errorf("fault: event %d (%s) names unknown agent %q", i, ev.Kind, ev.Agent)
+			}
+		case Cut, Heal, Lossy:
+			if !known[ev.A] || !known[ev.B] {
+				return fmt.Errorf("fault: event %d (%s) names unknown link %s-%s", i, ev.Kind, ev.A, ev.B)
+			}
+			if ev.A == ev.B {
+				return fmt.Errorf("fault: event %d (%s) links %s to itself", i, ev.Kind, ev.A)
+			}
+			if ev.Kind == Lossy && (ev.Rate < 0 || ev.Rate > 1) {
+				return fmt.Errorf("fault: event %d loss rate %g outside [0, 1]", i, ev.Rate)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule one event per line, in time order.
+func (p Plan) String() string {
+	var b strings.Builder
+	for _, ev := range p.Sorted() {
+		fmt.Fprintln(&b, ev.String())
+	}
+	return b.String()
+}
+
+// Crashed returns the distinct agents the plan ever crashes, sorted.
+func (p Plan) Crashed() []string {
+	seen := map[string]bool{}
+	for _, ev := range p.Events {
+		if ev.Kind == Crash {
+			seen[ev.Agent] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

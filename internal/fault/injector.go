@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stats counts what the injector did to (and rescued from) the grid.
+type Stats struct {
+	Crashes      int // crash events applied
+	Recoveries   int // recover events applied
+	Redispatched int // unstarted tasks moved off crashed resources
+	Lost         int // rescued tasks no reachable resource could take
+	Rerouted     int // arrivals redirected away from a crashed agent
+	LossyDrops   int // exchanges dropped by lossy links
+}
+
+// Injector binds a fault plan to an agent hierarchy: Schedule puts every
+// event on the simulator's queue, and applying a crash performs the
+// grid's recovery duty — the crashed resource's unstarted tasks are
+// handed to the nearest live ancestor, whose eq. 10 discovery re-places
+// them (counting a re-dispatch), so no accepted task is silently lost.
+//
+// The injector stands in for the per-resource recovery daemon a
+// production grid would run; the paper has no such component because its
+// experiments never kill an agent.
+type Injector struct {
+	plan Plan
+	reg  *Registry
+	hier *agent.Hierarchy
+	rec  *trace.Recorder // optional
+
+	// Env is the execution environment re-dispatched requests carry;
+	// the case-study workload uses only "test".
+	Env string
+
+	stats Stats
+}
+
+// NewInjector validates the plan against the hierarchy and returns an
+// injector; rec may be nil.
+func NewInjector(plan Plan, hier *agent.Hierarchy, rec *trace.Recorder) (*Injector, error) {
+	if hier == nil {
+		return nil, fmt.Errorf("fault: injector needs a hierarchy")
+	}
+	known := map[string]bool{}
+	for _, name := range hier.Names() {
+		known[name] = true
+	}
+	if err := plan.Validate(known); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan: plan,
+		reg:  NewRegistry(plan.Seed),
+		hier: hier,
+		rec:  rec,
+		Env:  "test",
+	}, nil
+}
+
+// Registry returns the live fault state; install it as every agent's
+// exchange gate.
+func (in *Injector) Registry() *Registry { return in.reg }
+
+// Plan returns the scenario being injected.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns a snapshot of the injector's counters, including
+// lossy-link drops accumulated by the registry.
+func (in *Injector) Stats() Stats {
+	s := in.stats
+	s.LossyDrops = in.reg.Drops()
+	return s
+}
+
+// Schedule queues every plan event on the simulator.
+func (in *Injector) Schedule(s *sim.Simulator) {
+	for _, ev := range in.plan.Sorted() {
+		ev := ev
+		s.At(ev.At, func(now float64) { in.apply(ev, now) })
+	}
+}
+
+func (in *Injector) apply(ev Event, now float64) {
+	switch ev.Kind {
+	case Crash:
+		if !in.reg.Apply(ev) {
+			return
+		}
+		in.stats.Crashes++
+		in.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindPeerDown, Agent: ev.Agent,
+			Detail: "fault: agent crashed",
+		})
+		if a, ok := in.hier.Lookup(ev.Agent); ok {
+			in.rescue(a, now)
+		}
+	case Recover:
+		if !in.reg.Apply(ev) {
+			return
+		}
+		in.stats.Recoveries++
+		in.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindPeerUp, Agent: ev.Agent,
+			Detail: "fault: agent recovered",
+		})
+	default:
+		in.reg.Apply(ev)
+	}
+}
+
+// rescue moves every unstarted task off the crashed agent's scheduler
+// and re-dispatches it through the nearest live ancestor. Tasks that
+// already began execution keep running: the compute nodes survive the
+// agent-layer crash (documented assumption; see DESIGN.md).
+func (in *Injector) rescue(crashed *agent.Agent, now float64) {
+	local := crashed.Local()
+	local.AdvanceTo(now)
+	pending := local.Planned()
+	if len(pending) == 0 {
+		return
+	}
+	rescuer := in.liveRescuer(crashed.Name())
+	// Discovery at the rescuer must avoid every currently-down agent:
+	// seeding Visited with them excludes their (stale) advertisements.
+	downNow := in.reg.Down()
+	for _, rec := range pending {
+		if err := local.Delete(rec.TaskID, now); err != nil {
+			continue // raced a promotion; the task is running, not lost
+		}
+		if rescuer == nil {
+			in.lose(rec.TaskID, now, "no live agent to rescue task")
+			continue
+		}
+		req := agent.Request{
+			App:      rec.App,
+			Env:      in.Env,
+			Deadline: rec.Deadline,
+			Visited:  append([]string(nil), downNow...),
+		}
+		d, err := rescuer.HandleRequest(req, now)
+		if err != nil {
+			in.lose(rec.TaskID, now, err.Error())
+			continue
+		}
+		rescuer.CountRedispatch()
+		in.stats.Redispatched++
+		app := ""
+		if rec.App != nil {
+			app = rec.App.Name
+		}
+		in.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindRedispatch,
+			Agent: rescuer.Name(), Resource: d.Resource, TaskID: d.TaskID, App: app,
+			Detail: fmt.Sprintf("from=%s oldtask=%d", crashed.Name(), rec.TaskID),
+		})
+	}
+}
+
+func (in *Injector) lose(taskID int, now float64, why string) {
+	in.stats.Lost++
+	in.traceEvent(trace.Event{
+		Time: now, Kind: trace.KindFail, TaskID: taskID,
+		Detail: "fault: task lost: " + why,
+	})
+}
+
+// liveRescuer walks up from the crashed agent to the nearest live
+// in-process ancestor, falling back to the first live agent in name
+// order; nil when the whole grid is down.
+func (in *Injector) liveRescuer(name string) *agent.Agent {
+	a, ok := in.hier.Lookup(name)
+	if !ok {
+		return nil
+	}
+	for {
+		up, ok := upperAgent(a)
+		if !ok {
+			break
+		}
+		a = up
+		if !in.reg.AgentDown(a.Name()) {
+			return a
+		}
+	}
+	for _, n := range in.hier.Names() {
+		if !in.reg.AgentDown(n) {
+			live, _ := in.hier.Lookup(n)
+			return live
+		}
+	}
+	return nil
+}
+
+func upperAgent(a *agent.Agent) (*agent.Agent, bool) {
+	up := a.Upper()
+	if up == nil {
+		return nil, false
+	}
+	ua, ok := up.(*agent.Agent)
+	return ua, ok
+}
+
+// RerouteArrival returns the agent that should receive an arrival
+// addressed to name: name itself when it is live, otherwise the nearest
+// live ancestor (the user portal retries up the hierarchy). The second
+// return is false when no live agent exists.
+func (in *Injector) RerouteArrival(name string) (string, bool) {
+	if !in.reg.AgentDown(name) {
+		return name, true
+	}
+	r := in.liveRescuer(name)
+	if r == nil {
+		return "", false
+	}
+	in.stats.Rerouted++
+	return r.Name(), true
+}
+
+func (in *Injector) traceEvent(ev trace.Event) {
+	if in.rec != nil {
+		in.rec.Record(ev)
+	}
+}

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DownError reports an exchange blocked by the fault registry — the
+// in-process analogue of a connection refused or timed out on the wire.
+type DownError struct {
+	From, To string
+	Reason   string // "agent down", "link cut", "lossy drop"
+}
+
+func (e *DownError) Error() string {
+	return fmt.Sprintf("fault: %s -> %s: %s", e.From, e.To, e.Reason)
+}
+
+// linkKey is an unordered agent pair.
+type linkKey struct{ a, b string }
+
+func keyOf(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Registry is the live fault state of a grid: which agents are down,
+// which links are cut, and per-link loss rates. It implements the
+// agent.Gate interface, so installing it on every agent makes all peer
+// exchanges (pull, push, forward, direct submit) subject to the current
+// fault state.
+//
+// Registry is driven in virtual time by the Injector and is not safe
+// for concurrent use, matching the sequential simulator.
+type Registry struct {
+	down map[string]bool
+	cut  map[linkKey]bool
+	loss map[linkKey]float64
+	rng  *sim.RNG
+
+	drops int // exchanges dropped by lossy links
+}
+
+// NewRegistry returns an all-healthy registry; seed drives lossy-link
+// decisions.
+func NewRegistry(seed uint64) *Registry {
+	return &Registry{
+		down: map[string]bool{},
+		cut:  map[linkKey]bool{},
+		loss: map[linkKey]float64{},
+		rng:  sim.NewRNG(seed),
+	}
+}
+
+// Apply transitions the registry per the event. Events are idempotent:
+// crashing a crashed agent or healing a healthy link changes nothing.
+// It reports whether the event changed any state.
+func (r *Registry) Apply(ev Event) bool {
+	switch ev.Kind {
+	case Crash:
+		if r.down[ev.Agent] {
+			return false
+		}
+		r.down[ev.Agent] = true
+	case Recover:
+		if !r.down[ev.Agent] {
+			return false
+		}
+		delete(r.down, ev.Agent)
+	case Cut:
+		k := keyOf(ev.A, ev.B)
+		if r.cut[k] {
+			return false
+		}
+		r.cut[k] = true
+	case Heal:
+		k := keyOf(ev.A, ev.B)
+		if !r.cut[k] {
+			return false
+		}
+		delete(r.cut, k)
+	case Lossy:
+		k := keyOf(ev.A, ev.B)
+		if ev.Rate <= 0 {
+			if _, ok := r.loss[k]; !ok {
+				return false
+			}
+			delete(r.loss, k)
+		} else {
+			r.loss[k] = ev.Rate
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// AgentDown reports whether the named agent is currently crashed.
+func (r *Registry) AgentDown(name string) bool { return r.down[name] }
+
+// Down returns the currently crashed agents, sorted.
+func (r *Registry) Down() []string {
+	out := make([]string, 0, len(r.down))
+	for n := range r.down {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drops returns how many exchanges lossy links have dropped so far.
+func (r *Registry) Drops() int { return r.drops }
+
+// ExchangeErr implements the agent gate: an exchange fails when either
+// endpoint is down, the link between them is cut, or a lossy link drops
+// it. The loss decision consumes the seeded RNG, so it is deterministic
+// given the (deterministic) order of exchanges in the simulation.
+func (r *Registry) ExchangeErr(from, to string, now float64) error {
+	if r.down[from] {
+		return &DownError{From: from, To: to, Reason: "agent down (self)"}
+	}
+	if r.down[to] {
+		return &DownError{From: from, To: to, Reason: "agent down"}
+	}
+	k := keyOf(from, to)
+	if r.cut[k] {
+		return &DownError{From: from, To: to, Reason: "link cut"}
+	}
+	if rate, ok := r.loss[k]; ok && r.rng.Float64() < rate {
+		r.drops++
+		return &DownError{From: from, To: to, Reason: "lossy drop"}
+	}
+	return nil
+}

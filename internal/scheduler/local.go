@@ -418,6 +418,13 @@ type ServiceInfo struct {
 	NProc        int
 	Environments []string
 	Freetime     float64
+
+	// FailedPulls and Redispatches are the publishing agent's fault
+	// counters, filled in by the agent layer so peers (and the Experiment
+	// 4 harness) can observe a resource's failure history alongside its
+	// advertisement. The scheduler itself always reports zero.
+	FailedPulls  int
+	Redispatches int
 }
 
 // ServiceInfo returns the current advertisement.

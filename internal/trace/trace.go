@@ -25,6 +25,12 @@ const (
 	KindStart    Kind = "start"    // the task began execution
 	KindComplete Kind = "complete" // the task completed
 	KindFail     Kind = "fail"     // the request could not be placed
+
+	// Fault-run lifecycle events (internal/fault): an agent leaving or
+	// rejoining the grid, and a queued task moved off a crashed resource.
+	KindPeerDown   Kind = "peerdown"   // an agent crashed / became unreachable
+	KindPeerUp     Kind = "peerup"     // a crashed agent recovered
+	KindRedispatch Kind = "redispatch" // a pending task was re-placed elsewhere
 )
 
 // Event is one lifecycle observation.

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/xmlmsg"
+)
+
+// Default retry policy for client exchanges.
+const (
+	// DefaultMaxAttempts is how many times an exchange is tried before
+	// the client gives up.
+	DefaultMaxAttempts = 3
+	// DefaultBackoffBase is the delay before the first retry; it doubles
+	// on every further retry.
+	DefaultBackoffBase = 50 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff.
+	DefaultBackoffMax = 2 * time.Second
+)
+
+// ExchangeError is the typed failure of a client exchange: which peer,
+// how many attempts were spent, and at which stage of the exchange the
+// last attempt died.
+type ExchangeError struct {
+	Addr     string // peer address dialled
+	Attempts int    // attempts made before giving up
+	Op       string // "dial", "write", "read" or "reply"
+	Err      error  // the last underlying error
+}
+
+func (e *ExchangeError) Error() string {
+	return fmt.Sprintf("transport: %s %s (attempt %d): %v", e.Op, e.Addr, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ExchangeError) Unwrap() error { return e.Err }
+
+// Client performs framed request/reply exchanges with bounded retries
+// and exponential backoff. The zero value is not usable; NewClient fills
+// in the defaults. Timeouts and retry policy are per-client so daemons
+// on flaky links can be tuned without recompiling (the package-level
+// Call uses the defaults, preserving the original behaviour).
+type Client struct {
+	DialTimeout     time.Duration // per-attempt dial bound
+	ExchangeTimeout time.Duration // per-attempt request/reply bound
+	MaxAttempts     int           // total tries per exchange
+	BackoffBase     time.Duration // first retry delay, doubling each retry
+	BackoffMax      time.Duration // backoff cap
+	JitterSeed      uint64        // seeds deterministic backoff jitter
+
+	// Sleep is called between attempts; tests inject a recorder so retry
+	// schedules are asserted without wall-clock sleeps. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewClient returns a client with the package defaults.
+func NewClient() *Client {
+	return &Client{
+		DialTimeout:     DialTimeout,
+		ExchangeTimeout: ExchangeTimeout,
+		MaxAttempts:     DefaultMaxAttempts,
+		BackoffBase:     DefaultBackoffBase,
+		BackoffMax:      DefaultBackoffMax,
+	}
+}
+
+// defaultClient backs the package-level Call.
+var defaultClient = NewClient()
+
+// Backoff returns the delay inserted after the given failed attempt
+// (1-based): exponential doubling from BackoffBase capped at BackoffMax,
+// plus up to 50% deterministic jitter derived from the jitter seed, the
+// peer address and the attempt number — so concurrent retries to one
+// dead peer spread out, yet any schedule is exactly reproducible.
+func (c *Client) Backoff(addr string, attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := splitmix64(c.JitterSeed ^ hashAddr(addr) ^ uint64(attempt))
+	return d + time.Duration(jitter%uint64(d/2+1))
+}
+
+// Call performs one request/reply exchange, retrying transport-level
+// failures (dial, write, read) up to MaxAttempts with backoff. An
+// ErrorReply from the peer is an application-level failure: the exchange
+// itself succeeded, so it is returned immediately and never retried.
+func (c *Client) Call(addr string, msg interface{}) (interface{}, xmlmsg.Kind, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var last *ExchangeError
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			sleep(c.Backoff(addr, attempt-1))
+		}
+		reply, kind, xerr := c.once(addr, msg)
+		if xerr == nil {
+			return reply, kind, nil
+		}
+		xerr.Attempts = attempt
+		if xerr.Op == "reply" {
+			return nil, kind, xerr
+		}
+		last = xerr
+	}
+	return nil, "", last
+}
+
+// once runs a single exchange attempt; a non-nil *ExchangeError has its
+// Op set but Attempts left for the caller.
+func (c *Client) once(addr string, msg interface{}) (interface{}, xmlmsg.Kind, *ExchangeError) {
+	dialTO := c.DialTimeout
+	if dialTO <= 0 {
+		dialTO = DialTimeout
+	}
+	exchTO := c.ExchangeTimeout
+	if exchTO <= 0 {
+		exchTO = ExchangeTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	if err != nil {
+		return nil, "", &ExchangeError{Addr: addr, Op: "dial", Err: err}
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(exchTO))
+	if err := xmlmsg.WriteMessage(conn, msg); err != nil {
+		return nil, "", &ExchangeError{Addr: addr, Op: "write", Err: err}
+	}
+	reply, kind, err := xmlmsg.ReadMessage(bufio.NewReader(conn))
+	if err != nil {
+		return nil, "", &ExchangeError{Addr: addr, Op: "read", Err: err}
+	}
+	if er, ok := reply.(*xmlmsg.ErrorReply); ok {
+		return nil, kind, &ExchangeError{Addr: addr, Op: "reply", Err: er.Err()}
+	}
+	return reply, kind, nil
+}
+
+// splitmix64 is the standard 64-bit mixing function, here driving
+// backoff jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashAddr hashes a peer address (FNV-1a) into the jitter stream.
+func hashAddr(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +21,18 @@ type RemotePeer struct {
 	Name string
 	Addr string
 	Lib  *pace.Library
+
+	// Client, when set, overrides the default exchange client — per-peer
+	// timeouts and retry policy for links of different quality. Nil uses
+	// the package defaults.
+	Client *Client
+}
+
+func (p *RemotePeer) client() *Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return defaultClient
 }
 
 // PeerName implements agent.Peer.
@@ -27,7 +40,7 @@ func (p *RemotePeer) PeerName() string { return p.Name }
 
 // PullService implements agent.Peer.
 func (p *RemotePeer) PullService() (scheduler.ServiceInfo, error) {
-	reply, _, err := Call(p.Addr, xmlmsg.NewServiceQuery())
+	reply, _, err := p.client().Call(p.Addr, xmlmsg.NewServiceQuery())
 	if err != nil {
 		return scheduler.ServiceInfo{}, err
 	}
@@ -64,13 +77,13 @@ func (p *RemotePeer) SubmitDirect(req agent.Request, now float64) (agent.Dispatc
 func (p *RemotePeer) PushAdvertisement(from string, info scheduler.ServiceInfo, now float64) error {
 	msg := xmlmsg.NewServiceInfo(xmlmsg.Endpoint{}, xmlmsg.Endpoint{}, info.HWType, info.NProc, info.Environments, info.Freetime)
 	msg.Local.Name = from
-	_, _, err := Call(p.Addr, msg)
+	_, _, err := p.client().Call(p.Addr, msg)
 	return err
 }
 
 func (p *RemotePeer) send(req agent.Request, mode string) (agent.Dispatch, error) {
 	wire := xmlmsg.NewWireRequest(req.App.Name, req.Env, req.Deadline, req.Email, mode, req.Visited)
-	reply, _, err := Call(p.Addr, wire)
+	reply, _, err := p.client().Call(p.Addr, wire)
 	if err != nil {
 		return agent.Dispatch{}, err
 	}
@@ -266,23 +279,48 @@ func (n *Node) pullOnce() {
 	type pulled struct {
 		name string
 		info scheduler.ServiceInfo
+		err  error
 	}
 	var got []pulled
 	for _, p := range peers {
 		info, err := p.PullService()
-		if err != nil {
-			continue // unreachable neighbour keeps its previous advertisement
-		}
-		got = append(got, pulled{p.PeerName(), info})
+		got = append(got, pulled{p.PeerName(), info, err})
 	}
 
 	n.mu.Lock()
 	now := n.Now()
 	for _, g := range got {
+		if g.err != nil {
+			// An unreachable neighbour keeps its previous advertisement
+			// but feeds the circuit breaker; once tripped the peer stops
+			// attracting dispatches until a pull succeeds again.
+			n.agent.CountFailedPull()
+			n.agent.RecordPeerFailure(g.name)
+			continue
+		}
+		n.agent.RecordPeerSuccess(g.name)
 		n.agent.StoreAdvertisement(g.name, g.info, now)
 	}
 	n.agent.CountPull()
 	n.mu.Unlock()
+}
+
+// recordPeer feeds the agent's per-peer circuit breaker after a remote
+// exchange. Only transport-level failures count against a peer: an
+// ErrorReply (ExchangeError with Op "reply") means the peer is alive and
+// answering, just unable to take this request.
+func (n *Node) recordPeer(name string, err error) {
+	var xe *ExchangeError
+	if err != nil && errors.As(err, &xe) && xe.Op == "reply" {
+		err = nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err != nil {
+		n.agent.RecordPeerFailure(name)
+	} else {
+		n.agent.RecordPeerSuccess(name)
+	}
 }
 
 // handle translates one wire message into an agent call.
@@ -466,9 +504,12 @@ func (n *Node) dispatch(req agent.Request, mode string) (agent.Dispatch, error) 
 		return d, err
 	case agent.DecideForward, agent.DecideEscalate:
 		// Remote exchange outside the lock.
-		return dec.Peer.Handle(req, n.Now())
+		d, err := dec.Peer.Handle(req, n.Now())
+		n.recordPeer(dec.Peer.PeerName(), err)
+		return d, err
 	case agent.DecideFallbackRemote:
 		d, err := dec.Peer.SubmitDirect(req, n.Now())
+		n.recordPeer(dec.Peer.PeerName(), err)
 		if err != nil {
 			return agent.Dispatch{}, err
 		}

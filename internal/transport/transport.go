@@ -121,24 +121,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Call performs one request/reply exchange with a peer. An ErrorReply
-// from the peer is surfaced as an error.
+// Call performs one request/reply exchange with a peer using the
+// default client (bounded retries with backoff; see Client). An
+// ErrorReply from the peer is surfaced as a *ExchangeError with Op
+// "reply" and is never retried.
 func Call(addr string, msg interface{}) (interface{}, xmlmsg.Kind, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
-	if err != nil {
-		return nil, "", fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(ExchangeTimeout))
-	if err := xmlmsg.WriteMessage(conn, msg); err != nil {
-		return nil, "", err
-	}
-	reply, kind, err := xmlmsg.ReadMessage(bufio.NewReader(conn))
-	if err != nil {
-		return nil, "", fmt.Errorf("transport: read reply from %s: %w", addr, err)
-	}
-	if er, ok := reply.(*xmlmsg.ErrorReply); ok {
-		return nil, kind, er.Err()
-	}
-	return reply, kind, nil
+	return defaultClient.Call(addr, msg)
 }
