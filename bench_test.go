@@ -118,8 +118,10 @@ func BenchmarkFig10LoadBalanceTrends(b *testing.B) {
 }
 
 // BenchmarkFig2ScheduleBuild measures the two-part coding scheme end to
-// end: build the Fig. 2-scale schedule from a solution string (the inner
-// loop of every GA cost evaluation).
+// end: build the Fig. 2-scale schedule from a solution string — the inner
+// loop of every GA cost evaluation. The GA hot path reuses a Builder's
+// scratch buffers across evaluations, so that is what this bench times;
+// the validating one-shot Build is kept as a sub-bench for comparison.
 func BenchmarkFig2ScheduleBuild(b *testing.B) {
 	lib := pace.CaseStudyLibrary()
 	engine := pace.NewEngine()
@@ -135,14 +137,28 @@ func BenchmarkFig2ScheduleBuild(b *testing.B) {
 	}
 	res := schedule.NewResource(16)
 	sol := schedule.NewRandomSolution(len(tasks), 16, rng)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s := schedule.Build(sol, tasks, res, 0, pred)
-		if s.Makespan <= 0 {
-			b.Fatal("empty schedule")
+	b.Run("builder", func(b *testing.B) {
+		builder, err := schedule.NewBuilder(tasks, res, pred)
+		if err != nil {
+			b.Fatal(err)
 		}
-	}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := builder.Build(sol, 0)
+			if s.Makespan <= 0 {
+				b.Fatal("empty schedule")
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := schedule.Build(sol, tasks, res, 0, pred)
+			if s.Makespan <= 0 {
+				b.Fatal("empty schedule")
+			}
+		}
+	})
 }
 
 // --- Ablations (DESIGN.md) ---
@@ -527,7 +543,10 @@ func BenchmarkAblationPushAdverts(b *testing.B) {
 // --- Micro-benchmarks of the hot paths ---
 
 // BenchmarkGASchedulingEvent measures one full GA Plan call over a
-// 20-task queue — the per-arrival cost of the local scheduler.
+// 20-task queue — the per-arrival cost of the local scheduler — at
+// several worker-pool widths. The plan is bit-identical at every width
+// (see ga.Config.Workers); the sub-benches measure only the wall-clock
+// effect of parallel cost evaluation.
 func BenchmarkGASchedulingEvent(b *testing.B) {
 	lib := pace.CaseStudyLibrary()
 	names := lib.Names()
@@ -541,17 +560,22 @@ func BenchmarkGASchedulingEvent(b *testing.B) {
 		tasks[i] = schedule.Task{ID: i + 1, App: m, Deadline: 500}
 	}
 	res := schedule.NewResource(16)
-	cfg := ga.DefaultConfig()
-	cfg.MaxGenerations = 30
-	cfg.ConvergenceWindow = 0
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		pol := scheduler.NewGAPolicy(cfg, sim.NewRNG(uint64(i)))
-		s := pol.Plan(tasks, res, 0, pred)
-		if len(s.Items) != 20 {
-			b.Fatal("plan lost tasks")
-		}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			cfg := ga.DefaultConfig()
+			cfg.MaxGenerations = 30
+			cfg.ConvergenceWindow = 0
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pol := scheduler.NewGAPolicy(cfg, sim.NewRNG(uint64(i)))
+				s := pol.Plan(tasks, res, 0, pred)
+				if len(s.Items) != 20 {
+					b.Fatal("plan lost tasks")
+				}
+			}
+		})
 	}
 }
 
@@ -595,6 +619,19 @@ func BenchmarkPACEPredict(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		engine := pace.NewEngine()
+		_, _ = engine.Predict(m, pace.SunUltra10, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := engine.Predict(m, pace.SunUltra10, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }
 

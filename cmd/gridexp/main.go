@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,7 @@ func main() {
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
 		requests = flag.Int("requests", 600, "number of task requests (§4.1 uses 600)")
 		seed     = flag.Uint64("seed", 2003, "workload and GA seed")
+		workers  = flag.Int("workers", runtime.NumCPU(), "GA cost-evaluation workers per scheduler (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 	params := experiment.DefaultParams()
 	params.Requests = *requests
 	params.Seed = *seed
+	params.Workers = *workers
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(4 * *requests * len(experiment.Configs))

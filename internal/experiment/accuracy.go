@@ -47,6 +47,7 @@ func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
 		grid, err := core.New(CaseStudyResources(), core.Options{
 			Policy:          core.PolicyGA,
 			GA:              p.GA,
+			Workers:         p.Workers,
 			UseAgents:       true,
 			Seed:            p.Seed,
 			PredictionError: c.Rel,

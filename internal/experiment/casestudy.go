@@ -4,7 +4,9 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/agent"
 	"repro/internal/core"
@@ -72,6 +74,7 @@ type Params struct {
 	Requests int     // §4.1 uses 600
 	Interval float64 // §4.1 uses 1 s
 	GA       ga.Config
+	Workers  int             // GA cost-evaluation workers per policy; ≤1 sequential, results identical either way
 	Trace    *trace.Recorder // optional lifecycle recorder
 }
 
@@ -110,6 +113,7 @@ func Run(setup Setup, p Params) (Outcome, error) {
 	grid, err := core.New(CaseStudyResources(), core.Options{
 		Policy:    setup.Policy,
 		GA:        p.GA,
+		Workers:   p.Workers,
 		UseAgents: setup.UseAgents,
 		Seed:      p.Seed,
 		Trace:     p.Trace,
@@ -145,15 +149,35 @@ func Run(setup Setup, p Params) (Outcome, error) {
 }
 
 // RunAll executes the three Table 2 experiments over the identical
-// workload.
+// workload, one goroutine per experiment. Each experiment builds its own
+// grid, engine and seed-derived RNGs from Params alone, so the runs are
+// independent and the outcomes identical to a sequential sweep. A shared
+// trace recorder forces the sweep sequential: interleaving three grids
+// into one ring would scramble the per-experiment event order.
 func RunAll(p Params) ([]Outcome, error) {
-	out := make([]Outcome, 0, len(Configs))
-	for _, s := range Configs {
-		o, err := Run(s, p)
-		if err != nil {
-			return nil, err
+	out := make([]Outcome, len(Configs))
+	if p.Trace != nil {
+		for i, s := range Configs {
+			o, err := Run(s, p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = o
 		}
-		out = append(out, o)
+		return out, nil
+	}
+	errs := make([]error, len(Configs))
+	var wg sync.WaitGroup
+	wg.Add(len(Configs))
+	for i, s := range Configs {
+		go func(i int, s Setup) {
+			defer wg.Done()
+			out[i], errs[i] = Run(s, p)
+		}(i, s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

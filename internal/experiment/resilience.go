@@ -66,6 +66,7 @@ func RunResilience(p Params, plan fault.Plan) (ResilienceOutcome, error) {
 	grid, err := core.New(CaseStudyResources(), core.Options{
 		Policy:    Exp4.Policy,
 		GA:        p.GA,
+		Workers:   p.Workers,
 		UseAgents: true,
 		Seed:      p.Seed,
 		Trace:     p.Trace,

@@ -65,7 +65,7 @@ func RunScalabilityStudy(sizes []int, branching int, reqsPerAgent int, p Params)
 	for _, n := range sizes {
 		specs := SyntheticResources(n, branching)
 		grid, err := core.New(specs, core.Options{
-			Policy: core.PolicyGA, GA: p.GA, Seed: p.Seed, UseAgents: true,
+			Policy: core.PolicyGA, GA: p.GA, Workers: p.Workers, Seed: p.Seed, UseAgents: true,
 		})
 		if err != nil {
 			return nil, err

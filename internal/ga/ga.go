@@ -9,6 +9,9 @@ package ga
 
 import (
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -24,7 +27,10 @@ type Problem[G any] interface {
 	Crossover(a, b G, rng *sim.RNG) (G, G)
 	// Mutate returns a mutated copy of g, leaving g intact.
 	Mutate(g G, rng *sim.RNG) G
-	// Cost evaluates the genome; lower is better.
+	// Cost evaluates the genome; lower is better. Cost must be pure (no
+	// observable side effects on the problem or genome) and safe for
+	// concurrent use when Config.Workers > 1: the engine evaluates the
+	// population on a worker pool.
 	Cost(g G) float64
 	// Clone returns an independent deep copy of g.
 	Clone(g G) G
@@ -40,6 +46,15 @@ type Config struct {
 	MutationRate      float64 // probability an offspring is mutated
 	Elitism           int     // number of best genomes copied unchanged
 	ConvergenceWindow int     // stop early after this many generations without improvement; 0 disables
+
+	// Workers bounds the goroutines evaluating Cost over the population
+	// each generation; values ≤ 1 evaluate sequentially. The run is
+	// bit-identical for any worker count: costs are written by population
+	// index, the per-generation best is chosen by an index-order scan
+	// after the pool joins, and the RNG is only touched in the
+	// single-threaded select/recombine phase. Requires a concurrency-safe
+	// Problem.Cost (see Problem).
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by the case study.
@@ -82,6 +97,12 @@ func (c *Config) sanitize() {
 	if c.ConvergenceWindow < 0 {
 		c.ConvergenceWindow = 0
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.Workers > c.PopulationSize {
+		c.Workers = c.PopulationSize
+	}
 }
 
 // Result reports the outcome of a GA run.
@@ -116,13 +137,16 @@ func Run[G any](p Problem[G], cfg Config, rng *sim.RNG, seeds []G) Result[G] {
 	stale := 0
 
 	for gen := 0; gen < cfg.MaxGenerations; gen++ {
-		// Evaluate.
+		// Evaluate the population. With Workers > 1 the Cost calls run on
+		// a bounded pool, each result written to its own index; the best
+		// is then chosen by a sequential index-order scan, so the outcome
+		// is bit-identical to the sequential engine.
+		evaluate(p, pop, costs, cfg.Workers)
+		res.CostEvals += len(pop)
 		genBest, genBestCost := -1, math.Inf(1)
-		for i, g := range pop {
-			costs[i] = p.Cost(g)
-			res.CostEvals++
-			if costs[i] < genBestCost {
-				genBest, genBestCost = i, costs[i]
+		for i, c := range costs {
+			if c < genBestCost {
+				genBest, genBestCost = i, c
 			}
 		}
 		if genBestCost < res.BestCost {
@@ -175,6 +199,37 @@ func Run[G any](p Problem[G], cfg Config, rng *sim.RNG, seeds []G) Result[G] {
 		pop = next[:cfg.PopulationSize]
 	}
 	return res
+}
+
+// evaluate fills costs[i] = p.Cost(pop[i]). With workers > 1 the calls
+// are distributed over a bounded pool via an atomic index counter; each
+// worker writes only its claimed indices, so no result depends on
+// scheduling order. Cost must be pure, which the scheduling Problem
+// guarantees (per-goroutine scratch builders over an immutable problem
+// instance), so the cost vector is identical for any worker count.
+func evaluate[G any](p Problem[G], pop []G, costs []float64, workers int) {
+	if workers <= 1 || len(pop) < 2 {
+		for i, g := range pop {
+			costs[i] = p.Cost(g)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pop) {
+					return
+				}
+				costs[i] = p.Cost(pop[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // scaleFitness applies the paper's dynamic scaling (eq. 9):
@@ -235,12 +290,37 @@ func stochasticRemainder[G any](pop []G, fitness []float64, n int, rng *sim.RNG,
 			pool = append(pool, p.Clone(pop[i]))
 		}
 	}
-	// Fill the remainder by cycling Bernoulli trials on fractional parts.
-	for guard := 0; len(pool) < n; guard++ {
+	// Fill the remainder by cycling Bernoulli trials on the fractional
+	// parts. The attempts are bounded: when the fractional parts are
+	// degenerate (all ~0, e.g. every expected count integral after
+	// rounding) the trials cannot fill the pool, and the remaining slots
+	// are then filled explicitly in best-fitness order — not, as a naive
+	// guard would, with uniformly random individuals that ignore fitness.
+	for guard := 0; guard < 16*n && len(pool) < n; guard++ {
 		i := rng.Intn(len(pop))
-		if rng.Bool(frac[i]) || guard > 16*n {
+		if rng.Bool(frac[i]) {
 			pool = append(pool, p.Clone(pop[i]))
 		}
+	}
+	return fillFromBest(pool, pop, fitness, n, p)
+}
+
+// fillFromBest tops the mating pool up to n by cycling through the
+// population in descending fitness order (ties broken by index, so the
+// fill is deterministic). It is the explicit fallback for degenerate
+// selection states where Bernoulli trials on the fractional parts cannot
+// terminate.
+func fillFromBest[G any](pool []G, pop []G, fitness []float64, n int, p Problem[G]) []G {
+	if len(pool) >= n {
+		return pool
+	}
+	order := make([]int, len(pop))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fitness[order[a]] > fitness[order[b]] })
+	for k := 0; len(pool) < n; k++ {
+		pool = append(pool, p.Clone(pop[order[k%len(order)]]))
 	}
 	return pool
 }

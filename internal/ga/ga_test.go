@@ -241,3 +241,56 @@ func TestStochasticRemainderPoolIsCloned(t *testing.T) {
 		t.Fatal("mutating the pool mutated the source population")
 	}
 }
+
+// TestFillFromBest drives the degenerate all-zero-fractions selection
+// state directly: the Bernoulli trials on the fractional parts can never
+// fire, the pool is underfilled, and the explicit fallback must fill the
+// remaining slots from best-fitness order (deterministically, cycling,
+// with clones).
+func TestFillFromBest(t *testing.T) {
+	p := oneMax{bits: 2}
+	pop := [][]bool{{false, false}, {true, true}, {true, false}}
+	fitness := []float64{0, 1, 0.5} // all fractional parts zero: trials cannot fill
+	pool := fillFromBest(nil, pop, fitness, 7, p)
+	if len(pool) != 7 {
+		t.Fatalf("pool size %d, want 7", len(pool))
+	}
+	// Best-fitness order is individual 1, then 2, then 0, cycling.
+	wantIdx := []int{1, 2, 0, 1, 2, 0, 1}
+	for k, want := range wantIdx {
+		if got := pool[k]; got[0] != pop[want][0] || got[1] != pop[want][1] {
+			t.Errorf("slot %d = %v, want clone of individual %d (%v)", k, got, want, pop[want])
+		}
+	}
+	// The fill must clone, not alias.
+	pool[0][0] = !pool[0][0]
+	if !pop[1][0] {
+		t.Fatal("fallback fill aliased the source population")
+	}
+}
+
+// TestFillFromBestTieBreaksByIndex pins the determinism of the fallback:
+// equal fitness fills in index order.
+func TestFillFromBestTieBreaksByIndex(t *testing.T) {
+	p := oneMax{bits: 1}
+	pop := [][]bool{{true}, {false}, {true}}
+	pool := fillFromBest(nil, pop, []float64{1, 1, 1}, 3, p)
+	want := []bool{true, false, true} // index order 0, 1, 2
+	for k := range pool {
+		if pool[k][0] != want[k] {
+			t.Fatalf("slot %d = %v, want index-order fill %v", k, pool[k][0], want)
+		}
+	}
+}
+
+// TestFillFromBestNoopWhenFull asserts a full pool passes through
+// untouched.
+func TestFillFromBestNoopWhenFull(t *testing.T) {
+	p := oneMax{bits: 1}
+	pop := [][]bool{{true}}
+	pool := []([]bool){{false}, {false}}
+	out := fillFromBest(pool, pop, []float64{1}, 2, p)
+	if len(out) != 2 || out[0][0] || out[1][0] {
+		t.Fatal("fillFromBest modified an already-full pool")
+	}
+}

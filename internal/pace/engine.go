@@ -2,7 +2,9 @@ package pace
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // EvalStats records engine activity. The paper motivates the evaluation
@@ -25,10 +27,98 @@ func (s EvalStats) SimulatedCost(perEval float64) float64 {
 // DefaultEvalCost is the per-evaluation cost quoted in §2.2, in seconds.
 const DefaultEvalCost = 0.01
 
-type cacheKey struct {
-	app    string
-	hw     string
-	nprocs int
+// hitShards stripes the cache-hit counter so concurrent GA workers do not
+// serialise on a single cache line; the shard is picked from the processor
+// count, which varies across the inner Build loop.
+const hitShards = 16
+
+type paddedCounter struct {
+	v atomic.Uint64
+	_ [56]byte // pad to a cache line so shards do not false-share
+}
+
+// predTable is the engine's immutable prediction table: a dense
+// [app][hw][nprocs] matrix reached through two small name-index maps.
+// Readers access it through an atomic pointer without taking any lock; a
+// miss builds an extended copy under the engine mutex and republishes it
+// (copy-on-write), so after warm-up the table is effectively sealed and
+// every Predict is lock-free.
+type predTable struct {
+	apps  map[string]int // application model name -> row
+	hws   map[string]int // hardware column key -> column
+	vals  [][][]float64  // [app][hw][nprocs-1]; NaN marks an absent entry
+	count int            // populated entries
+}
+
+// lookup returns the memoised prediction for (app, hw, nprocs), if any.
+func (t *predTable) lookup(app, hw string, nprocs int) (float64, bool) {
+	ai, ok := t.apps[app]
+	if !ok {
+		return 0, false
+	}
+	hi, ok := t.hws[hw]
+	if !ok {
+		return 0, false
+	}
+	row := t.vals[ai][hi]
+	if nprocs-1 >= len(row) {
+		return 0, false
+	}
+	v := row[nprocs-1]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// extend returns a copy of t with (app, hw, nprocs) -> v added. Shared
+// row slices are cloned only along the touched path, so republishing after
+// a miss is cheap relative to the model evaluation it accompanies.
+func (t *predTable) extend(app, hw string, nprocs int, v float64) *predTable {
+	nt := &predTable{
+		apps:  make(map[string]int, len(t.apps)+1),
+		hws:   make(map[string]int, len(t.hws)+1),
+		count: t.count + 1,
+	}
+	for k, i := range t.apps {
+		nt.apps[k] = i
+	}
+	for k, i := range t.hws {
+		nt.hws[k] = i
+	}
+	ai, ok := nt.apps[app]
+	if !ok {
+		ai = len(nt.apps)
+		nt.apps[app] = ai
+	}
+	hi, ok := nt.hws[hw]
+	if !ok {
+		hi = len(nt.hws)
+		nt.hws[hw] = hi
+	}
+	nt.vals = make([][][]float64, len(nt.apps))
+	for a := range nt.vals {
+		nt.vals[a] = make([][]float64, len(nt.hws))
+		for h := range nt.vals[a] {
+			if a < len(t.vals) && h < len(t.vals[a]) {
+				nt.vals[a][h] = t.vals[a][h] // immutable rows are shared
+			}
+		}
+	}
+	row := nt.vals[ai][hi]
+	if nprocs-1 >= len(row) {
+		grown := make([]float64, nprocs)
+		for i := range grown {
+			grown[i] = math.NaN()
+		}
+		copy(grown, row)
+		row = grown
+	} else {
+		row = append([]float64(nil), row...)
+	}
+	row[nprocs-1] = v
+	nt.vals[ai][hi] = row
+	return nt
 }
 
 // Engine is the PACE evaluation engine: it combines an application model
@@ -37,24 +127,42 @@ type cacheKey struct {
 // scheduler and the engine (§2.2); the cache can be disabled for the
 // ablation study.
 //
-// Engine is safe for concurrent use.
+// Engine is safe for concurrent use. Cache hits take no lock: they read an
+// immutable prediction table through an atomic pointer and bump striped
+// atomic counters, so parallel GA cost workers never contend once the
+// table is warm. Only the miss path — one model evaluation per unique
+// (app, hardware, nprocs) key over the engine's lifetime — serialises on
+// the mutex, which also keeps Stats exact: each unique key misses and is
+// evaluated exactly once regardless of how many workers race to it.
 type Engine struct {
-	mu           sync.Mutex
-	cache        map[cacheKey]float64
-	stats        EvalStats
+	table atomic.Pointer[predTable]
+
+	hits   [hitShards]paddedCounter
+	misses atomic.Uint64
+	evals  atomic.Uint64
+
+	mu           sync.Mutex // guards table republication (miss path)
 	cacheEnabled bool
 }
 
 // NewEngine returns an engine with the evaluation cache enabled.
 func NewEngine() *Engine {
-	return &Engine{cache: map[cacheKey]float64{}, cacheEnabled: true}
+	e := &Engine{cacheEnabled: true}
+	e.table.Store(&predTable{apps: map[string]int{}, hws: map[string]int{}})
+	return e
 }
 
 // NewEngineWithoutCache returns an engine that re-evaluates every request,
 // used by the cache ablation bench.
 func NewEngineWithoutCache() *Engine {
-	return &Engine{cache: map[cacheKey]float64{}}
+	e := &Engine{}
+	e.table.Store(&predTable{apps: map[string]int{}, hws: map[string]int{}})
+	return e
 }
+
+// parametricPrefix namespaces parametric hardware columns away from static
+// factor models in the prediction table.
+const parametricPrefix = "parametric:"
 
 // Predict returns t_x(ρ, σ): the predicted execution time in seconds of
 // app on nprocs homogeneous nodes of hardware hw. Processor counts above
@@ -71,32 +179,19 @@ func (e *Engine) Predict(app *AppModel, hw Hardware, nprocs int) (float64, error
 	if nprocs < 1 {
 		return 0, fmt.Errorf("pace: prediction requires at least one processor, got %d", nprocs)
 	}
-	key := cacheKey{app: app.Name, hw: hw.Name, nprocs: nprocs}
-
-	e.mu.Lock()
 	if e.cacheEnabled {
-		if v, ok := e.cache[key]; ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
+		if v, ok := e.table.Load().lookup(app.Name, hw.Name, nprocs); ok {
+			e.hits[nprocs%hitShards].v.Add(1)
 			return v, nil
 		}
-		e.stats.CacheMisses++
 	}
-	e.mu.Unlock()
-
-	ref, err := app.Eval(map[string]float64{"n": float64(nprocs)})
-	if err != nil {
-		return 0, err
-	}
-	v := ref * hw.Factor
-
-	e.mu.Lock()
-	e.stats.Evaluations++
-	if e.cacheEnabled {
-		e.cache[key] = v
-	}
-	e.mu.Unlock()
-	return v, nil
+	return e.miss(app.Name, hw.Name, nprocs, func() (float64, error) {
+		ref, err := app.Eval(map[string]float64{"n": float64(nprocs)})
+		if err != nil {
+			return 0, err
+		}
+		return ref * hw.Factor, nil
+	})
 }
 
 // MustPredict is Predict for callers that have already validated their
@@ -123,57 +218,72 @@ func (e *Engine) PredictOn(app *AppModel, hw *ParametricHardware, nprocs int) (f
 	if nprocs < 1 {
 		return 0, fmt.Errorf("pace: prediction requires at least one processor, got %d", nprocs)
 	}
-	key := cacheKey{app: app.Name, hw: "parametric:" + hw.Name, nprocs: nprocs}
-
-	e.mu.Lock()
+	key := parametricPrefix + hw.Name
 	if e.cacheEnabled {
-		if v, ok := e.cache[key]; ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
+		if v, ok := e.table.Load().lookup(app.Name, key, nprocs); ok {
+			e.hits[nprocs%hitShards].v.Add(1)
 			return v, nil
 		}
-		e.stats.CacheMisses++
 	}
-	e.mu.Unlock()
+	return e.miss(app.Name, key, nprocs, func() (float64, error) {
+		return app.EvalOn(map[string]float64{"n": float64(nprocs)}, hw)
+	})
+}
 
-	v, err := app.EvalOn(map[string]float64{"n": float64(nprocs)}, hw)
+// miss is the slow path: it re-checks the table under the mutex (another
+// worker may have just published the key), evaluates the model while
+// holding the lock so each unique key is evaluated exactly once, and
+// republishes an extended immutable table.
+func (e *Engine) miss(app, hw string, nprocs int, eval func() (float64, error)) (float64, error) {
+	if !e.cacheEnabled {
+		// Uncached engines count evaluations only, as before.
+		v, err := eval()
+		if err != nil {
+			return 0, err
+		}
+		e.evals.Add(1)
+		return v, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.table.Load().lookup(app, hw, nprocs); ok {
+		e.hits[nprocs%hitShards].v.Add(1)
+		return v, nil
+	}
+	e.misses.Add(1)
+	v, err := eval()
 	if err != nil {
 		return 0, err
 	}
-
-	e.mu.Lock()
-	e.stats.Evaluations++
-	if e.cacheEnabled {
-		e.cache[key] = v
-	}
-	e.mu.Unlock()
+	e.evals.Add(1)
+	e.table.Store(e.table.Load().extend(app, hw, nprocs, v))
 	return v, nil
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() EvalStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	var hits uint64
+	for i := range e.hits {
+		hits += e.hits[i].v.Load()
+	}
+	return EvalStats{
+		Evaluations: e.evals.Load(),
+		CacheHits:   hits,
+		CacheMisses: e.misses.Load(),
+	}
 }
 
 // ResetStats zeroes the counters without touching the cache.
 func (e *Engine) ResetStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats = EvalStats{}
+	for i := range e.hits {
+		e.hits[i].v.Store(0)
+	}
+	e.misses.Store(0)
+	e.evals.Store(0)
 }
 
 // CacheEnabled reports whether the demand-driven cache is active.
-func (e *Engine) CacheEnabled() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.cacheEnabled
-}
+func (e *Engine) CacheEnabled() bool { return e.cacheEnabled }
 
 // CacheLen returns the number of memoised evaluations.
-func (e *Engine) CacheLen() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.cache)
-}
+func (e *Engine) CacheLen() int { return e.table.Load().count }

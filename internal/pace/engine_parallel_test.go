@@ -1,0 +1,145 @@
+package pace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEngineConcurrentPredictExactStats hammers one engine from many
+// goroutines and asserts the lock-free fast path keeps the counters
+// exact: every call is either a hit or a miss, each unique
+// (app, hardware, nprocs) key is evaluated exactly once, and all
+// goroutines observe identical values.
+func TestEngineConcurrentPredictExactStats(t *testing.T) {
+	lib := CaseStudyLibrary()
+	models := lib.Models()
+	engine := NewEngine()
+	hws := []Hardware{SGIOrigin2000, SunUltra10, SunUltra5}
+	const workers = 8
+	const maxProcs = 16
+
+	// Reference values from a private sequential engine.
+	ref := NewEngine()
+	want := map[[2]string]map[int]float64{}
+	for _, m := range models {
+		for _, hw := range hws {
+			vals := map[int]float64{}
+			for n := 1; n <= maxProcs; n++ {
+				v, err := ref.Predict(m, hw, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals[n] = v
+			}
+			want[[2]string{m.Name, hw.Name}] = vals
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	calls := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for mi, m := range models {
+					for hi, hw := range hws {
+						// Stagger the traversal per goroutine so different
+						// workers race on different keys.
+						n := 1 + (w+mi+hi+round)%maxProcs
+						v, err := engine.Predict(m, hw, n)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if v != want[[2]string{m.Name, hw.Name}][n] {
+							t.Errorf("concurrent Predict(%s, %s, %d) = %g, want %g",
+								m.Name, hw.Name, n, v, want[[2]string{m.Name, hw.Name}][n])
+						}
+					}
+				}
+			}
+		}(w)
+		calls += 3 * len(models) * len(hws)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := engine.Stats()
+	if got := st.CacheHits + st.CacheMisses; got != uint64(calls) {
+		t.Errorf("hits+misses = %d, want the %d calls made", got, calls)
+	}
+	if st.CacheMisses != st.Evaluations {
+		t.Errorf("misses = %d but evaluations = %d; each unique key must be evaluated exactly once",
+			st.CacheMisses, st.Evaluations)
+	}
+	if int(st.Evaluations) != engine.CacheLen() {
+		t.Errorf("evaluations = %d but cache holds %d entries", st.Evaluations, engine.CacheLen())
+	}
+}
+
+// TestEngineFastPathAfterWarmup asserts a warm engine answers from the
+// sealed table: no further misses or evaluations, only hits.
+func TestEngineFastPathAfterWarmup(t *testing.T) {
+	lib := CaseStudyLibrary()
+	m, _ := lib.Lookup("fft")
+	engine := NewEngine()
+	for n := 1; n <= 16; n++ {
+		if _, err := engine.Predict(m, SunUltra1, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := engine.Stats()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 1; n <= 16; n++ {
+				for i := 0; i < 50; i++ {
+					if _, err := engine.Predict(m, SunUltra1, n); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := engine.Stats()
+	if st.Evaluations != warm.Evaluations || st.CacheMisses != warm.CacheMisses {
+		t.Errorf("warm engine evaluated again: evals %d -> %d, misses %d -> %d",
+			warm.Evaluations, st.Evaluations, warm.CacheMisses, st.CacheMisses)
+	}
+	if wantHits := warm.CacheHits + 4*16*50; st.CacheHits != wantHits {
+		t.Errorf("hits = %d, want %d", st.CacheHits, wantHits)
+	}
+}
+
+// TestEngineResetStatsKeepsCache mirrors the documented contract with the
+// new atomic counters.
+func TestEngineResetStatsKeepsCache(t *testing.T) {
+	lib := CaseStudyLibrary()
+	m, _ := lib.Lookup("cpi")
+	engine := NewEngine()
+	if _, err := engine.Predict(m, SunUltra5, 4); err != nil {
+		t.Fatal(err)
+	}
+	engine.ResetStats()
+	if st := engine.Stats(); st != (EvalStats{}) {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+	if engine.CacheLen() != 1 {
+		t.Fatalf("cache len after reset = %d, want 1", engine.CacheLen())
+	}
+	if _, err := engine.Predict(m, SunUltra5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := engine.Stats(); st.CacheHits != 1 || st.Evaluations != 0 {
+		t.Fatalf("post-reset predict should hit the retained cache: %+v", st)
+	}
+}

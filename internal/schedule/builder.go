@@ -32,16 +32,32 @@ type Schedule struct {
 	NodeBusy []float64 // per-node availability after the schedule
 	Makespan float64   // ω: the latest completion time (eq. 7), absolute
 	Base     float64   // the scheduling instant the schedule was built at
+
+	byTask []int32 // lazy TaskPos -> Items index (+1, 0 = absent)
 }
 
-// ItemFor returns the placement of the task at taskPos.
+// ItemFor returns the placement of the task at taskPos. The first call
+// builds a position index over Items, making subsequent lookups O(1) —
+// the executor resolves every task through here. Items must not be
+// mutated once ItemFor has been called.
 func (s *Schedule) ItemFor(taskPos int) (Placed, bool) {
-	for _, it := range s.Items {
-		if it.TaskPos == taskPos {
-			return it, true
+	if s.byTask == nil {
+		max := -1
+		for _, it := range s.Items {
+			if it.TaskPos > max {
+				max = it.TaskPos
+			}
 		}
+		idx := make([]int32, max+1)
+		for i, it := range s.Items {
+			idx[it.TaskPos] = int32(i) + 1
+		}
+		s.byTask = idx
 	}
-	return Placed{}, false
+	if taskPos < 0 || taskPos >= len(s.byTask) || s.byTask[taskPos] == 0 {
+		return Placed{}, false
+	}
+	return s.Items[s.byTask[taskPos]-1], true
 }
 
 // Build times a solution against the tasks and resource. Tasks are placed
@@ -71,14 +87,22 @@ func build(sol Solution, tasks []Task, res Resource, base float64, predict Predi
 	if err := res.Validate(); err != nil {
 		panic(fmt.Sprintf("schedule: Build on invalid resource: %v", err))
 	}
-
-	busy := make([]float64, res.NumNodes)
-	copy(busy, res.Avail)
 	out := &Schedule{
 		Items:    make([]Placed, 0, len(tasks)),
-		NodeBusy: busy,
+		NodeBusy: make([]float64, res.NumNodes),
 		Base:     base,
 	}
+	out.Makespan = buildInto(out, sol, tasks, res, base, predict, sequential)
+	return out
+}
+
+// buildInto runs the placement loop of eq. 6 against the schedule's
+// pre-sized Items and NodeBusy buffers and returns the makespan. It is
+// the allocation-free core shared by Build and Builder.Build; validation
+// is the caller's responsibility.
+func buildInto(out *Schedule, sol Solution, tasks []Task, res Resource, base float64, predict Predictor, sequential bool) float64 {
+	busy := out.NodeBusy
+	copy(busy, res.Avail)
 	makespan := base
 	for _, a := range busy {
 		if a > makespan {
@@ -120,6 +144,56 @@ func build(sol Solution, tasks []Task, res Resource, base float64, predict Predi
 		out.Items = append(out.Items, Placed{TaskPos: taskPos, Mask: mask, Start: start, End: end})
 		prevStart = start
 	}
-	out.Makespan = makespan
-	return out
+	return makespan
+}
+
+// Builder repeatedly times solutions against one fixed problem instance
+// (tasks, resource, predictor) without per-call allocation: the schedule,
+// its placement list and the per-node busy vector are scratch buffers
+// reused across calls. This is the GA's cost hot path — the paper's own
+// cost argument (§2.2) makes every scheduling event worth ~1000 builds —
+// so the per-Build garbage of the general entry point matters.
+//
+// Validation is hoisted to construction: NewBuilder checks the resource
+// once, and Build trusts the solution (the genetic operators maintain
+// legitimacy; validate seeds once per Plan with Solution.Validate). A
+// Builder is not safe for concurrent use; use one per goroutine.
+type Builder struct {
+	tasks   []Task
+	res     Resource
+	predict Predictor
+	sched   Schedule
+}
+
+// NewBuilder validates the resource once and returns a builder for the
+// problem instance.
+func NewBuilder(tasks []Task, res Resource, predict Predictor) (*Builder, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	if predict == nil {
+		return nil, fmt.Errorf("schedule: builder needs a predictor")
+	}
+	return &Builder{
+		tasks:   tasks,
+		res:     res,
+		predict: predict,
+		sched: Schedule{
+			Items:    make([]Placed, 0, len(tasks)),
+			NodeBusy: make([]float64, res.NumNodes),
+		},
+	}, nil
+}
+
+// Build times sol at the scheduling instant base. The returned schedule
+// aliases the builder's scratch buffers: it is valid only until the next
+// Build call and must be copied (or rebuilt via the package-level Build)
+// if it is to be retained. sol must be legitimate for the builder's
+// problem instance; Build does not re-validate it.
+func (b *Builder) Build(sol Solution, base float64) *Schedule {
+	b.sched.Items = b.sched.Items[:0]
+	b.sched.Base = base
+	b.sched.byTask = nil
+	b.sched.Makespan = buildInto(&b.sched, sol, b.tasks, b.res, base, b.predict, false)
+	return &b.sched
 }

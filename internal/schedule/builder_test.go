@@ -299,3 +299,120 @@ func TestBuildMaskPopcountMatchesNodeCount(t *testing.T) {
 		}
 	}
 }
+
+// TestBuilderMatchesBuild asserts the zero-alloc builder produces exactly
+// the schedule of the general entry point, across repeated reuse.
+func TestBuilderMatchesBuild(t *testing.T) {
+	rng := sim.NewRNG(3)
+	tasks := make([]Task, 12)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Arrival: float64(i) * 0.5, Deadline: 100}
+	}
+	res := NewResource(8)
+	pred := func(_ *pace.AppModel, k int) float64 { return 10 / float64(k) }
+	b, err := NewBuilder(tasks, res, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		sol := NewRandomSolution(len(tasks), 8, rng)
+		want := Build(sol, tasks, res, 2, pred)
+		got := b.Build(sol, 2)
+		if got.Makespan != want.Makespan || got.Base != want.Base {
+			t.Fatalf("round %d: makespan/base %g/%g, want %g/%g",
+				round, got.Makespan, got.Base, want.Makespan, want.Base)
+		}
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("round %d: %d items, want %d", round, len(got.Items), len(want.Items))
+		}
+		for i := range got.Items {
+			if got.Items[i] != want.Items[i] {
+				t.Fatalf("round %d item %d: %+v, want %+v", round, i, got.Items[i], want.Items[i])
+			}
+		}
+		for i := range got.NodeBusy {
+			if got.NodeBusy[i] != want.NodeBusy[i] {
+				t.Fatalf("round %d node %d busy %g, want %g", round, i, got.NodeBusy[i], want.NodeBusy[i])
+			}
+		}
+	}
+}
+
+// TestBuilderDoesNotAllocate pins the tentpole's zero-alloc contract for
+// the GA cost hot path.
+func TestBuilderDoesNotAllocate(t *testing.T) {
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Deadline: 50}
+	}
+	res := NewResource(8)
+	b, err := NewBuilder(tasks, res, constPredictor(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := NewRandomSolution(len(tasks), 8, sim.NewRNG(1))
+	b.Build(sol, 0) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		s := b.Build(sol, 0)
+		if s.Makespan <= 0 {
+			t.Fatal("empty schedule")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Builder.Build allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestCostDoesNotAllocate pins the allocation-free cost evaluation.
+func TestCostDoesNotAllocate(t *testing.T) {
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Deadline: 20}
+	}
+	res := NewResource(8)
+	s := Build(NewRandomSolution(len(tasks), 8, sim.NewRNG(2)), tasks, res, 0, constPredictor(3))
+	allocs := testing.AllocsPerRun(100, func() {
+		if Cost(s, tasks, DefaultWeights(), true).Combined < 0 {
+			t.Fatal("negative cost")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Cost allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestBuilderValidatesResource asserts validation is hoisted to
+// construction, not dropped.
+func TestBuilderValidatesResource(t *testing.T) {
+	if _, err := NewBuilder(nil, Resource{NumNodes: 2, Avail: []float64{0}}, constPredictor(1)); err == nil {
+		t.Fatal("NewBuilder accepted an inconsistent resource")
+	}
+	if _, err := NewBuilder(nil, NewResource(2), nil); err == nil {
+		t.Fatal("NewBuilder accepted a nil predictor")
+	}
+}
+
+// TestItemForIndexed exercises the position index over a larger schedule
+// and after repeated lookups.
+func TestItemForIndexed(t *testing.T) {
+	tasks := make([]Task, 30)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Deadline: 1e9}
+	}
+	res := NewResource(16)
+	s := Build(NewRandomSolution(len(tasks), 16, sim.NewRNG(5)), tasks, res, 0, constPredictor(2))
+	for pass := 0; pass < 2; pass++ { // second pass hits the built index
+		for pos := 0; pos < len(tasks); pos++ {
+			it, ok := s.ItemFor(pos)
+			if !ok || it.TaskPos != pos {
+				t.Fatalf("pass %d: ItemFor(%d) = %+v, %v", pass, pos, it, ok)
+			}
+		}
+		if _, ok := s.ItemFor(len(tasks)); ok {
+			t.Fatalf("pass %d: ItemFor out of range found a phantom task", pass)
+		}
+		if _, ok := s.ItemFor(-1); ok {
+			t.Fatalf("pass %d: ItemFor(-1) found a phantom task", pass)
+		}
+	}
+}

@@ -124,10 +124,26 @@ func Crossover(a, b Solution, numNodes int, rng *sim.RNG) (Solution, Solution) {
 }
 
 // spliceOrder keeps head[:cut] and appends the remaining task positions in
-// tail's relative order, yielding a legitimate permutation.
+// tail's relative order, yielding a legitimate permutation. Membership of
+// the kept prefix is tracked in a bitmask for the common ≤64-task case
+// (crossover runs hundreds of times per scheduling event) and falls back
+// to a scratch slice for larger queues.
 func spliceOrder(head, tail []int, cut int) []int {
 	out := make([]int, 0, len(head))
-	used := make(map[int]bool, cut)
+	if len(head) <= 64 {
+		var used uint64
+		for _, p := range head[:cut] {
+			out = append(out, p)
+			used |= uint64(1) << uint(p)
+		}
+		for _, p := range tail {
+			if used&(uint64(1)<<uint(p)) == 0 {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	used := make([]bool, len(head))
 	for _, p := range head[:cut] {
 		out = append(out, p)
 		used[p] = true

@@ -1,9 +1,5 @@
 package schedule
 
-import (
-	"math/bits"
-)
-
 // CostWeights are the W_m, W_i, W_c of eq. 8, weighting makespan ω,
 // weighted idle time φ and contract (deadline) penalty θ in the combined
 // cost. The paper leaves the values unspecified; DefaultWeights biases
@@ -53,32 +49,31 @@ func Cost(s *Schedule, tasks []Task, w CostWeights, frontWeighted bool) CostBrea
 		out.Makespan = 0
 	}
 
-	// Gather per-node busy intervals.
+	// Walk each node's busy intervals directly off the placement list
+	// instead of materialising per-node interval slices: this is the GA's
+	// cost hot path, called once per fitness evaluation, and the O(nodes ×
+	// items) scan is allocation-free. The traversal order (node-major,
+	// items in placement order) matches the interval-list formulation
+	// exactly, so the floating-point accumulation is bit-identical.
 	n := len(s.NodeBusy)
-	type interval struct{ start, end float64 }
-	perNode := make([][]interval, n)
-	for _, it := range s.Items {
-		for m := it.Mask; m != 0; {
-			i := bits.TrailingZeros64(m)
-			perNode[i] = append(perNode[i], interval{it.Start, it.End})
-			m &= m - 1
-		}
-	}
-
 	horizon := s.Makespan - s.Base
 	var idleW, idleRaw float64
 	for i := 0; i < n; i++ {
 		// Items are appended in execution order; on a single node their
 		// intervals are non-overlapping and start-sorted because each
 		// placement pushes the node's availability forward.
+		bit := uint64(1) << uint(i)
 		cursor := s.Base
-		for _, iv := range perNode[i] {
-			if iv.start > cursor {
-				idleRaw += iv.start - cursor
-				idleW += weightedGap(cursor, iv.start, s.Base, horizon, frontWeighted)
+		for _, it := range s.Items {
+			if it.Mask&bit == 0 {
+				continue
 			}
-			if iv.end > cursor {
-				cursor = iv.end
+			if it.Start > cursor {
+				idleRaw += it.Start - cursor
+				idleW += weightedGap(cursor, it.Start, s.Base, horizon, frontWeighted)
+			}
+			if it.End > cursor {
+				cursor = it.End
 			}
 		}
 		if s.Makespan > cursor {

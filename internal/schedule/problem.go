@@ -1,7 +1,9 @@
 package schedule
 
 import (
+	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -9,6 +11,11 @@ import (
 // Problem adapts the scheduling model to the generic GA engine: genomes
 // are two-part Solutions, the cost is eq. 8 evaluated on the built
 // schedule. It implements ga.Problem[Solution].
+//
+// Cost is safe for concurrent use (the parallel GA evaluates the
+// population on a worker pool): each call borrows a scratch Builder from
+// an internal pool, so concurrent evaluations never share buffers. Use
+// Problem by pointer only — the pool must not be copied.
 type Problem struct {
 	Tasks         []Task
 	Res           Resource
@@ -16,6 +23,8 @@ type Problem struct {
 	Predict       Predictor
 	Weights       CostWeights
 	FrontWeighted bool // front-weighted idle time (§2.1); ablation knob
+
+	builders sync.Pool // *Builder scratch, one per concurrent Cost call
 }
 
 // NewProblem returns a Problem with default weights and front-weighted
@@ -46,10 +55,23 @@ func (p *Problem) Mutate(g Solution, rng *sim.RNG) Solution {
 	return Mutate(g, p.Res.NumNodes, rng)
 }
 
-// Cost builds the genome's schedule and evaluates eq. 8.
+// Cost builds the genome's schedule and evaluates eq. 8. Solution
+// validation is hoisted out of this inner loop: the genetic operators
+// maintain legitimacy, so only externally supplied solutions (seeds) need
+// a Solution.Validate, once per Plan, not once per cost evaluation.
 func (p *Problem) Cost(g Solution) float64 {
-	s := Build(g, p.Tasks, p.Res, p.Base, p.Predict)
-	return Cost(s, p.Tasks, p.Weights, p.FrontWeighted).Combined
+	b, _ := p.builders.Get().(*Builder)
+	if b == nil {
+		var err error
+		b, err = NewBuilder(p.Tasks, p.Res, p.Predict)
+		if err != nil {
+			panic(fmt.Sprintf("schedule: Cost on invalid problem: %v", err))
+		}
+	}
+	s := b.Build(g, p.Base)
+	c := Cost(s, p.Tasks, p.Weights, p.FrontWeighted).Combined
+	p.builders.Put(b)
+	return c
 }
 
 // Clone deep-copies a genome.

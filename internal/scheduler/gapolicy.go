@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"fmt"
+
 	"repro/internal/ga"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -72,6 +74,14 @@ func (g *GAPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float6
 	seeds := []schedule.Solution{p.GreedySeed()}
 	if carried, ok := g.carry.seed(tasks, res.NumNodes); ok {
 		seeds = append(seeds, carried)
+	}
+	// Validation is hoisted out of the GA's cost loop (Problem.Cost
+	// trusts its input), so externally constructed solutions are checked
+	// here: once per Plan instead of once per cost evaluation.
+	for _, s := range seeds {
+		if err := s.Validate(len(tasks), res.NumNodes); err != nil {
+			panic(fmt.Sprintf("scheduler: ga seed invalid: %v", err))
+		}
 	}
 
 	res2 := ga.Run[schedule.Solution](p, g.Config, g.rng, seeds)
