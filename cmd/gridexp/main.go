@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
@@ -39,6 +40,7 @@ func main() {
 		accuracy = flag.Bool("accuracy", false, "run the §5 prediction-accuracy study")
 		scale    = flag.Bool("scale", false, "run the §5 scalability study on synthetic hierarchies")
 		exp4     = flag.Bool("exp4", false, "run Experiment 4: the resilience study under agent crashes")
+		auditRun = flag.Bool("audit", false, "run the lifecycle auditor over every experiment and exit non-zero on violations")
 		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
 		requests = flag.Int("requests", 600, "number of task requests (§4.1 uses 600)")
@@ -69,10 +71,34 @@ func main() {
 	params.Requests = *requests
 	params.Seed = *seed
 	params.Workers = *workers
+	params.Audit = *auditRun
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(4 * *requests * len(experiment.Configs))
 		params.Trace = rec
+	}
+
+	// verdict prints an audit result and arranges a non-zero exit when
+	// any invariant broke, so CI can gate on `gridexp ... -audit`.
+	auditFailed := false
+	verdict := func(scope string, res *audit.Result) {
+		if res == nil {
+			return
+		}
+		fmt.Printf("%s %s\n", scope, res.Summary())
+		if !res.OK() {
+			auditFailed = true
+			max := len(res.Violations)
+			if max > 10 {
+				max = 10
+			}
+			for _, v := range res.Violations[:max] {
+				fmt.Printf("  VIOLATION %s\n", v)
+			}
+			if len(res.Violations) > max {
+				fmt.Printf("  ... and %d more\n", len(res.Violations)-max)
+			}
+		}
 	}
 
 	if *accuracy {
@@ -80,6 +106,9 @@ func main() {
 		pts, err := experiment.RunAccuracyStudy(experiment.DefaultNoiseCases(), params)
 		fail(err)
 		fmt.Println(experiment.FormatAccuracy(pts))
+		for _, pt := range pts {
+			verdict(fmt.Sprintf("[accuracy scatter=%g bias=%g]", pt.Rel, pt.Bias), pt.Audit)
+		}
 	}
 	if *scale {
 		fmt.Printf("Running scalability study (seed %d)\n", params.Seed)
@@ -96,10 +125,19 @@ func main() {
 		fail(err)
 		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(experiment.FormatResilience(r))
+		verdict("[exp3 baseline]", r.Baseline.Audit)
+		verdict("[exp4 faulted]", r.Faulted.Audit)
 	}
 
 	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""
+	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4) {
+		// `gridexp -audit` alone still means "audit the experiments".
+		needRuns = true
+	}
 	if !needRuns {
+		if auditFailed {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -109,6 +147,9 @@ func main() {
 	outs, err := experiment.RunAll(params)
 	fail(err)
 	fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	for _, o := range outs {
+		verdict(fmt.Sprintf("[experiment %d]", o.Setup.ID), o.Audit)
+	}
 
 	if all || *table3 {
 		fmt.Println(experiment.FormatTable3(outs))
@@ -141,6 +182,9 @@ func main() {
 		fail(rec.WriteCSV(f))
 		fail(f.Close())
 		fmt.Printf("lifecycle trace written to %s (%s)\n", *traceOut, rec.Summary())
+	}
+	if auditFailed {
+		os.Exit(1)
 	}
 }
 

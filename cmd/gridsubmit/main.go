@@ -104,6 +104,12 @@ func main() {
 	}
 
 	req := xmlmsg.NewRequest(*app, *binary, *app, *env, deadlineSec, *email)
+	if !*dryRun {
+		// The portal is where requests enter the grid, so it mints the
+		// grid-wide request ID (the dry run stays byte-compatible with
+		// Fig. 6, which carries no ID).
+		req.ReqID = uint64(time.Now().UnixNano())
+	}
 	data, err := xmlmsg.Marshal(req)
 	fail(err)
 	if *dryRun {
@@ -137,6 +143,7 @@ func submitBatch(lib *pace.Library, to, env, email string, count int, interval t
 		rel := rng.UniformIn(m.DeadlineLo, m.DeadlineHi)
 		deadlineSec := time.Since(transport.MidnightOrigin()).Seconds() + rel
 		req := xmlmsg.NewRequest(m.Name, "", m.Name, env, deadlineSec, email)
+		req.ReqID = uint64(time.Now().UnixNano())
 		reply, kind, err := transport.Call(to, req)
 		fail(err)
 		if kind != xmlmsg.KindDispatch {

@@ -22,6 +22,11 @@ import (
 // data cannot produce routing loops (a mechanism the paper leaves
 // unspecified).
 type Request struct {
+	// ReqID is the grid-wide request identity minted at arrival
+	// (core.SubmitAt). It travels with the request through every
+	// forward, escalation, fallback and re-dispatch, and ends up on the
+	// execution record of whichever scheduler finally runs the task.
+	ReqID    uint64
 	App      *pace.AppModel
 	Env      string
 	Deadline float64 // absolute virtual time δ_r
@@ -42,7 +47,8 @@ func (r *Request) visited(name string) bool {
 // Dispatch reports where a request ended up.
 type Dispatch struct {
 	Resource string  // resource/agent name that accepted the task
-	TaskID   int     // task ID on the accepting scheduler
+	TaskID   int     // scheduler-local task ID on the accepting scheduler
+	ReqID    uint64  // grid-wide request identity carried by the request
 	Eta      float64 // η_r estimate at dispatch time (eq. 10)
 	Hops     int     // agents traversed, 0 = accepted at first agent
 	Fallback bool    // true when no resource met the deadline (best effort)
@@ -431,12 +437,12 @@ func (a *Agent) Handle(req Request, now float64) (Dispatch, error) {
 
 // SubmitDirect implements Peer.
 func (a *Agent) SubmitDirect(req Request, now float64) (Dispatch, error) {
-	id, err := a.local.Submit(req.App, req.Deadline, now)
+	id, err := a.local.SubmitRequest(req.App, req.Deadline, now, req.ReqID)
 	if err != nil {
 		return Dispatch{}, err
 	}
 	a.stats.LocalAccept++
-	return Dispatch{Resource: a.name, TaskID: id, Hops: len(req.Visited), Fallback: true}, nil
+	return Dispatch{Resource: a.name, TaskID: id, ReqID: req.ReqID, Hops: len(req.Visited), Fallback: true}, nil
 }
 
 // CachedServiceNames lists the neighbours currently in the service set.
@@ -675,7 +681,7 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 
 // AcceptLocal submits the request to this agent's own scheduler.
 func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispatch, error) {
-	id, err := a.local.Submit(req.App, req.Deadline, now)
+	id, err := a.local.SubmitRequest(req.App, req.Deadline, now, req.ReqID)
 	if err != nil {
 		return Dispatch{}, err
 	}
@@ -684,7 +690,7 @@ func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispa
 	if hops < 0 {
 		hops = 0
 	}
-	return Dispatch{Resource: a.name, TaskID: id, Eta: eta, Hops: hops, Fallback: fallback}, nil
+	return Dispatch{Resource: a.name, TaskID: id, ReqID: req.ReqID, Eta: eta, Hops: hops, Fallback: fallback}, nil
 }
 
 // bestNeighbour returns the unvisited neighbour whose advertised service

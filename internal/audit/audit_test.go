@@ -1,0 +1,197 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+)
+
+// cleanRun builds a small, fully consistent two-resource run: request 1
+// executes on S1, request 2 on S2 (both as local task 1 — the scheduler-
+// local ID collision the grid-wide ID exists to disambiguate), and
+// request 3 fails placement.
+func cleanRun(t *testing.T) Run {
+	t.Helper()
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindArrive, ReqID: 1, Agent: "S1", App: "fft"},
+		{Time: 0, Kind: trace.KindDispatch, ReqID: 1, Agent: "S1", Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 1, Kind: trace.KindArrive, ReqID: 2, Agent: "S1", App: "cpi"},
+		{Time: 1, Kind: trace.KindDispatch, ReqID: 2, Agent: "S1", Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 2, Kind: trace.KindStart, ReqID: 1, Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 3, Kind: trace.KindStart, ReqID: 2, Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 4, Kind: trace.KindArrive, ReqID: 3, Agent: "S1", App: "doom"},
+		{Time: 4, Kind: trace.KindFail, ReqID: 3, Agent: "S1", App: "doom", Detail: "no model"},
+		{Time: 6, Kind: trace.KindComplete, ReqID: 1, Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 8, Kind: trace.KindComplete, ReqID: 2, Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 9, Kind: trace.KindPeerDown, Agent: "S2"}, // non-task event: ignored
+	}
+	records := []scheduler.Record{
+		{ReqID: 1, TaskID: 1, Resource: "S1", Arrival: 0, Start: 2, End: 6, Deadline: 10, Mask: 0b01},
+		{ReqID: 2, TaskID: 1, Resource: "S2", Arrival: 1, Start: 3, End: 8, Deadline: 12, Mask: 0b11},
+	}
+	dispatches := []agent.Dispatch{
+		{ReqID: 1, Resource: "S1", TaskID: 1},
+		{ReqID: 2, Resource: "S2", TaskID: 1},
+	}
+	nodes := map[string]int{"S1": 2, "S2": 2}
+	rep, err := metrics.Compute(records, nodes, metrics.Window{Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run{Events: events, Records: records, Dispatches: dispatches, Nodes: nodes, Report: rep}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	res := Check(cleanRun(t))
+	if !res.OK() {
+		t.Fatalf("clean run has violations: %v", res.Violations)
+	}
+	if res.Err() != nil {
+		t.Fatalf("Err() on a clean run: %v", res.Err())
+	}
+	c := res.Counts
+	if c.Requests != 3 || c.Arrives != 3 || c.Completes != 2 || c.Fails != 1 || c.Records != 2 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if !strings.Contains(res.Summary(), "0 violation") {
+		t.Fatalf("summary: %q", res.Summary())
+	}
+}
+
+func TestDetectsFabricatedOverlappingRecord(t *testing.T) {
+	run := cleanRun(t)
+	// A forged record squats on S1 node 0 while request 1 is running
+	// there — exactly the double-booking the planner must never emit.
+	forged := scheduler.Record{ReqID: 4, TaskID: 2, Resource: "S1", Arrival: 0, Start: 3, End: 5, Deadline: 9, Mask: 0b01}
+	run.Records = append(run.Records, forged)
+	res := Check(run)
+	if res.OK() {
+		t.Fatal("overlapping record not detected")
+	}
+	if !hasCheck(res, "exclusivity") {
+		t.Fatalf("no exclusivity violation in %v", res.Violations)
+	}
+	// The forged record also breaks conservation: it has no lifecycle.
+	if !hasCheck(res, "conservation") {
+		t.Fatalf("record without lifecycle not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsDroppedComplete(t *testing.T) {
+	run := cleanRun(t)
+	// Drop request 2's complete event: the run now claims an execution
+	// record for a request that never terminated.
+	events := run.Events[:0:0]
+	for _, ev := range run.Events {
+		if ev.Kind == trace.KindComplete && ev.ReqID == 2 {
+			continue
+		}
+		events = append(events, ev)
+	}
+	run.Events = events
+	res := Check(run)
+	if res.OK() {
+		t.Fatal("dropped complete not detected")
+	}
+	if !hasViolationFor(res, "conservation", 2) {
+		t.Fatalf("no conservation violation for request 2: %v", res.Violations)
+	}
+}
+
+func TestDetectsDoubleTerminal(t *testing.T) {
+	run := cleanRun(t)
+	// Request 1 both completes and fails — two terminals.
+	run.Events = append(run.Events, trace.Event{Time: 7, Kind: trace.KindFail, ReqID: 1, Agent: "S1"})
+	res := Check(run)
+	if !hasViolationFor(res, "conservation", 1) {
+		t.Fatalf("double terminal not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsDispatchTargetMismatch(t *testing.T) {
+	run := cleanRun(t)
+	// The dispatch log claims request 2 went to S1, but it executed on S2.
+	run.Dispatches[1].Resource = "S1"
+	res := Check(run)
+	if !hasViolationFor(res, "placement", 2) {
+		t.Fatalf("dispatch-target mismatch not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsRedispatchTargetMismatch(t *testing.T) {
+	run := cleanRun(t)
+	// A redispatch moves request 1 to S2 — but the record says it ran
+	// on S1, so the final placement decision disagrees with reality.
+	run.Events = append(run.Events, trace.Event{Time: 1, Kind: trace.KindRedispatch, ReqID: 1, Resource: "S2", TaskID: 5})
+	res := Check(run)
+	if !hasViolationFor(res, "placement", 1) {
+		t.Fatalf("redispatch mismatch not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsTamperedMetrics(t *testing.T) {
+	run := cleanRun(t)
+	run.Report.Total.Epsilon += 0.5
+	res := Check(run)
+	if !hasCheck(res, "metrics") {
+		t.Fatalf("tampered epsilon not flagged: %v", res.Violations)
+	}
+	run = cleanRun(t)
+	run.Report.Total.Beta -= 1
+	if res := Check(run); !hasCheck(res, "metrics") {
+		t.Fatalf("tampered beta not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsTimeTravel(t *testing.T) {
+	run := cleanRun(t)
+	// Request 2's record starts before its arrival.
+	run.Records[1].Start = 0.5
+	res := Check(run)
+	if !hasViolationFor(res, "timing", 2) {
+		t.Fatalf("start-before-arrival not flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsMissingRequestID(t *testing.T) {
+	run := cleanRun(t)
+	run.Events[0].ReqID = 0 // an arrive with no identity
+	res := Check(run)
+	if !hasCheck(res, "identity") {
+		t.Fatalf("missing request ID not flagged: %v", res.Violations)
+	}
+}
+
+func TestTruncatedTraceIsAViolation(t *testing.T) {
+	run := cleanRun(t)
+	run.Dropped = 7
+	res := Check(run)
+	if !res.Truncated || !hasCheck(res, "trace") {
+		t.Fatalf("truncated trace not flagged: %+v", res)
+	}
+	if !strings.Contains(res.Summary(), "trace truncated") {
+		t.Fatalf("summary: %q", res.Summary())
+	}
+}
+
+func hasCheck(res Result, check string) bool {
+	for _, v := range res.Violations {
+		if v.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+func hasViolationFor(res Result, check string, reqID uint64) bool {
+	for _, v := range res.Violations {
+		if v.Check == check && v.ReqID == reqID {
+			return true
+		}
+	}
+	return false
+}

@@ -139,6 +139,7 @@ type Grid struct {
 
 	lastRequestAt float64
 	requests      int
+	nextReqID     uint64 // grid-wide request IDs, minted at SubmitAt
 	ran           bool
 }
 
@@ -320,33 +321,48 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 		g.lastRequestAt = at
 	}
 	g.requests++
+	// The grid-wide request ID is minted here, at arrival, in submission
+	// order: it is the identity every lifecycle event, dispatch and
+	// execution record of this request carries, no matter how many
+	// resources the request crosses (scheduler-local task IDs restart at
+	// 1 on every resource and cannot serve as a join key).
+	g.nextReqID++
+	reqID := g.nextReqID
 	g.simr.At(at, func(now float64) {
 		g.advanceAll(now)
 		deadline := now + deadlineRel
 		arriveDetail := ""
 		arrival := agentName
+		arrivalDown := false
 		if g.injector != nil {
 			// A crashed agent cannot receive arrivals; the portal
 			// retries the nearest live ancestor instead.
 			target, ok := g.injector.RerouteArrival(agentName)
-			if !ok {
-				err := fmt.Errorf("request at %g: no live agent for arrival at %s", now, agentName)
-				g.errs = append(g.errs, err)
-				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
-				return
-			}
-			if target != agentName {
+			switch {
+			case !ok:
+				arrivalDown = true
+			case target != agentName:
 				arrival = target
 				arriveDetail = "rerouted to " + target + " (agent down)"
 			}
 		}
-		g.traceEvent(trace.Event{Time: now, Kind: trace.KindArrive, Agent: agentName, App: appName, Detail: arriveDetail})
+		// The arrive event is recorded unconditionally — the request did
+		// enter the grid — so that every arrival terminates in exactly
+		// one complete or fail (the conservation invariant internal/audit
+		// checks).
+		g.traceEvent(trace.Event{Time: now, Kind: trace.KindArrive, ReqID: reqID, Agent: agentName, App: appName, Detail: arriveDetail})
+		if arrivalDown {
+			err := fmt.Errorf("request at %g: no live agent for arrival at %s", now, agentName)
+			g.errs = append(g.errs, err)
+			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
+			return
+		}
 		if g.opts.UseAgents {
 			a, _ := g.hier.Lookup(arrival)
-			d, err := a.HandleRequest(agent.Request{App: app, Env: "test", Deadline: deadline}, now)
+			d, err := a.HandleRequest(agent.Request{ReqID: reqID, App: app, Env: "test", Deadline: deadline}, now)
 			if err != nil {
 				g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
-				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
+				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 				return
 			}
 			g.dispatches = append(g.dispatches, d)
@@ -355,7 +371,7 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 				detail += " fallback"
 			}
 			g.traceEvent(trace.Event{
-				Time: now, Kind: trace.KindDispatch, Agent: agentName,
+				Time: now, Kind: trace.KindDispatch, ReqID: reqID, Agent: agentName,
 				Resource: d.Resource, TaskID: d.TaskID, App: appName, Detail: detail,
 			})
 			if g.opts.PushAdverts {
@@ -365,15 +381,15 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 			}
 			return
 		}
-		id, err := g.locals[agentName].Submit(app, deadline, now)
+		id, err := g.locals[agentName].SubmitRequest(app, deadline, now, reqID)
 		if err != nil {
 			g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
-			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, Agent: agentName, App: appName, Detail: err.Error()})
+			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 			return
 		}
-		g.dispatches = append(g.dispatches, agent.Dispatch{Resource: agentName, TaskID: id})
+		g.dispatches = append(g.dispatches, agent.Dispatch{Resource: agentName, TaskID: id, ReqID: reqID})
 		g.traceEvent(trace.Event{
-			Time: now, Kind: trace.KindDispatch, Agent: agentName,
+			Time: now, Kind: trace.KindDispatch, ReqID: reqID, Agent: agentName,
 			Resource: agentName, TaskID: id, App: appName, Detail: "direct",
 		})
 	})
@@ -504,11 +520,11 @@ func (e *tracingExecutor) Launch(rec scheduler.Record) {
 	}
 	e.rec.Record(trace.Event{
 		Time: rec.Start, Kind: trace.KindStart,
-		Resource: rec.Resource, TaskID: rec.TaskID, App: app,
+		ReqID: rec.ReqID, Resource: rec.Resource, TaskID: rec.TaskID, App: app,
 	})
 	e.rec.Record(trace.Event{
 		Time: rec.End, Kind: trace.KindComplete,
-		Resource: rec.Resource, TaskID: rec.TaskID, App: app,
+		ReqID: rec.ReqID, Resource: rec.Resource, TaskID: rec.TaskID, App: app,
 		Detail: fmt.Sprintf("deadline_met=%v", rec.End <= rec.Deadline),
 	})
 }

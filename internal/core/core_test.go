@@ -258,11 +258,14 @@ func TestGridTraceRecordsLifecycle(t *testing.T) {
 	if counts[trace.KindStart] != 5 || counts[trace.KindComplete] != 5 {
 		t.Fatalf("start/complete counts: %v", counts)
 	}
-	// Every dispatched task has a coherent history ending in completion.
+	// Every dispatched request has a coherent history ending in completion.
 	for _, d := range g.Dispatches() {
-		hist := rec.TaskHistory(d.Resource, d.TaskID)
-		if len(hist) == 0 || hist[len(hist)-1].Kind != trace.KindComplete {
-			t.Fatalf("task %d@%s history: %+v", d.TaskID, d.Resource, hist)
+		if d.ReqID == 0 {
+			t.Fatalf("dispatch %+v carries no request ID", d)
+		}
+		hist := rec.TaskHistory(d.ReqID)
+		if len(hist) == 0 || hist[0].Kind != trace.KindArrive || hist[len(hist)-1].Kind != trace.KindComplete {
+			t.Fatalf("request %d history: %+v", d.ReqID, hist)
 		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -19,6 +21,7 @@ type AccuracyPoint struct {
 	Beta     float64 // grid-wide β (%)
 	MetRate  float64 // fraction of tasks completing by their deadline
 	Requests int
+	Audit    *audit.Result // set when Params.Audit is on
 }
 
 // NoiseCase is one (scatter, bias) configuration of the study.
@@ -44,6 +47,10 @@ func DefaultNoiseCases() []NoiseCase {
 func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
 	out := make([]AccuracyPoint, 0, len(cases))
 	for _, c := range cases {
+		var rec *trace.Recorder
+		if p.Audit {
+			rec = trace.NewRecorder(8*p.Requests + 64)
+		}
 		grid, err := core.New(CaseStudyResources(), core.Options{
 			Policy:          core.PolicyGA,
 			GA:              p.GA,
@@ -52,6 +59,7 @@ func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
 			Seed:            p.Seed,
 			PredictionError: c.Rel,
 			PredictionBias:  c.Bias,
+			Trace:           rec,
 		})
 		if err != nil {
 			return nil, err
@@ -80,7 +88,7 @@ func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
 				met++
 			}
 		}
-		out = append(out, AccuracyPoint{
+		pt := AccuracyPoint{
 			Rel:      c.Rel,
 			Bias:     c.Bias,
 			Epsilon:  rep.Total.Epsilon,
@@ -88,7 +96,19 @@ func RunAccuracyStudy(cases []NoiseCase, p Params) ([]AccuracyPoint, error) {
 			Beta:     rep.Total.Beta,
 			MetRate:  float64(met) / float64(len(recs)),
 			Requests: len(recs),
-		})
+		}
+		if p.Audit {
+			res := audit.Check(audit.Run{
+				Events:     rec.Events(),
+				Records:    recs,
+				Dispatches: grid.Dispatches(),
+				Nodes:      grid.NodesByResource(),
+				Report:     rep,
+				Dropped:    rec.Dropped(),
+			})
+			pt.Audit = &res
+		}
+		out = append(out, pt)
 	}
 	return out, nil
 }

@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExperimentsPassAudit runs every Table 2 configuration at reduced
+// scale with the lifecycle auditor attached and requires a spotless
+// verdict: conservation, exclusivity, timing, placement and the §3.3
+// metric recomputation all hold.
+func TestExperimentsPassAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audited sweep in short mode")
+	}
+	p := QuickParams()
+	p.Requests = 120
+	p.Audit = true
+	outs, err := RunAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Audit == nil {
+			t.Fatalf("experiment %d: auditor did not run", o.Setup.ID)
+		}
+		if !o.Audit.OK() {
+			t.Fatalf("experiment %d: %v", o.Setup.ID, o.Audit.Violations)
+		}
+		c := o.Audit.Counts
+		if c.Arrives != p.Requests || c.Completes+c.Fails != p.Requests {
+			t.Fatalf("experiment %d not conserved: %+v", o.Setup.ID, c)
+		}
+	}
+}
+
+// TestResilienceRunPassesAudit is the seeded fault run that proves
+// conservation end to end: agents crash mid-phase, pending tasks are
+// re-dispatched (or lost as explicit fails), and every arrival must
+// still net out to exactly one terminal event.
+func TestResilienceRunPassesAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audited resilience run in short mode")
+	}
+	p := QuickParams()
+	p.Requests = 120
+	p.Audit = true
+	plan := ScaledFaultPlan(float64(p.Requests) * p.Interval)
+	r, err := RunResilience(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Outcome{r.Baseline, r.Faulted} {
+		if o.Audit == nil {
+			t.Fatalf("experiment %d: auditor did not run", o.Setup.ID)
+		}
+		if !o.Audit.OK() {
+			t.Fatalf("experiment %d: %v", o.Setup.ID, o.Audit.Violations)
+		}
+	}
+	c := r.Faulted.Audit.Counts
+	if c.Arrives != p.Requests {
+		t.Fatalf("faulted run saw %d arrivals for %d requests", c.Arrives, p.Requests)
+	}
+	if c.Completes+c.Fails != p.Requests {
+		t.Fatalf("faulted run not conserved: %+v", c)
+	}
+	if c.Fails != r.Fault.Lost {
+		t.Fatalf("%d fail events but %d tasks lost", c.Fails, r.Fault.Lost)
+	}
+	if c.Redispatches != r.Fault.Redispatched {
+		t.Fatalf("%d redispatch events but injector counted %d", c.Redispatches, r.Fault.Redispatched)
+	}
+	if !strings.Contains(FormatResilience(r), "audit:") {
+		t.Fatal("FormatResilience omits the audit verdict")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/agent"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/metrics"
@@ -76,6 +77,7 @@ type Params struct {
 	GA       ga.Config
 	Workers  int             // GA cost-evaluation workers per policy; ≤1 sequential, results identical either way
 	Trace    *trace.Recorder // optional lifecycle recorder
+	Audit    bool            // run the lifecycle auditor over each experiment
 }
 
 // DefaultParams returns the §4.1 case-study parameters.
@@ -105,18 +107,27 @@ type Outcome struct {
 	Records    []scheduler.Record
 	EvalStats  pace.EvalStats
 	Requests   int
+	Audit      *audit.Result // set when Params.Audit is on
 }
 
 // Run executes one experiment configuration against the case-study grid
 // and workload.
 func Run(setup Setup, p Params) (Outcome, error) {
+	// Auditing needs the full lifecycle trace. When the caller did not
+	// supply a recorder, run a private one sized so the ring cannot
+	// evict (a request contributes at most a handful of events); when
+	// the caller did, audit from theirs.
+	rec := p.Trace
+	if p.Audit && rec == nil {
+		rec = trace.NewRecorder(8*p.Requests + 64)
+	}
 	grid, err := core.New(CaseStudyResources(), core.Options{
 		Policy:    setup.Policy,
 		GA:        p.GA,
 		Workers:   p.Workers,
 		UseAgents: setup.UseAgents,
 		Seed:      p.Seed,
-		Trace:     p.Trace,
+		Trace:     rec,
 	})
 	if err != nil {
 		return Outcome{}, err
@@ -138,14 +149,26 @@ func Run(setup Setup, p Params) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{
+	out := Outcome{
 		Setup:      setup,
 		Report:     report,
 		Dispatches: grid.Dispatches(),
 		Records:    grid.Records(),
 		EvalStats:  grid.Engine().Stats(),
 		Requests:   len(reqs),
-	}, nil
+	}
+	if p.Audit {
+		res := audit.Check(audit.Run{
+			Events:     rec.Events(),
+			Records:    out.Records,
+			Dispatches: out.Dispatches,
+			Nodes:      grid.NodesByResource(),
+			Report:     report,
+			Dropped:    rec.Dropped(),
+		})
+		out.Audit = &res
+	}
+	return out, nil
 }
 
 // RunAll executes the three Table 2 experiments over the identical

@@ -5,8 +5,10 @@ import (
 	"strings"
 
 	"repro/internal/agent"
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -63,13 +65,17 @@ func RunResilience(p Params, plan fault.Plan) (ResilienceOutcome, error) {
 		return ResilienceOutcome{}, err
 	}
 
+	rec := p.Trace
+	if p.Audit && rec == nil {
+		rec = trace.NewRecorder(8*p.Requests + 64)
+	}
 	grid, err := core.New(CaseStudyResources(), core.Options{
 		Policy:    Exp4.Policy,
 		GA:        p.GA,
 		Workers:   p.Workers,
 		UseAgents: true,
 		Seed:      p.Seed,
-		Trace:     p.Trace,
+		Trace:     rec,
 		FaultPlan: &plan,
 		AdvertTTL: 3 * agent.DefaultPullPeriod,
 	})
@@ -93,18 +99,33 @@ func RunResilience(p Params, plan fault.Plan) (ResilienceOutcome, error) {
 	if err != nil {
 		return ResilienceOutcome{}, err
 	}
+	faulted := Outcome{
+		Setup:      Exp4,
+		Report:     report,
+		Dispatches: grid.Dispatches(),
+		Records:    grid.Records(),
+		EvalStats:  grid.Engine().Stats(),
+		Requests:   len(reqs),
+	}
+	if p.Audit {
+		// The faulted run is where conservation earns its keep: crashes
+		// re-dispatch pending tasks and lose unrescuable ones, and every
+		// one of those must still net out to one terminal per request.
+		res := audit.Check(audit.Run{
+			Events:     rec.Events(),
+			Records:    faulted.Records,
+			Dispatches: faulted.Dispatches,
+			Nodes:      grid.NodesByResource(),
+			Report:     report,
+			Dropped:    rec.Dropped(),
+		})
+		faulted.Audit = &res
+	}
 	return ResilienceOutcome{
 		Baseline: baseline,
-		Faulted: Outcome{
-			Setup:      Exp4,
-			Report:     report,
-			Dispatches: grid.Dispatches(),
-			Records:    grid.Records(),
-			EvalStats:  grid.Engine().Stats(),
-			Requests:   len(reqs),
-		},
-		Plan:  plan,
-		Fault: grid.FaultStats(),
+		Faulted:  faulted,
+		Plan:     plan,
+		Fault:    grid.FaultStats(),
 	}, nil
 }
 
@@ -134,5 +155,10 @@ func FormatResilience(r ResilienceOutcome) string {
 	row("epsilon (advance time)", "s", base.Epsilon, flt.Epsilon)
 	row("upsilon (utilisation)", "%", base.Upsilon, flt.Upsilon)
 	row("beta (balance level)", "%", base.Beta, flt.Beta)
+	if r.Faulted.Audit != nil {
+		b.WriteString("\n")
+		b.WriteString(r.Faulted.Audit.Summary())
+		b.WriteString("\n")
+	}
 	return b.String()
 }

@@ -133,10 +133,15 @@ func (in *Injector) rescue(crashed *agent.Agent, now float64) {
 			continue // raced a promotion; the task is running, not lost
 		}
 		if rescuer == nil {
-			in.lose(rec.TaskID, now, "no live agent to rescue task")
+			in.lose(rec.ReqID, rec.TaskID, now, "no live agent to rescue task")
 			continue
 		}
+		// The rescued request keeps its grid-wide identity: a
+		// re-dispatch is a new placement of the same request, so its
+		// redispatch/start/complete events and final execution record
+		// all join back to the original arrival.
 		req := agent.Request{
+			ReqID:    rec.ReqID,
 			App:      rec.App,
 			Env:      in.Env,
 			Deadline: rec.Deadline,
@@ -144,7 +149,7 @@ func (in *Injector) rescue(crashed *agent.Agent, now float64) {
 		}
 		d, err := rescuer.HandleRequest(req, now)
 		if err != nil {
-			in.lose(rec.TaskID, now, err.Error())
+			in.lose(rec.ReqID, rec.TaskID, now, err.Error())
 			continue
 		}
 		rescuer.CountRedispatch()
@@ -154,17 +159,17 @@ func (in *Injector) rescue(crashed *agent.Agent, now float64) {
 			app = rec.App.Name
 		}
 		in.traceEvent(trace.Event{
-			Time: now, Kind: trace.KindRedispatch,
+			Time: now, Kind: trace.KindRedispatch, ReqID: rec.ReqID,
 			Agent: rescuer.Name(), Resource: d.Resource, TaskID: d.TaskID, App: app,
 			Detail: fmt.Sprintf("from=%s oldtask=%d", crashed.Name(), rec.TaskID),
 		})
 	}
 }
 
-func (in *Injector) lose(taskID int, now float64, why string) {
+func (in *Injector) lose(reqID uint64, taskID int, now float64, why string) {
 	in.stats.Lost++
 	in.traceEvent(trace.Event{
-		Time: now, Kind: trace.KindFail, TaskID: taskID,
+		Time: now, Kind: trace.KindFail, ReqID: reqID, TaskID: taskID,
 		Detail: "fault: task lost: " + why,
 	})
 }

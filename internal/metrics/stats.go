@@ -133,8 +133,13 @@ func Lateness(recs []scheduler.Record) LatenessDistribution {
 }
 
 // FormatStats renders the per-application table plus the lateness
-// distribution for a record set.
+// distribution for a record set. An empty record set short-circuits —
+// formatting the NaN percentiles an empty Lateness carries would print
+// "p10 NaN s" instead of saying what happened.
 func FormatStats(recs []scheduler.Record) string {
+	if len(recs) == 0 {
+		return "Per-application statistics\n\nno records\n"
+	}
 	var b strings.Builder
 	b.WriteString("Per-application statistics\n\n")
 	fmt.Fprintf(&b, "%-10s %6s %8s %9s %9s %8s %9s\n",

@@ -121,3 +121,25 @@ func TestFormatStats(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatStatsEmpty(t *testing.T) {
+	out := FormatStats(nil)
+	if !strings.Contains(out, "no records") {
+		t.Fatalf("empty FormatStats should say so:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("empty FormatStats prints NaN:\n%s", out)
+	}
+}
+
+func TestFormatStatsSingleRecord(t *testing.T) {
+	out := FormatStats([]scheduler.Record{appRec(t, "fft", 0, 0, 10, 20, 1)})
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("single-record FormatStats prints NaN:\n%s", out)
+	}
+	for _, want := range []string{"fft", "1 tasks: 1 met", "median 10.0 s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatStats missing %q:\n%s", want, out)
+		}
+	}
+}

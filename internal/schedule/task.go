@@ -21,7 +21,8 @@ const MaxNodes = 64
 // model σ_j, an arrival time, and a user-required execution deadline δ_j
 // (absolute virtual time).
 type Task struct {
-	ID       int
+	ID       int    // scheduler-local ID, unique per resource only
+	ReqID    uint64 // grid-wide request identity; 0 outside a grid run
 	App      *pace.AppModel
 	Arrival  float64
 	Deadline float64

@@ -14,7 +14,11 @@ import (
 // it, when it started and completed, and the contract it had to meet. The
 // metrics of §3.3 are computed over these records.
 type Record struct {
-	TaskID   int
+	TaskID int // scheduler-local ID; restarts at 1 on every resource
+	// ReqID is the grid-wide request identity minted at arrival
+	// (core.SubmitAt) and preserved across re-dispatches; 0 for tasks
+	// submitted directly to a standalone scheduler.
+	ReqID    uint64
 	App      *pace.AppModel
 	Arrival  float64
 	Deadline float64
@@ -146,10 +150,19 @@ func (l *Local) duration(app *pace.AppModel, k int) float64 {
 }
 
 // Submit enqueues a task with the given application model and absolute
-// deadline, replans the queue, and returns the task's unique ID. The
-// clock is advanced to now first, promoting any planned starts the clock
-// passes.
+// deadline, replans the queue, and returns the task's scheduler-local ID.
+// The clock is advanced to now first, promoting any planned starts the
+// clock passes. Tasks submitted this way carry no grid-wide request
+// identity; grid-level callers use SubmitRequest.
 func (l *Local) Submit(app *pace.AppModel, deadline float64, now float64) (int, error) {
+	return l.SubmitRequest(app, deadline, now, 0)
+}
+
+// SubmitRequest is Submit with the grid-wide request ID minted at arrival
+// threaded through: the ID is stamped on the queued task and every
+// execution record derived from it, so lifecycle events can be joined
+// across resources (scheduler-local IDs restart at 1 on each resource).
+func (l *Local) SubmitRequest(app *pace.AppModel, deadline, now float64, reqID uint64) (int, error) {
 	if app == nil {
 		return 0, fmt.Errorf("scheduler: %q: nil application model", l.cfg.Name)
 	}
@@ -159,7 +172,7 @@ func (l *Local) Submit(app *pace.AppModel, deadline float64, now float64) (int, 
 	l.AdvanceTo(now)
 	l.nextID++
 	id := l.nextID
-	l.pending = append(l.pending, schedule.Task{ID: id, App: app, Arrival: now, Deadline: deadline})
+	l.pending = append(l.pending, schedule.Task{ID: id, ReqID: reqID, App: app, Arrival: now, Deadline: deadline})
 	l.replan()
 	return id, nil
 }
@@ -263,6 +276,7 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 		}
 		rec := Record{
 			TaskID:   t.ID,
+			ReqID:    t.ReqID,
 			App:      t.App,
 			Arrival:  t.Arrival,
 			Deadline: t.Deadline,
@@ -350,6 +364,7 @@ func (l *Local) Planned() []Record {
 		t := l.pending[it.TaskPos]
 		out = append(out, Record{
 			TaskID:   t.ID,
+			ReqID:    t.ReqID,
 			App:      t.App,
 			Arrival:  t.Arrival,
 			Deadline: t.Deadline,
@@ -364,21 +379,22 @@ func (l *Local) Planned() []Record {
 }
 
 // Freetime returns ω: "the earliest (approximate) time that corresponding
-// processors become available for more tasks" (§3.2) — the makespan of
-// the latest schedule over pending work, or the committed busy horizon
-// when the queue is empty. Never earlier than the current clock.
+// processors become available for more tasks" (§3.2) — the maximum of the
+// current clock, the committed per-node busy horizon, and the makespan of
+// the latest schedule over pending work. The plan's makespan alone is not
+// enough: under the §5 prediction-error study actual execution times can
+// run past the planned horizon, and a plan over a degraded node set never
+// sees the busy times of down nodes — either way an agent advertising
+// only the makespan would promise optimistic freetime.
 func (l *Local) Freetime() float64 {
 	ft := l.now
-	if l.plan != nil && len(l.plan.Items) > 0 {
-		if l.plan.Makespan > ft {
-			ft = l.plan.Makespan
-		}
-		return ft
-	}
 	for _, b := range l.nodeBusy {
 		if b > ft {
 			ft = b
 		}
+	}
+	if l.plan != nil && len(l.plan.Items) > 0 && l.plan.Makespan > ft {
+		ft = l.plan.Makespan
 	}
 	return ft
 }

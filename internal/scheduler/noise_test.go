@@ -91,6 +91,59 @@ func TestActualDurationFastRealityFreesNodesEarly(t *testing.T) {
 	}
 }
 
+func TestFreetimeCoversCommittedHorizonUnderNoise(t *testing.T) {
+	// The residual plan keeps its predicted timing after a promotion
+	// (replanning happens on Submit/Delete, not on clock advances), so
+	// when reality runs 3x slower than prediction the committed busy
+	// horizon overtakes the plan makespan. Freetime must advertise the
+	// later of the two — the plan alone would promise an optimistic
+	// freetime to the discovery layer. A single node serialises the
+	// queue, keeping a third task planned while the second overshoots.
+	l, err := NewLocal(Config{
+		Name: "S", HW: pace.SGIOrigin2000, NumNodes: 1,
+		Policy: NewFIFOPolicy(), Engine: pace.NewEngine(),
+		ActualDuration: func(_ *pace.AppModel, _ int, predicted float64, _ int) float64 {
+			return predicted * 3
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Submit(appOf(t, "closure"), 1e9, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The first task promoted during the second Submit and its actual
+	// duration is 3x the predicted one, so the second task's planned
+	// start is the first's actual end. Walk the clock just past it: the
+	// second promotes (and overshoots), the third stays planned.
+	if len(l.Records()) != 1 {
+		t.Fatalf("%d records after submits, want 1", len(l.Records()))
+	}
+	l.AdvanceTo(l.Records()[0].End + 1)
+
+	var horizon float64
+	for _, r := range l.Records() {
+		if r.End > horizon {
+			horizon = r.End
+		}
+	}
+	if len(l.Records()) != 2 {
+		t.Fatalf("%d records, want 2 promoted", len(l.Records()))
+	}
+	if l.plan == nil || len(l.plan.Items) == 0 {
+		t.Fatal("expected a residual planned task")
+	}
+	if l.plan.Makespan >= horizon {
+		t.Fatalf("scenario did not go stale: makespan %v, committed horizon %v", l.plan.Makespan, horizon)
+	}
+	if ft := l.Freetime(); ft != horizon {
+		t.Fatalf("Freetime() = %v, want the committed busy horizon %v (stale plan makespan is %v)",
+			ft, horizon, l.plan.Makespan)
+	}
+}
+
 func TestActualDurationNegativeClamped(t *testing.T) {
 	l, err := NewLocal(Config{
 		Name: "S", HW: pace.SGIOrigin2000, NumNodes: 2,

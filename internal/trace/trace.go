@@ -33,20 +33,38 @@ const (
 	KindRedispatch Kind = "redispatch" // a pending task was re-placed elsewhere
 )
 
+// TaskBearing reports whether events of this kind describe the lifecycle
+// of one request (as opposed to grid-level events such as peerdown).
+func (k Kind) TaskBearing() bool {
+	switch k {
+	case KindArrive, KindDispatch, KindStart, KindComplete, KindFail, KindRedispatch:
+		return true
+	}
+	return false
+}
+
 // Event is one lifecycle observation.
 type Event struct {
-	Seq      uint64  // monotone sequence number, assigned by the recorder
-	Time     float64 // virtual time
-	Kind     Kind
+	Seq  uint64  // monotone sequence number, assigned by the recorder
+	Time float64 // virtual time
+	Kind Kind
+	// ReqID is the grid-wide request identity minted at arrival
+	// (core.SubmitAt). It is the join key across every lifecycle stage:
+	// scheduler-local task IDs restart at 1 on each resource, so TaskID
+	// alone cannot correlate events from different resources.
+	ReqID    uint64
 	Agent    string // agent involved (arrival/dispatch)
 	Resource string // resource involved (dispatch/start/complete)
-	TaskID   int
+	TaskID   int    // scheduler-local task ID on Resource (secondary key)
 	App      string
 	Detail   string // free-form context ("fallback", "hops=2", error text)
 }
 
 func (e Event) String() string {
 	s := fmt.Sprintf("t=%8.2f %-9s", e.Time, e.Kind)
+	if e.Kind.TaskBearing() {
+		s += fmt.Sprintf(" req=%d", e.ReqID)
+	}
 	if e.App != "" {
 		s += " app=" + e.App
 	}
@@ -134,11 +152,15 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
-// TaskHistory returns the events for one task on one resource, in order.
-func (r *Recorder) TaskHistory(resource string, taskID int) []Event {
+// TaskHistory returns the lifecycle events of one request, in record
+// order. It is keyed on the grid-wide request ID: the former
+// (resource, taskID) key could not distinguish same-numbered tasks on
+// different resources, because scheduler-local IDs restart at 1 on every
+// resource.
+func (r *Recorder) TaskHistory(reqID uint64) []Event {
 	var out []Event
 	for _, ev := range r.Events() {
-		if ev.TaskID == taskID && (ev.Resource == resource || ev.Resource == "") {
+		if ev.ReqID == reqID && ev.Kind.TaskBearing() {
 			out = append(out, ev)
 		}
 	}
@@ -154,9 +176,25 @@ func (r *Recorder) CountByKind() map[Kind]int {
 	return out
 }
 
-// WriteText renders the retained events one per line.
+// eventsByTime returns the retained events sorted by virtual time (Seq
+// breaks ties). Record order is not virtual-time order: completions are
+// recorded when a task is promoted into execution, carrying their future
+// completion instant, so exports sorted this way read chronologically.
+func (r *Recorder) eventsByTime() []Event {
+	out := r.Events()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// WriteText renders the retained events one per line, in virtual-time
+// order.
 func (r *Recorder) WriteText(w io.Writer) error {
-	for _, ev := range r.Events() {
+	for _, ev := range r.eventsByTime() {
 		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
 			return err
 		}
@@ -164,17 +202,25 @@ func (r *Recorder) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteCSV exports the retained events as CSV with a header row.
+// WriteCSV exports the retained events as CSV with a header row, in
+// virtual-time order. The request column is the grid-wide request ID
+// (empty for non-task events such as peerdown); task is the
+// scheduler-local ID on the resource.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"seq", "time", "kind", "agent", "resource", "task", "app", "detail"}); err != nil {
+	if err := cw.Write([]string{"seq", "time", "kind", "request", "agent", "resource", "task", "app", "detail"}); err != nil {
 		return err
 	}
-	for _, ev := range r.Events() {
+	for _, ev := range r.eventsByTime() {
+		req := ""
+		if ev.Kind.TaskBearing() {
+			req = strconv.FormatUint(ev.ReqID, 10)
+		}
 		rec := []string{
 			strconv.FormatUint(ev.Seq, 10),
 			strconv.FormatFloat(ev.Time, 'f', 3, 64),
 			string(ev.Kind),
+			req,
 			ev.Agent,
 			ev.Resource,
 			strconv.Itoa(ev.TaskID),

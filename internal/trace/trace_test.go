@@ -60,18 +60,41 @@ func TestRecorderDefaultCapacity(t *testing.T) {
 }
 
 func TestTaskHistory(t *testing.T) {
+	// Two resources each run their own local task 1; only the grid-wide
+	// request ID tells the lifecycles apart. The old (resource, taskID)
+	// key could not follow a request across resources — its "" wildcard
+	// matched same-numbered tasks from other resources.
 	r := NewRecorder(100)
-	r.Record(Event{Time: 0, Kind: KindArrive, App: "cpi"})
-	r.Record(Event{Time: 0, Kind: KindDispatch, Resource: "S3", TaskID: 1})
-	r.Record(Event{Time: 1, Kind: KindStart, Resource: "S3", TaskID: 1})
-	r.Record(Event{Time: 1, Kind: KindStart, Resource: "S4", TaskID: 1}) // same ID, other resource
-	r.Record(Event{Time: 5, Kind: KindComplete, Resource: "S3", TaskID: 1})
-	hist := r.TaskHistory("S3", 1)
-	if len(hist) != 3 {
+	r.Record(Event{Time: 0, Kind: KindArrive, ReqID: 1, App: "cpi"})
+	r.Record(Event{Time: 0, Kind: KindDispatch, ReqID: 1, Resource: "S3", TaskID: 1})
+	r.Record(Event{Time: 0, Kind: KindArrive, ReqID: 2, App: "fft"})
+	r.Record(Event{Time: 0, Kind: KindDispatch, ReqID: 2, Resource: "S4", TaskID: 1})
+	r.Record(Event{Time: 1, Kind: KindStart, ReqID: 1, Resource: "S3", TaskID: 1})
+	r.Record(Event{Time: 1, Kind: KindStart, ReqID: 2, Resource: "S4", TaskID: 1})
+	r.Record(Event{Time: 2, Kind: KindPeerDown, Agent: "S4"}) // not task-bearing: never in a history
+	r.Record(Event{Time: 5, Kind: KindComplete, ReqID: 1, Resource: "S3", TaskID: 1})
+	r.Record(Event{Time: 6, Kind: KindComplete, ReqID: 2, Resource: "S4", TaskID: 1})
+
+	hist := r.TaskHistory(1)
+	if len(hist) != 4 {
 		t.Fatalf("history = %+v", hist)
 	}
-	if hist[0].Kind != KindDispatch || hist[2].Kind != KindComplete {
+	if hist[0].Kind != KindArrive || hist[3].Kind != KindComplete {
 		t.Fatalf("history order: %+v", hist)
+	}
+	for _, ev := range hist {
+		if ev.ReqID != 1 {
+			t.Fatalf("foreign event leaked into history: %+v", ev)
+		}
+		if ev.Kind != KindArrive && ev.Resource != "S3" {
+			t.Fatalf("request 1 never visited %q: %+v", ev.Resource, ev)
+		}
+	}
+	if other := r.TaskHistory(2); len(other) != 4 {
+		t.Fatalf("request 2 history = %+v", other)
+	}
+	if ghost := r.TaskHistory(99); len(ghost) != 0 {
+		t.Fatalf("unknown request has history: %+v", ghost)
 	}
 }
 
@@ -91,15 +114,36 @@ func TestCountByKindAndSummary(t *testing.T) {
 }
 
 func TestWriteTextAndCSV(t *testing.T) {
+	// Completions are recorded at promote time with their future
+	// completion instant, so record order is not virtual-time order;
+	// exports must sort. The arrive row has TaskID 0 (no scheduler-local
+	// ID exists yet) and must still carry its request ID.
 	r := NewRecorder(100)
-	r.Record(Event{Time: 1.5, Kind: KindDispatch, Agent: "S1", Resource: "S2", TaskID: 3, App: "fft", Detail: "hops=1"})
+	r.Record(Event{Time: 1.5, Kind: KindDispatch, ReqID: 9, Agent: "S1", Resource: "S2", TaskID: 3, App: "fft", Detail: "hops=1"})
+	r.Record(Event{Time: 8, Kind: KindComplete, ReqID: 9, Resource: "S2", TaskID: 3, App: "fft"})
+	r.Record(Event{Time: 2, Kind: KindStart, ReqID: 9, Resource: "S2", TaskID: 3, App: "fft"})
+	r.Record(Event{Time: 1, Kind: KindArrive, ReqID: 9, Agent: "S1", App: "fft"})
+
 	var txt bytes.Buffer
 	if err := r.WriteText(&txt); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(txt.String(), "dispatch") || !strings.Contains(txt.String(), "resource=S2") {
+	lines := strings.Split(strings.TrimSpace(txt.String()), "\n")
+	if len(lines) != 4 {
 		t.Fatalf("text: %q", txt.String())
 	}
+	for i, want := range []string{"arrive", "dispatch", "start", "complete"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %q, want kind %q (text must be in virtual-time order)", i, lines[i], want)
+		}
+		if !strings.Contains(lines[i], "req=9") {
+			t.Fatalf("line %d = %q drops the request ID", i, lines[i])
+		}
+	}
+	if !strings.Contains(lines[1], "resource=S2") {
+		t.Fatalf("text: %q", txt.String())
+	}
+
 	var buf bytes.Buffer
 	if err := r.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
@@ -108,7 +152,13 @@ func TestWriteTextAndCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 || rows[0][0] != "seq" || rows[1][2] != "dispatch" || rows[1][4] != "S2" {
+	if len(rows) != 5 || rows[0][0] != "seq" || rows[0][3] != "request" {
+		t.Fatalf("csv rows: %v", rows)
+	}
+	if rows[1][2] != "arrive" || rows[1][3] != "9" || rows[2][2] != "dispatch" || rows[2][5] != "S2" {
+		t.Fatalf("csv rows out of virtual-time order or missing request column: %v", rows)
+	}
+	if rows[4][2] != "complete" {
 		t.Fatalf("csv rows: %v", rows)
 	}
 }

@@ -51,7 +51,7 @@ func TestFarmFullCaseStudyGridOverTCP(t *testing.T) {
 
 	// A loose request submitted at the slowest leaf stays local.
 	s12, _ := farm.Addr("S12")
-	reply, _, err := Call(s12, xmlmsg.NewWireRequest("sweep3d", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil))
+	reply, _, err := Call(s12, xmlmsg.NewWireRequest(101, "sweep3d", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFarmFullCaseStudyGridOverTCP(t *testing.T) {
 	// through the hierarchy: sweep3d needs >= 24s on S12's SPARCstation2
 	// (factor 6) and >= 5.6s even on an Ultra10, so a 5-second deadline
 	// admits only the SGI platforms (minimum 4s).
-	reply, _, err = Call(s12, xmlmsg.NewWireRequest("sweep3d", "test", 5, "u@g", xmlmsg.ModeDiscover, nil))
+	reply, _, err = Call(s12, xmlmsg.NewWireRequest(102, "sweep3d", "test", 5, "u@g", xmlmsg.ModeDiscover, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,7 +82,7 @@ func (p *RemotePeer) PushAdvertisement(from string, info scheduler.ServiceInfo, 
 }
 
 func (p *RemotePeer) send(req agent.Request, mode string) (agent.Dispatch, error) {
-	wire := xmlmsg.NewWireRequest(req.App.Name, req.Env, req.Deadline, req.Email, mode, req.Visited)
+	wire := xmlmsg.NewWireRequest(req.ReqID, req.App.Name, req.Env, req.Deadline, req.Email, mode, req.Visited)
 	reply, _, err := p.client().Call(p.Addr, wire)
 	if err != nil {
 		return agent.Dispatch{}, err
@@ -95,6 +95,7 @@ func (p *RemotePeer) send(req agent.Request, mode string) (agent.Dispatch, error
 	return agent.Dispatch{
 		Resource: ack.Resource,
 		TaskID:   ack.TaskID,
+		ReqID:    ack.ReqID,
 		Eta:      eta,
 		Hops:     ack.Hops,
 		Fallback: ack.Fallback,
@@ -384,6 +385,7 @@ func (n *Node) handle(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
 			return nil, err
 		}
 		req := agent.Request{
+			ReqID:    m.ReqID,
 			App:      app,
 			Env:      m.Requirement.Environment,
 			Deadline: deadline,
@@ -394,7 +396,7 @@ func (n *Node) handle(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
 		if err != nil {
 			return nil, err
 		}
-		return xmlmsg.NewDispatchAck(d.Resource, d.TaskID, d.Eta, d.Hops, d.Fallback), nil
+		return xmlmsg.NewDispatchAck(d.Resource, d.TaskID, d.ReqID, d.Eta, d.Hops, d.Fallback), nil
 	}
 	return nil, fmt.Errorf("unsupported message kind %q", kind)
 }

@@ -56,7 +56,7 @@ func TestNodeServiceQuery(t *testing.T) {
 
 func TestNodeLocalDispatch(t *testing.T) {
 	n := startNode(t, "solo", pace.SGIOrigin2000, 16)
-	req := xmlmsg.NewWireRequest("fft", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
+	req := xmlmsg.NewWireRequest(201, "fft", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
 	reply, _, err := Call(n.Addr(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestNodeLocalDispatch(t *testing.T) {
 
 func TestNodeUnknownApplication(t *testing.T) {
 	n := startNode(t, "solo", pace.SGIOrigin2000, 16)
-	req := xmlmsg.NewWireRequest("doom", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
+	req := xmlmsg.NewWireRequest(202, "doom", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
 	if _, _, err := Call(n.Addr(), req); err == nil {
 		t.Fatal("unknown app dispatched")
 	}
@@ -101,7 +101,7 @@ func TestTwoNodeHierarchyOverTCP(t *testing.T) {
 
 	// sweep3d with a 10-second deadline: impossible on the SPARCstation
 	// (min 24s), fine on the Origin (min 4s).
-	req := xmlmsg.NewWireRequest("sweep3d", "test", 10, "u@g", xmlmsg.ModeDiscover, nil)
+	req := xmlmsg.NewWireRequest(203, "sweep3d", "test", 10, "u@g", xmlmsg.ModeDiscover, nil)
 	reply, _, err := Call(child.Addr(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +115,7 @@ func TestTwoNodeHierarchyOverTCP(t *testing.T) {
 func TestNodeDirectSubmission(t *testing.T) {
 	n := startNode(t, "solo", pace.SunSPARCstation2, 4)
 	// Direct mode bypasses discovery: even an impossible deadline queues.
-	req := xmlmsg.NewWireRequest("sweep3d", "test", 1, "u@g", xmlmsg.ModeDirect, nil)
+	req := xmlmsg.NewWireRequest(204, "sweep3d", "test", 1, "u@g", xmlmsg.ModeDirect, nil)
 	reply, _, err := Call(n.Addr(), req)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestNodePushOnAccept(t *testing.T) {
 	}
 	// Accept work at the head; its freetime jumps past the threshold and
 	// the push delivers the fresh advertisement to the child.
-	req := xmlmsg.NewWireRequest("improc", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
+	req := xmlmsg.NewWireRequest(205, "improc", "test", 1e6, "u@g", xmlmsg.ModeDiscover, nil)
 	if _, _, err := Call(head.Addr(), req); err != nil {
 		t.Fatal(err)
 	}
@@ -230,8 +230,8 @@ func TestNodePushOnAccept(t *testing.T) {
 func TestResultsQueryOverTCP(t *testing.T) {
 	n := startNode(t, "solo", pace.SGIOrigin2000, 16)
 	// Submit two tasks under different emails.
-	for _, email := range []string{"alice@grid", "bob@grid"} {
-		req := xmlmsg.NewWireRequest("closure", "test", 1e6, email, xmlmsg.ModeDiscover, nil)
+	for i, email := range []string{"alice@grid", "bob@grid"} {
+		req := xmlmsg.NewWireRequest(uint64(300+i), "closure", "test", 1e6, email, xmlmsg.ModeDiscover, nil)
 		if _, _, err := Call(n.Addr(), req); err != nil {
 			t.Fatal(err)
 		}

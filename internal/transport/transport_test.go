@@ -17,7 +17,7 @@ func echoHandler(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
 			xmlmsg.Endpoint{Address: "x", Port: 2},
 			"SunUltra5", 16, []string{"test"}, 42), nil
 	case xmlmsg.KindRequest:
-		return xmlmsg.NewDispatchAck("S1", 7, 99, 1, false), nil
+		return xmlmsg.NewDispatchAck("S1", 7, 55, 99, 1, false), nil
 	}
 	return nil, fmt.Errorf("boom: %v", kind)
 }
@@ -53,7 +53,7 @@ func TestCallRequestAck(t *testing.T) {
 	}
 	defer s.Close()
 
-	req := xmlmsg.NewWireRequest("fft", "test", 120, "u@g", xmlmsg.ModeDiscover, []string{"S9"})
+	req := xmlmsg.NewWireRequest(55, "fft", "test", 120, "u@g", xmlmsg.ModeDiscover, []string{"S9"})
 	reply, kind, err := Call(s.Addr(), req)
 	if err != nil {
 		t.Fatal(err)

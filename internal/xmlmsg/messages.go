@@ -88,13 +88,18 @@ func (s ServiceInfo) FreetimeSeconds() (float64, error) {
 // Request is the Fig. 6 message: a task execution request from a user
 // portal, carrying the application (binary plus PACE performance model),
 // the requirements (environment and deadline) and contact information.
-// Mode and Visited are wire-protocol extensions used between networked
-// agents (see ModeDiscover/ModeDirect); both are empty on portal
-// submissions, keeping those byte-compatible with the figure.
+// Mode, ReqID and Visited are wire-protocol extensions used between
+// networked agents (see ModeDiscover/ModeDirect); all are empty on plain
+// portal submissions, keeping those byte-compatible with the figure.
+// ReqID is the grid-wide request identity minted where the request enters
+// the grid; it survives every forward hop so lifecycle events on
+// different resources can be joined (scheduler-local task IDs cannot —
+// they restart at 1 on every resource).
 type Request struct {
 	XMLName     xml.Name    `xml:"agentgrid"`
 	Type        string      `xml:"type,attr"` // always "request"
 	Mode        string      `xml:"mode,attr,omitempty"`
+	ReqID       uint64      `xml:"reqid,attr,omitempty"`
 	Application Application `xml:"application"`
 	Requirement Requirement `xml:"requirement"`
 	Email       string      `xml:"email"`

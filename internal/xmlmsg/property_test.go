@@ -22,9 +22,10 @@ func sanitise(s string) string {
 }
 
 // Property: any request built from generated fields survives a marshal/
-// decode round trip with its semantic content intact.
+// decode round trip with its semantic content — including the grid-wide
+// request ID — intact.
 func TestRequestRoundTripProperty(t *testing.T) {
-	prop := func(appRaw, envRaw, emailRaw string, deadlineRaw uint32, visitedRaw []string) bool {
+	prop := func(appRaw, envRaw, emailRaw string, reqID uint64, deadlineRaw uint32, visitedRaw []string) bool {
 		app := sanitise(appRaw)
 		env := sanitise(envRaw)
 		if app == "" {
@@ -40,7 +41,7 @@ func TestRequestRoundTripProperty(t *testing.T) {
 				visited = append(visited, s)
 			}
 		}
-		req := NewWireRequest(app, env, deadline, sanitise(emailRaw), ModeDiscover, visited)
+		req := NewWireRequest(reqID, app, env, deadline, sanitise(emailRaw), ModeDiscover, visited)
 		data, err := Marshal(req)
 		if err != nil {
 			return false
@@ -50,6 +51,9 @@ func TestRequestRoundTripProperty(t *testing.T) {
 			return false
 		}
 		got := back.(*Request)
+		if got.ReqID != reqID {
+			return false
+		}
 		if got.Application.Name != app || got.Requirement.Environment != env {
 			return false
 		}

@@ -70,22 +70,27 @@ func NewResultSet(tasks []TaskResult) ResultSet {
 const KindResults Kind = "results"
 
 // DispatchAck acknowledges a request, reporting where the task landed.
+// ReqID echoes the grid-wide request identity of the request being
+// acknowledged, so the submitter can join the ack (and later results)
+// back to its request without relying on the scheduler-local task ID.
 type DispatchAck struct {
 	XMLName  xml.Name `xml:"agentgrid"`
 	Type     string   `xml:"type,attr"` // always "dispatch"
 	Resource string   `xml:"resource"`
 	TaskID   int      `xml:"taskid"`
+	ReqID    uint64   `xml:"reqid,omitempty"`
 	Eta      string   `xml:"eta,omitempty"` // expected completion, virtual timestamp
 	Hops     int      `xml:"hops"`
 	Fallback bool     `xml:"fallback"`
 }
 
 // NewDispatchAck builds an acknowledgement.
-func NewDispatchAck(resource string, taskID int, etaSec float64, hops int, fallback bool) DispatchAck {
+func NewDispatchAck(resource string, taskID int, reqID uint64, etaSec float64, hops int, fallback bool) DispatchAck {
 	return DispatchAck{
 		Type:     "dispatch",
 		Resource: resource,
 		TaskID:   taskID,
+		ReqID:    reqID,
 		Eta:      FormatVirtual(etaSec),
 		Hops:     hops,
 		Fallback: fallback,
@@ -119,11 +124,12 @@ const (
 	ModeDirect   = "direct"
 )
 
-// NewWireRequest builds a networked request: a Fig. 6 request carrying the
-// discovery bookkeeping (dispatch mode and visited-agent list) the
-// hierarchy needs on the wire.
-func NewWireRequest(appName, env string, deadlineSec float64, email, mode string, visited []string) Request {
+// NewWireRequest builds a networked request: a Fig. 6 request carrying
+// the discovery bookkeeping (grid-wide request ID, dispatch mode and
+// visited-agent list) the hierarchy needs on the wire.
+func NewWireRequest(reqID uint64, appName, env string, deadlineSec float64, email, mode string, visited []string) Request {
 	r := NewRequest(appName, "", appName, env, deadlineSec, email)
+	r.ReqID = reqID
 	r.Mode = mode
 	r.Visited = visited
 	return r

@@ -38,9 +38,9 @@ func TestResultsQueryRoundTrip(t *testing.T) {
 }
 
 func TestDispatchAckRoundTrip(t *testing.T) {
-	ack := NewDispatchAck("S3", 42, 123, 2, true)
+	ack := NewDispatchAck("S3", 42, 7001, 123, 2, true)
 	got := roundTrip(t, ack, KindDispatch).(*DispatchAck)
-	if got.Resource != "S3" || got.TaskID != 42 || got.Hops != 2 || !got.Fallback {
+	if got.Resource != "S3" || got.TaskID != 42 || got.ReqID != 7001 || got.Hops != 2 || !got.Fallback {
 		t.Fatalf("ack: %+v", got)
 	}
 	eta, err := got.EtaSeconds()
@@ -94,10 +94,13 @@ func TestEmptyResultSetRoundTrip(t *testing.T) {
 }
 
 func TestWireRequestModeAndVisited(t *testing.T) {
-	r := NewWireRequest("jacobi", "mpi", 77, "u@g", ModeDirect, []string{"S1", "S2"})
+	r := NewWireRequest(31, "jacobi", "mpi", 77, "u@g", ModeDirect, []string{"S1", "S2"})
 	got := roundTrip(t, r, KindRequest).(*Request)
 	if got.Mode != ModeDirect {
 		t.Fatalf("mode %q", got.Mode)
+	}
+	if got.ReqID != 31 {
+		t.Fatalf("reqid %d", got.ReqID)
 	}
 	if len(got.Visited) != 2 || got.Visited[0] != "S1" {
 		t.Fatalf("visited %v", got.Visited)
