@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// exportDoc is the machine-readable product of a gridexp invocation
+// (-out results.json): whichever studies the flags selected, as numbers
+// rather than tables, so downstream tooling (scripts/bench.sh, the
+// capacity study) consumes JSON instead of scraping text.
+type exportDoc struct {
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests"`
+
+	Experiments []expSummary   `json:"experiments,omitempty"` // Table 2 runs 1–3
+	Accuracy    []accuracyRow  `json:"accuracy,omitempty"`    // §5 prediction-noise study
+	Resilience  *resilienceRow `json:"resilience,omitempty"`  // experiment 4
+	Scale       []scaleRow     `json:"scale,omitempty"`       // §5 scalability study
+
+	Scenario   *scenario.Result           `json:"scenario,omitempty"`
+	Sweep      *scenario.SweepReport      `json:"sweep,omitempty"`
+	Saturation *scenario.SaturationResult `json:"saturation,omitempty"`
+}
+
+// expSummary is one Table 3 column plus the deadline/throughput numbers.
+type expSummary struct {
+	ID          int     `json:"id"`
+	Label       string  `json:"label"`
+	Policy      string  `json:"policy"`
+	UseAgents   bool    `json:"use_agents"`
+	Requests    int     `json:"requests"`
+	EpsS        float64 `json:"eps_s"`
+	UpsPct      float64 `json:"ups_pct"`
+	BetaPct     float64 `json:"beta_pct"`
+	HitRate     float64 `json:"hit_rate"`
+	ThroughputS float64 `json:"throughput_s"`
+
+	PerResource []resourceRow `json:"per_resource"`
+
+	AuditOK *bool `json:"audit_ok,omitempty"` // present when -audit ran
+}
+
+type resourceRow struct {
+	Name    string  `json:"name"`
+	Tasks   int     `json:"tasks"`
+	EpsS    float64 `json:"eps_s"`
+	UpsPct  float64 `json:"ups_pct"`
+	BetaPct float64 `json:"beta_pct"`
+}
+
+type accuracyRow struct {
+	Rel     float64 `json:"rel"`
+	Bias    float64 `json:"bias"`
+	EpsS    float64 `json:"eps_s"`
+	UpsPct  float64 `json:"ups_pct"`
+	BetaPct float64 `json:"beta_pct"`
+	MetRate float64 `json:"met_rate"`
+}
+
+type resilienceRow struct {
+	Baseline expSummary `json:"baseline"`
+	Faulted  expSummary `json:"faulted"`
+	Events   int        `json:"fault_events"`
+}
+
+type scaleRow struct {
+	Agents    int     `json:"agents"`
+	Requests  int     `json:"requests"`
+	MeanHops  float64 `json:"mean_hops"`
+	MaxHops   int     `json:"max_hops"`
+	Fallbacks int     `json:"fallbacks"`
+	EpsS      float64 `json:"eps_s"`
+	UpsPct    float64 `json:"ups_pct"`
+	BetaPct   float64 `json:"beta_pct"`
+}
+
+func summariseOutcome(o experiment.Outcome) expSummary {
+	s := expSummary{
+		ID:          o.Setup.ID,
+		Label:       o.Setup.Label,
+		Policy:      string(o.Setup.Policy),
+		UseAgents:   o.Setup.UseAgents,
+		Requests:    o.Requests,
+		EpsS:        o.Report.Total.Epsilon,
+		UpsPct:      o.Report.Total.Upsilon,
+		BetaPct:     o.Report.Total.Beta,
+		HitRate:     metrics.HitRate(o.Records),
+		ThroughputS: metrics.Throughput(o.Records, o.Report.Window),
+	}
+	for _, r := range o.Report.PerResource {
+		s.PerResource = append(s.PerResource, resourceRow{
+			Name: r.Name, Tasks: r.Tasks, EpsS: r.Epsilon, UpsPct: r.Upsilon, BetaPct: r.Beta,
+		})
+	}
+	if o.Audit != nil {
+		ok := o.Audit.OK()
+		s.AuditOK = &ok
+	}
+	return s
+}
+
+func summariseAccuracy(pts []experiment.AccuracyPoint) []accuracyRow {
+	out := make([]accuracyRow, len(pts))
+	for i, p := range pts {
+		out[i] = accuracyRow{
+			Rel: p.Rel, Bias: p.Bias,
+			EpsS: p.Epsilon, UpsPct: p.Upsilon, BetaPct: p.Beta, MetRate: p.MetRate,
+		}
+	}
+	return out
+}
+
+func summariseScale(pts []experiment.ScalePoint) []scaleRow {
+	out := make([]scaleRow, len(pts))
+	for i, p := range pts {
+		out[i] = scaleRow{
+			Agents: p.Agents, Requests: p.Requests,
+			MeanHops: p.MeanHops, MaxHops: p.MaxHops, Fallbacks: p.Fallbacks,
+			EpsS: p.Epsilon, UpsPct: p.Upsilon, BetaPct: p.Beta,
+		}
+	}
+	return out
+}
+
+// write renders the document as indented JSON at path (or CSV when the
+// document is a sweep and the path ends in .csv).
+func (d exportDoc) write(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if d.Sweep != nil && strings.HasSuffix(path, ".csv") {
+		err = d.Sweep.WriteCSV(f)
+	} else {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		err = enc.Encode(d)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("results written to %s\n", path)
+	return nil
+}

@@ -9,6 +9,15 @@
 //	gridexp -table3 -fig10   # selected outputs
 //	gridexp -requests 120    # reduced workload
 //	gridexp -topology        # print the Fig. 7 agent hierarchy
+//
+// Scenario mode (the declarative layer of internal/scenario):
+//
+//	gridexp -scenario examples/scenarios/fig7.json              # one audited run
+//	gridexp -scenario s.json -sweep rate=0.5,1,2 -out sweep.json
+//	gridexp -scenario s.json -find-saturation                   # capacity search
+//
+// Any mode accepts -out results.json to export the selected studies as
+// machine-readable JSON instead of scraping the printed tables.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/pace"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -46,10 +56,24 @@ func main() {
 		requests = flag.Int("requests", 600, "number of task requests (§4.1 uses 600)")
 		seed     = flag.Uint64("seed", 2003, "workload and GA seed")
 		workers  = flag.Int("workers", runtime.NumCPU(), "GA cost-evaluation workers per scheduler (results are identical for any value)")
+
+		scenarioPath = flag.String("scenario", "", "run the scenario described by this JSON spec (see examples/scenarios/)")
+		sweepArg     = flag.String("sweep", "", "with -scenario: sweep one axis, e.g. rate=0.5,1,2 or agents=12,24,48")
+		findSat      = flag.Bool("find-saturation", false, "with -scenario: binary-search the arrival rate where ε crosses zero")
+		outPath      = flag.String("out", "", "export the selected results as JSON to this file (a -sweep also accepts a .csv path)")
 	)
 	flag.Parse()
 
+	if *scenarioPath != "" {
+		runScenario(*scenarioPath, *sweepArg, *findSat, *outPath, *workers)
+		return
+	}
+	if *sweepArg != "" || *findSat {
+		fail(fmt.Errorf("-sweep and -find-saturation need a -scenario spec"))
+	}
+
 	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4)
+	doc := exportDoc{Seed: *seed, Requests: *requests}
 
 	if all || *table1 {
 		engine := pace.NewEngine()
@@ -106,6 +130,7 @@ func main() {
 		pts, err := experiment.RunAccuracyStudy(experiment.DefaultNoiseCases(), params)
 		fail(err)
 		fmt.Println(experiment.FormatAccuracy(pts))
+		doc.Accuracy = summariseAccuracy(pts)
 		for _, pt := range pts {
 			verdict(fmt.Sprintf("[accuracy scatter=%g bias=%g]", pt.Rel, pt.Bias), pt.Audit)
 		}
@@ -115,6 +140,7 @@ func main() {
 		pts, err := experiment.RunScalabilityStudy([]int{6, 12, 24, 48}, 3, 50, params)
 		fail(err)
 		fmt.Println(experiment.FormatScalability(pts))
+		doc.Scale = summariseScale(pts)
 	}
 	if *exp4 {
 		plan := experiment.ScaledFaultPlan(float64(params.Requests) * params.Interval)
@@ -125,6 +151,11 @@ func main() {
 		fail(err)
 		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
 		fmt.Println(experiment.FormatResilience(r))
+		doc.Resilience = &resilienceRow{
+			Baseline: summariseOutcome(r.Baseline),
+			Faulted:  summariseOutcome(r.Faulted),
+			Events:   len(plan.Events),
+		}
 		verdict("[exp3 baseline]", r.Baseline.Audit)
 		verdict("[exp4 faulted]", r.Faulted.Audit)
 	}
@@ -135,6 +166,9 @@ func main() {
 		needRuns = true
 	}
 	if !needRuns {
+		if *outPath != "" {
+			fail(doc.write(*outPath))
+		}
 		if auditFailed {
 			os.Exit(1)
 		}
@@ -148,6 +182,7 @@ func main() {
 	fail(err)
 	fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	for _, o := range outs {
+		doc.Experiments = append(doc.Experiments, summariseOutcome(o))
 		verdict(fmt.Sprintf("[experiment %d]", o.Setup.ID), o.Audit)
 	}
 
@@ -183,7 +218,60 @@ func main() {
 		fail(f.Close())
 		fmt.Printf("lifecycle trace written to %s (%s)\n", *traceOut, rec.Summary())
 	}
+	if *outPath != "" {
+		fail(doc.write(*outPath))
+	}
 	if auditFailed {
+		os.Exit(1)
+	}
+}
+
+// runScenario is the -scenario entry point: one audited run, a sweep
+// over one axis, or a saturation search, with optional JSON/CSV export.
+// Every scenario run is audited; any violation exits non-zero.
+func runScenario(path, sweepArg string, findSat bool, outPath string, workers int) {
+	spec, err := scenario.Load(path)
+	fail(err)
+	opt := scenario.RunOptions{Workers: workers}
+	doc := exportDoc{Seed: spec.Seed, Requests: spec.Arrivals.Count}
+	failed := false
+	switch {
+	case sweepArg != "":
+		axis, values, err := scenario.ParseAxis(sweepArg)
+		fail(err)
+		fmt.Printf("Sweeping %s over %s (%d points)\n", spec.Name, axis, len(values))
+		start := time.Now()
+		pts, err := scenario.Sweep(spec, axis, values, opt)
+		fail(err)
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		rep := scenario.SweepReport{Scenario: spec.Name, Axis: axis, Points: pts}
+		fmt.Println(scenario.FormatSweep(rep))
+		doc.Sweep = &rep
+		for _, p := range pts {
+			if !p.Result.AuditOK {
+				failed = true
+				fmt.Printf("AUDIT FAILED at %s=%g: %s\n", axis, p.Value, p.Result.AuditSummary)
+			}
+		}
+	case findSat:
+		fmt.Printf("Searching for the saturation rate of %s\n", spec.Name)
+		res, err := scenario.FindSaturation(spec, opt, 0)
+		fail(err)
+		fmt.Println(scenario.FormatSaturation(res))
+		doc.Saturation = &res
+	default:
+		res, err := scenario.Run(spec, opt)
+		fail(err)
+		fmt.Println(scenario.FormatResult(res))
+		doc.Scenario = &res
+		if !res.AuditOK {
+			failed = true
+		}
+	}
+	if outPath != "" {
+		fail(doc.write(outPath))
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -39,6 +39,20 @@ const (
 	PolicyTabu     PolicyKind = "tabu"      // tabu search (the [1] comparison)
 )
 
+// ParsePolicy resolves a policy name as written in scenario files and
+// CLI flags. The empty string selects the default (GA, matching
+// Options.setDefaults).
+func ParsePolicy(name string) (PolicyKind, error) {
+	switch k := PolicyKind(name); k {
+	case PolicyFIFO, PolicyFIFOFast, PolicyGA, PolicySA, PolicyTabu:
+		return k, nil
+	case "":
+		return PolicyGA, nil
+	default:
+		return "", fmt.Errorf("core: unknown policy %q (want fifo, fifo-fast, ga, sa or tabu)", name)
+	}
+}
+
 // ResourceSpec declares one local grid resource and its place in the
 // agent hierarchy.
 type ResourceSpec struct {
@@ -126,9 +140,9 @@ func (o *Options) setDefaults() {
 // Grid is a complete simulated grid: schedulers, agents, engine and the
 // virtual clock driving them.
 type Grid struct {
-	opts   Options
-	engine *pace.Engine
-	lib    *pace.Library
+	opts     Options
+	engine   *pace.Engine
+	lib      *pace.Library
 	hier     *agent.Hierarchy
 	locals   map[string]*scheduler.Local
 	simr     *sim.Simulator

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/metrics"
 	"repro/internal/pace"
+	"repro/internal/scenario"
 	"repro/internal/scheduler"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -22,25 +23,11 @@ import (
 // CaseStudyResources returns the Fig. 7 grid: twelve agents S1..S12, each
 // representing a heterogeneous resource of sixteen homogeneous nodes,
 // ranging from SGI Origin 2000 (most powerful) down to Sun SPARCstation 2.
-// The paper draws the hierarchy without naming edges; the tree used here —
-// S1 at the head, S2/S3/S4 below it, and the remaining agents grouped
-// under those — follows the figure's layout and is recorded in DESIGN.md
-// as an assumption.
+// The topology itself lives in internal/scenario (the "fig7" preset), so
+// the scenario engine and the Table 2/3 experiments are guaranteed to
+// run the same grid.
 func CaseStudyResources() []core.ResourceSpec {
-	return []core.ResourceSpec{
-		{Name: "S1", Hardware: "SGIOrigin2000", Nodes: 16, Parent: ""},
-		{Name: "S2", Hardware: "SGIOrigin2000", Nodes: 16, Parent: "S1"},
-		{Name: "S3", Hardware: "SunUltra10", Nodes: 16, Parent: "S1"},
-		{Name: "S4", Hardware: "SunUltra10", Nodes: 16, Parent: "S1"},
-		{Name: "S5", Hardware: "SunUltra5", Nodes: 16, Parent: "S2"},
-		{Name: "S6", Hardware: "SunUltra5", Nodes: 16, Parent: "S2"},
-		{Name: "S7", Hardware: "SunUltra5", Nodes: 16, Parent: "S3"},
-		{Name: "S8", Hardware: "SunUltra1", Nodes: 16, Parent: "S3"},
-		{Name: "S9", Hardware: "SunUltra1", Nodes: 16, Parent: "S4"},
-		{Name: "S10", Hardware: "SunUltra1", Nodes: 16, Parent: "S4"},
-		{Name: "S11", Hardware: "SunSPARCstation2", Nodes: 16, Parent: "S5"},
-		{Name: "S12", Hardware: "SunSPARCstation2", Nodes: 16, Parent: "S6"},
-	}
+	return scenario.Fig7Resources()
 }
 
 // AgentNames returns S1..S12 in figure order.
@@ -80,12 +67,11 @@ type Params struct {
 	Audit    bool            // run the lifecycle auditor over each experiment
 }
 
-// DefaultParams returns the §4.1 case-study parameters.
+// DefaultParams returns the §4.1 case-study parameters. The GA knobs
+// come from scenario.DefaultGA so scenario runs and the Table 2/3
+// experiments stay in lockstep.
 func DefaultParams() Params {
-	cfg := ga.DefaultConfig()
-	cfg.MaxGenerations = 30
-	cfg.ConvergenceWindow = 8
-	return Params{Seed: 2003, Requests: 600, Interval: 1, GA: cfg}
+	return Params{Seed: 2003, Requests: 600, Interval: 1, GA: scenario.DefaultGA()}
 }
 
 // QuickParams returns a reduced workload for tests: half the request

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// fig7Scenario expresses one Table 2 configuration as a scenario spec.
+func fig7Scenario(s Setup) scenario.Spec {
+	spec := scenario.Fig7()
+	spec.Policy = string(s.Policy)
+	use := s.UseAgents
+	spec.UseAgents = &use
+	return spec
+}
+
+// TestScenarioReproducesCaseStudy is the byte-identity contract of the
+// scenario engine: the Fig. 7 case study expressed as a scenario spec
+// must reproduce the Table 3 reports of experiment.Run exactly — same
+// grid, same workload, same schedules, same metrics — for all three
+// Table 2 configurations. Any drift here means the declarative layer is
+// running a different experiment than the paper's.
+func TestScenarioReproducesCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 600-request case study")
+	}
+	p := DefaultParams()
+	for _, s := range Configs {
+		s := s
+		t.Run(s.Label, func(t *testing.T) {
+			t.Parallel()
+			want, err := Run(s, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := scenario.Run(fig7Scenario(s), scenario.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Report, want.Report) {
+				t.Fatalf("scenario report diverges from experiment %d:\nscenario:   %+v\nexperiment: %+v",
+					s.ID, got.Report, want.Report)
+			}
+			if got.Requests != want.Requests || got.Completed != len(want.Records) {
+				t.Fatalf("request counts diverge: scenario %d/%d, experiment %d/%d",
+					got.Requests, got.Completed, want.Requests, len(want.Records))
+			}
+			if !got.AuditOK {
+				t.Fatalf("scenario audit failed:\n%s", got.AuditSummary)
+			}
+		})
+	}
+}

@@ -132,6 +132,39 @@ func Lateness(recs []scheduler.Record) LatenessDistribution {
 	return d
 }
 
+// Throughput returns completed tasks per virtual second over the window:
+// records whose completion time falls inside [w.Start, w.End], divided by
+// the window length. A degenerate window yields 0 rather than a division
+// blow-up.
+func Throughput(recs []scheduler.Record, w Window) float64 {
+	if w.Length() <= 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range recs {
+		if r.End >= w.Start && r.End <= w.End {
+			n++
+		}
+	}
+	return float64(n) / w.Length()
+}
+
+// HitRate returns the fraction of records completing by their deadline
+// (End ≤ Deadline). An empty record set scores 0: a grid that completed
+// nothing met no deadlines.
+func HitRate(recs []scheduler.Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, r := range recs {
+		if r.End <= r.Deadline {
+			met++
+		}
+	}
+	return float64(met) / float64(len(recs))
+}
+
 // FormatStats renders the per-application table plus the lateness
 // distribution for a record set. An empty record set short-circuits —
 // formatting the NaN percentiles an empty Lateness carries would print
@@ -152,5 +185,8 @@ func FormatStats(recs []scheduler.Record) string {
 	fmt.Fprintf(&b, "\nAdvance-time distribution over %d tasks: %d met their deadline\n", d.Tasks, d.Met)
 	fmt.Fprintf(&b, "p10 %.1f s, median %.1f s, p90 %.1f s, worst %.1f s, best %.1f s\n",
 		d.P10, d.P50, d.P90, d.Worst, d.BestAdv)
+	w := WindowOver(recs, 0)
+	fmt.Fprintf(&b, "throughput %.2f tasks/s over %.0f s, deadline-hit rate %.1f%%\n",
+		Throughput(recs, w), w.Length(), HitRate(recs)*100)
 	return b.String()
 }

@@ -143,3 +143,55 @@ func TestFormatStatsSingleRecord(t *testing.T) {
 		}
 	}
 }
+
+func TestThroughput(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 0, 10, 20, 0b1),
+		appRec(t, "fft", 0, 0, 30, 20, 0b1),
+		appRec(t, "cpi", 0, 0, 90, 100, 0b1),
+		appRec(t, "cpi", 0, 0, 150, 100, 0b1), // completes outside the window
+	}
+	w := Window{Start: 0, End: 100}
+	if got := Throughput(recs, w); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("Throughput = %v, want 0.03 (3 completions / 100 s)", got)
+	}
+	// A window that starts late excludes earlier completions.
+	if got := Throughput(recs, Window{Start: 20, End: 100}); math.Abs(got-2.0/80) > 1e-12 {
+		t.Fatalf("late-window Throughput = %v, want %v", got, 2.0/80)
+	}
+	if got := Throughput(recs, Window{Start: 5, End: 5}); got != 0 {
+		t.Fatalf("degenerate window Throughput = %v, want 0", got)
+	}
+	if got := Throughput(nil, w); got != 0 {
+		t.Fatalf("empty Throughput = %v, want 0", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 0, 10, 20, 0b1),  // met
+		appRec(t, "fft", 0, 0, 20, 20, 0b1),  // met exactly on the deadline
+		appRec(t, "fft", 0, 0, 30, 20, 0b1),  // missed
+		appRec(t, "cpi", 0, 0, 50, 100, 0b1), // met
+	}
+	if got := HitRate(recs); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	if got := HitRate(nil); got != 0 {
+		t.Fatalf("empty HitRate = %v, want 0", got)
+	}
+}
+
+func TestFormatStatsIncludesThroughputAndHitRate(t *testing.T) {
+	recs := []scheduler.Record{
+		appRec(t, "fft", 0, 0, 10, 20, 0b1),
+		appRec(t, "fft", 0, 0, 30, 20, 0b1),
+	}
+	out := FormatStats(recs)
+	if !strings.Contains(out, "throughput 0.07 tasks/s over 30 s") {
+		t.Fatalf("FormatStats missing throughput line:\n%s", out)
+	}
+	if !strings.Contains(out, "deadline-hit rate 50.0%") {
+		t.Fatalf("FormatStats missing hit-rate:\n%s", out)
+	}
+}

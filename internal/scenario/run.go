@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunOptions carries the knobs that belong to the host, not the
+// experiment: they may change wall-clock time but never results.
+type RunOptions struct {
+	// Workers bounds the GA cost-evaluation goroutines per scheduler;
+	// results are bit-identical for any value (PR 2's contract).
+	Workers int
+	// Trace, when set, receives the full request lifecycle (the caller
+	// wants the CSV); otherwise Run keeps a private recorder for the
+	// audit. It must be sized for at least 8×Count+64 events or the
+	// audit will report dropped events.
+	Trace *trace.Recorder
+}
+
+// Result is one scenario run, reduced to the numbers a sweep compares:
+// the §3.3 grid metrics, deadline behaviour, throughput and the audit
+// verdict. The full per-resource report stays available for detail.
+type Result struct {
+	Name      string  `json:"name,omitempty"`
+	Seed      uint64  `json:"seed"`
+	Agents    int     `json:"agents"`
+	Requests  int     `json:"requests"`  // submitted
+	Completed int     `json:"completed"` // execution records
+	Span      float64 `json:"span_s"`    // request phase length (last arrival), virtual seconds
+
+	Epsilon float64 `json:"eps_s"`    // §3.3 ε, seconds
+	Upsilon float64 `json:"ups_pct"`  // §3.3 υ, percent
+	Beta    float64 `json:"beta_pct"` // §3.3 β, percent
+
+	HitRate    float64 `json:"hit_rate"`     // fraction of tasks meeting their deadline
+	SlackP50   float64 `json:"slack_p50_s"`  // makespan-slack (δ − η) percentiles, seconds
+	SlackP95   float64 `json:"slack_p95_s"`  // (p95/p99 of the *shortfall* tail: lower percentiles
+	SlackP99   float64 `json:"slack_p99_s"`  // of advance, i.e. the worst 5% and 1% of tasks)
+	Throughput float64 `json:"throughput_s"` // completions per virtual second
+
+	MeanHops  float64 `json:"mean_hops"` // discovery locality (agent runs only)
+	MaxHops   int     `json:"max_hops"`
+	Fallbacks int     `json:"fallbacks"`
+
+	WallClock float64 `json:"wall_clock_s"` // host seconds, informational only
+
+	AuditOK         bool   `json:"audit_ok"`
+	AuditViolations int    `json:"audit_violations"`
+	AuditSummary    string `json:"audit_summary"`
+
+	Report metrics.GridReport `json:"-"` // full per-resource detail
+	Audit  *audit.Result      `json:"-"`
+}
+
+// Run executes one scenario with the given seed override (pass
+// spec.Seed for a standalone run; sweeps pass split-derived seeds). The
+// lifecycle auditor runs on every scenario run — generated topologies
+// and open arrival processes are exactly where a conservation or
+// exclusivity bug would hide, so no scenario result is reported without
+// its audit verdict.
+func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+
+	resources, err := spec.Topology.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	names := make([]string, len(resources))
+	for i, r := range resources {
+		names[i] = r.Name
+	}
+	policy, err := core.ParsePolicy(spec.Policy)
+	if err != nil {
+		return Result{}, err
+	}
+	rec := opt.Trace
+	if rec == nil {
+		rec = trace.NewRecorder(8*spec.Arrivals.Count + 64)
+	}
+	grid, err := core.New(resources, core.Options{
+		Policy:    policy,
+		GA:        spec.GAConfig(),
+		Workers:   opt.Workers,
+		UseAgents: spec.AgentsEnabled(),
+		Seed:      seed,
+		Trace:     rec,
+		FaultPlan: spec.FaultPlan(),
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	proc, err := spec.Arrivals.BuildProcess()
+	if err != nil {
+		return Result{}, err
+	}
+	reqs, err := workload.Generate(workload.Spec{
+		Seed:          seed,
+		Count:         spec.Arrivals.Count,
+		AgentNames:    names,
+		Library:       grid.Library(),
+		Arrivals:      proc,
+		AppWeights:    spec.AppWeights,
+		DeadlineScale: spec.DeadlineScale,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := grid.SubmitWorkload(reqs); err != nil {
+		return Result{}, err
+	}
+	if err := grid.Run(); err != nil {
+		return Result{}, fmt.Errorf("scenario %q: %w", spec.Name, err)
+	}
+
+	span := workload.Summarise(reqs).Span
+	// The measurement window floor is the request phase. Under fixed
+	// intervals the phase is Count×Interval — the §4.1 definition, and
+	// what keeps a Fig. 7 scenario byte-identical to experiment.Run —
+	// while open arrival processes only know the last arrival time.
+	minWindow := span
+	if f, ok := proc.(workload.FixedInterval); ok {
+		minWindow = float64(len(reqs)) * f.Interval
+	}
+	report, err := grid.Metrics(minWindow)
+	if err != nil {
+		return Result{}, err
+	}
+	recs := grid.Records()
+	res := audit.Check(audit.Run{
+		Events:     rec.Events(),
+		Records:    recs,
+		Dispatches: grid.Dispatches(),
+		Nodes:      grid.NodesByResource(),
+		Report:     report,
+		Dropped:    rec.Dropped(),
+	})
+
+	out := Result{
+		Name:      spec.Name,
+		Seed:      seed,
+		Agents:    len(resources),
+		Requests:  len(reqs),
+		Completed: len(recs),
+		Span:      span,
+
+		Epsilon: report.Total.Epsilon,
+		Upsilon: report.Total.Upsilon,
+		Beta:    report.Total.Beta,
+
+		HitRate:    metrics.HitRate(recs),
+		Throughput: metrics.Throughput(recs, report.Window),
+
+		WallClock: time.Since(start).Seconds(),
+
+		AuditOK:         res.OK(),
+		AuditViolations: len(res.Violations),
+		AuditSummary:    res.Summary(),
+
+		Report: report,
+		Audit:  &res,
+	}
+	if len(recs) > 0 {
+		slack := make([]float64, len(recs))
+		for i, r := range recs {
+			slack[i] = r.Deadline - r.End
+		}
+		// The operator question is "how bad is the tail": p95/p99 here
+		// are the 5th and 1st percentiles of slack — the worst-off tasks
+		// — so a saturating grid shows them going negative first.
+		ps := metrics.Percentiles(slack, 0.50, 0.05, 0.01)
+		out.SlackP50, out.SlackP95, out.SlackP99 = ps[0], ps[1], ps[2]
+	}
+	var hops int
+	for _, d := range grid.Dispatches() {
+		hops += d.Hops
+		if d.Hops > out.MaxHops {
+			out.MaxHops = d.Hops
+		}
+		if d.Fallback {
+			out.Fallbacks++
+		}
+	}
+	if n := len(grid.Dispatches()); n > 0 {
+		out.MeanHops = float64(hops) / float64(n)
+	}
+	return out, nil
+}
+
+// Run executes the scenario under its own seed.
+func Run(spec Spec, opt RunOptions) (Result, error) {
+	return runSeeded(spec, spec.Seed, opt)
+}
+
+// FormatResult renders one scenario run for the terminal.
+func FormatResult(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %s (seed %d): %d agents, %d requests, %d completed over %.0f s (%.1f s wall)\n",
+		r.Name, r.Seed, r.Agents, r.Requests, r.Completed, r.Span, r.WallClock)
+	fmt.Fprintf(&b, "  eps %+.1f s   ups %.1f %%   beta %.1f %%\n", r.Epsilon, r.Upsilon, r.Beta)
+	fmt.Fprintf(&b, "  deadline-hit %.1f %%   slack p50/p95/p99 %+.1f/%+.1f/%+.1f s   throughput %.2f /s\n",
+		r.HitRate*100, r.SlackP50, r.SlackP95, r.SlackP99, r.Throughput)
+	if r.MaxHops > 0 || r.Fallbacks > 0 {
+		fmt.Fprintf(&b, "  discovery: %.2f mean hops, %d max, %d fallbacks\n", r.MeanHops, r.MaxHops, r.Fallbacks)
+	}
+	fmt.Fprintf(&b, "  audit: %s\n", r.AuditSummary)
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallSpec is a cheap generated-topology scenario used across the run
+// tests: nine agents, Poisson arrivals, a reduced GA.
+func smallSpec() Spec {
+	return Spec{
+		Name: "small",
+		Seed: 42,
+		Topology: TopologySpec{
+			Agents:    9,
+			Branching: 3,
+			Nodes:     8,
+		},
+		Arrivals: ArrivalSpec{Process: "poisson", Count: 120, Rate: 1.5},
+		Policy:   "ga",
+		GA:       &GASpec{PopulationSize: 20, MaxGenerations: 10, ConvergenceWindow: 4},
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	res, err := Run(smallSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agents != 9 || res.Requests != 120 {
+		t.Fatalf("shape: agents %d requests %d", res.Agents, res.Requests)
+	}
+	if res.Completed != 120 {
+		t.Fatalf("completed %d of 120", res.Completed)
+	}
+	if !res.AuditOK {
+		t.Fatalf("audit failed:\n%s", res.AuditSummary)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v, want positive", res.Throughput)
+	}
+	if res.HitRate < 0 || res.HitRate > 1 {
+		t.Fatalf("hit rate %v outside [0,1]", res.HitRate)
+	}
+	if res.Span <= 0 {
+		t.Fatalf("span %v, want positive", res.Span)
+	}
+	if res.SlackP99 > res.SlackP50 {
+		t.Fatalf("slack tail p99 %v above the median %v", res.SlackP99, res.SlackP50)
+	}
+}
+
+// stripHost removes the fields that legitimately vary between identical
+// runs (host wall-clock time).
+func stripHost(r Result) Result {
+	r.WallClock = 0
+	r.Audit = nil
+	return r
+}
+
+func TestRunWorkerDeterminism(t *testing.T) {
+	spec := smallSpec()
+	seq, err := Run(spec, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(spec, RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripHost(seq), stripHost(par)) {
+		t.Fatalf("scenario results differ across worker widths:\n1: %+v\n4: %+v", stripHost(seq), stripHost(par))
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	spec := smallSpec()
+	spec.Arrivals.Count = 80
+	values := []float64{1, 2, 4}
+	a, err := Sweep(spec, AxisRate, values, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(spec, AxisRate, values, RunOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(values) || len(b) != len(values) {
+		t.Fatalf("sweep lengths %d %d, want %d", len(a), len(b), len(values))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(stripHost(a[i].Result), stripHost(b[i].Result)) {
+			t.Fatalf("sweep point %d differs across worker widths", i)
+		}
+	}
+	// Per-point seeds are split off the master up front, so two points
+	// never share a stream.
+	if a[0].Result.Seed == a[1].Result.Seed {
+		t.Fatalf("sweep points share seed %d", a[0].Result.Seed)
+	}
+}
+
+func TestSweepSeedAxisUsesValueAsSeed(t *testing.T) {
+	spec := smallSpec()
+	spec.Arrivals.Count = 40
+	pts, err := Sweep(spec, AxisSeed, []float64{7, 11}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Result.Seed != 7 || pts[1].Result.Seed != 11 {
+		t.Fatalf("seed axis seeds %d %d, want 7 11", pts[0].Result.Seed, pts[1].Result.Seed)
+	}
+}
+
+func TestSweepAgentsAxisRejectsPreset(t *testing.T) {
+	if _, err := Sweep(Fig7(), AxisAgents, []float64{8, 16}, RunOptions{}); err == nil {
+		t.Fatal("agents axis over a preset topology accepted")
+	}
+}
+
+func TestSweepReportFormats(t *testing.T) {
+	spec := smallSpec()
+	spec.Arrivals.Count = 40
+	pts, err := Sweep(spec, AxisRate, []float64{1, 3}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := SweepReport{Scenario: spec.Name, Axis: AxisRate, Points: pts}
+
+	var jsonBuf, csvBuf strings.Builder
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"eps_s"`) || !strings.Contains(jsonBuf.String(), `"audit_ok"`) {
+		t.Fatalf("JSON missing expected fields:\n%s", jsonBuf.String())
+	}
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 points:\n%s", len(lines), csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "axis,value,agents") {
+		t.Fatalf("CSV header: %s", lines[0])
+	}
+	table := FormatSweep(rep)
+	if !strings.Contains(table, "Sweep of small over rate") {
+		t.Fatalf("table header missing:\n%s", table)
+	}
+}
+
+func TestFindSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation search runs many probes")
+	}
+	spec := smallSpec()
+	spec.Arrivals.Count = 150
+	res, err := FindSaturation(spec, RunOptions{}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Lo < res.Hi) || res.Capacity < res.Lo || res.Capacity > res.Hi {
+		t.Fatalf("bracket [%v, %v] capacity %v malformed", res.Lo, res.Hi, res.Capacity)
+	}
+	if res.Hi-res.Lo > 0.10*res.Lo+1e-9 {
+		t.Fatalf("bracket [%v, %v] wider than tolerance", res.Lo, res.Hi)
+	}
+	// The probes must straddle the crossing.
+	var sawUnder, sawOver bool
+	for _, p := range res.Probes {
+		if p.Epsilon > 0 {
+			sawUnder = true
+		} else {
+			sawOver = true
+		}
+	}
+	if !sawUnder || !sawOver {
+		t.Fatalf("probes never straddled ε=0: %+v", res.Probes)
+	}
+}
+
+func TestFindSaturationSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation search runs many probes")
+	}
+	base := smallSpec()
+	base.Arrivals.Count = 150
+	caps := make([]float64, 2)
+	for i, seed := range []uint64{101, 202} {
+		spec := base
+		spec.Seed = seed
+		res, err := FindSaturation(spec, RunOptions{}, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps[i] = res.Capacity
+	}
+	lo, hi := caps[0], caps[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Capacity is a property of the grid, not of the seed: different
+	// workload draws shift it a little, not a lot.
+	if hi > 1.5*lo {
+		t.Fatalf("capacity unstable across seeds: %v vs %v", caps[0], caps[1])
+	}
+}

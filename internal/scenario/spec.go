@@ -1,0 +1,378 @@
+// Package scenario is the declarative experiment layer over the grid:
+// a Spec names a topology (the Fig. 7 grid or a generated hierarchy), an
+// arrival process, an application mix, a scheduling policy and an
+// optional fault plan, and the package runs it — reproducibly — into a
+// single Result, a sweep across one axis, or a saturation search for the
+// arrival rate a topology can sustain. It composes what the earlier
+// layers provide (core grids, GA/FIFO policies, agent discovery, fault
+// injection, lifecycle auditing) without adding mechanism of its own:
+// every run is an ordinary core.Grid run, audited by internal/audit.
+//
+// Specs have a JSON file format (examples under examples/scenarios/) so
+// experiments can be described, versioned and swept without writing Go.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ga"
+	"repro/internal/workload"
+)
+
+// Spec is one reproducible experiment: everything needed to build a
+// grid, generate a workload and run it is derived from this value alone.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+	Seed uint64 `json:"seed"`
+
+	Topology TopologySpec `json:"topology"`
+	Arrivals ArrivalSpec  `json:"arrivals"`
+
+	// AppWeights biases the Table 1 application mix (empty = uniform
+	// over all seven, the paper's behaviour). DeadlineScale multiplies
+	// every drawn deadline (0 = 1 = the paper's requirement domains).
+	AppWeights    map[string]float64 `json:"app_weights,omitempty"`
+	DeadlineScale float64            `json:"deadline_scale,omitempty"`
+
+	// Policy is the local scheduling algorithm (fifo, fifo-fast, ga, sa,
+	// tabu; empty = ga). UseAgents enables agent-based service
+	// discovery; nil defaults to true — the paper's experiment 3 is the
+	// configuration a scenario usually wants to stress.
+	Policy    string `json:"policy,omitempty"`
+	UseAgents *bool  `json:"use_agents,omitempty"`
+
+	GA     *GASpec    `json:"ga,omitempty"`
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// TopologySpec describes the grid. Either a named preset or a generated
+// hierarchy: Agents resources arranged as a Branching-ary tree, with
+// hardware models and node counts cycling through the mix lists.
+type TopologySpec struct {
+	// Preset selects a fixed topology; "fig7" is the paper's grid.
+	// When set, the generated-topology fields must be zero.
+	Preset string `json:"preset,omitempty"`
+
+	Agents    int `json:"agents,omitempty"`
+	Branching int `json:"branching,omitempty"` // fan-out; default 3
+	// Nodes is the homogeneous per-resource node count (default 16, the
+	// case study's). NodeMix, when set, cycles per-resource counts
+	// instead — mixed cluster sizes.
+	Nodes   int   `json:"nodes,omitempty"`
+	NodeMix []int `json:"node_mix,omitempty"`
+	// Hardware cycles the listed pace hardware models over the agents;
+	// empty uses every built-in model from fastest to slowest.
+	Hardware []string `json:"hardware,omitempty"`
+}
+
+// ArrivalSpec selects and parameterises the arrival process.
+type ArrivalSpec struct {
+	// Process is one of "fixed", "poisson", "bursty", "flashcrowd",
+	// "trace". Empty means fixed.
+	Process string `json:"process,omitempty"`
+	// Count bounds the request stream (a trace may end sooner).
+	Count int `json:"count"`
+
+	Interval float64 `json:"interval,omitempty"` // fixed: spacing in seconds
+	Rate     float64 `json:"rate,omitempty"`     // poisson: arrivals per second
+
+	OnRate  float64 `json:"on_rate,omitempty"` // bursty
+	OffRate float64 `json:"off_rate,omitempty"`
+	OnMean  float64 `json:"on_mean,omitempty"`
+	OffMean float64 `json:"off_mean,omitempty"`
+
+	BaseRate     float64 `json:"base_rate,omitempty"` // flashcrowd
+	PeakRate     float64 `json:"peak_rate,omitempty"`
+	RampStart    float64 `json:"ramp_start,omitempty"`
+	RampDuration float64 `json:"ramp_duration,omitempty"`
+	Hold         float64 `json:"hold,omitempty"`
+
+	// TraceFile names a CSV of arrival times (one per line, seconds,
+	// non-decreasing; lines starting with '#' and a leading header are
+	// skipped). Times carries the same inline — Load fills it from
+	// TraceFile, resolved relative to the spec file.
+	TraceFile string    `json:"trace_file,omitempty"`
+	Times     []float64 `json:"times,omitempty"`
+}
+
+// GASpec overrides the GA hyper-parameters a scenario cares about; zero
+// fields keep the case-study defaults.
+type GASpec struct {
+	PopulationSize    int `json:"population_size,omitempty"`
+	MaxGenerations    int `json:"max_generations,omitempty"`
+	ConvergenceWindow int `json:"convergence_window,omitempty"`
+	Workers           int `json:"workers,omitempty"`
+}
+
+// FaultSpec is the JSON shape of a fault.Plan.
+type FaultSpec struct {
+	Seed   uint64       `json:"seed,omitempty"`
+	Events []FaultEvent `json:"events"`
+}
+
+// FaultEvent is the JSON shape of one fault.Event.
+type FaultEvent struct {
+	At    float64 `json:"at"`
+	Kind  string  `json:"kind"`
+	Agent string  `json:"agent,omitempty"`
+	A     string  `json:"a,omitempty"`
+	B     string  `json:"b,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+}
+
+// DefaultGA returns the GA configuration of the §4.1 case study (the
+// experiment package's DefaultParams delegates here, so scenarios and
+// the Table 3 experiments stay in lockstep).
+func DefaultGA() ga.Config {
+	cfg := ga.DefaultConfig()
+	cfg.MaxGenerations = 30
+	cfg.ConvergenceWindow = 8
+	return cfg
+}
+
+// Fig7 returns the §4.1 case study as a scenario: the Fig. 7 grid, 600
+// requests at fixed one-second intervals, seed 2003, GA + agent-based
+// discovery (the paper's experiment 3). Running it reproduces the
+// experiment-3 column of Table 3 byte-identically.
+func Fig7() Spec {
+	return Spec{
+		Name:     "fig7-case-study",
+		Seed:     2003,
+		Topology: TopologySpec{Preset: PresetFig7},
+		Arrivals: ArrivalSpec{Process: "fixed", Count: 600, Interval: 1},
+		Policy:   string(core.PolicyGA),
+	}
+}
+
+// AgentsEnabled resolves the UseAgents default (true).
+func (s Spec) AgentsEnabled() bool {
+	return s.UseAgents == nil || *s.UseAgents
+}
+
+// GAConfig resolves the effective GA configuration.
+func (s Spec) GAConfig() ga.Config {
+	cfg := DefaultGA()
+	if s.GA != nil {
+		if s.GA.PopulationSize > 0 {
+			cfg.PopulationSize = s.GA.PopulationSize
+		}
+		if s.GA.MaxGenerations > 0 {
+			cfg.MaxGenerations = s.GA.MaxGenerations
+		}
+		if s.GA.ConvergenceWindow > 0 {
+			cfg.ConvergenceWindow = s.GA.ConvergenceWindow
+		}
+		if s.GA.Workers > 0 {
+			cfg.Workers = s.GA.Workers
+		}
+	}
+	return cfg
+}
+
+// FaultPlan converts the spec's fault section; nil when absent.
+func (s Spec) FaultPlan() *fault.Plan {
+	if s.Faults == nil {
+		return nil
+	}
+	plan := &fault.Plan{Seed: s.Faults.Seed, Events: make([]fault.Event, len(s.Faults.Events))}
+	for i, ev := range s.Faults.Events {
+		plan.Events[i] = fault.Event{
+			At: ev.At, Kind: fault.Kind(ev.Kind), Agent: ev.Agent, A: ev.A, B: ev.B, Rate: ev.Rate,
+		}
+	}
+	return plan
+}
+
+// BuildProcess builds the workload.ArrivalProcess the spec describes.
+func (a ArrivalSpec) BuildProcess() (workload.ArrivalProcess, error) {
+	switch a.Process {
+	case "", "fixed":
+		iv := a.Interval
+		if iv == 0 {
+			iv = 1
+		}
+		return workload.FixedInterval{Interval: iv}, nil
+	case "poisson":
+		return workload.Poisson{Rate: a.Rate}, nil
+	case "bursty":
+		return workload.Bursty{OnRate: a.OnRate, OffRate: a.OffRate, OnMean: a.OnMean, OffMean: a.OffMean}, nil
+	case "flashcrowd":
+		return workload.FlashCrowd{
+			BaseRate: a.BaseRate, PeakRate: a.PeakRate,
+			RampStart: a.RampStart, RampDuration: a.RampDuration, Hold: a.Hold,
+		}, nil
+	case "trace":
+		return workload.TraceReplay{At: a.Times}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown arrival process %q (want fixed, poisson, bursty, flashcrowd or trace)", a.Process)
+	}
+}
+
+// MeanRate returns the process's long-run arrival rate in requests per
+// second — the load axis sweeps and the saturation finder bisect over.
+// Traces have no free rate parameter and return an error.
+func (a ArrivalSpec) MeanRate() (float64, error) {
+	switch a.Process {
+	case "", "fixed":
+		iv := a.Interval
+		if iv == 0 {
+			iv = 1
+		}
+		return 1 / iv, nil
+	case "poisson":
+		return a.Rate, nil
+	case "bursty":
+		return (a.OnRate*a.OnMean + a.OffRate*a.OffMean) / (a.OnMean + a.OffMean), nil
+	case "flashcrowd":
+		return a.BaseRate, nil
+	default:
+		return 0, fmt.Errorf("scenario: arrival process %q has no mean rate to scale", a.Process)
+	}
+}
+
+// WithMeanRate returns a copy of the spec scaled so its long-run rate is
+// rate, preserving the process's shape (burst duty cycle, crowd ratio).
+func (a ArrivalSpec) WithMeanRate(rate float64) (ArrivalSpec, error) {
+	if rate <= 0 {
+		return ArrivalSpec{}, fmt.Errorf("scenario: target rate %g must be positive", rate)
+	}
+	cur, err := a.MeanRate()
+	if err != nil {
+		return ArrivalSpec{}, err
+	}
+	f := rate / cur
+	out := a
+	switch a.Process {
+	case "", "fixed":
+		iv := a.Interval
+		if iv == 0 {
+			iv = 1
+		}
+		out.Interval = iv / f
+	case "poisson":
+		out.Rate = rate
+	case "bursty":
+		out.OnRate *= f
+		out.OffRate *= f
+	case "flashcrowd":
+		out.BaseRate *= f
+		out.PeakRate *= f
+	}
+	return out, nil
+}
+
+// Validate checks the spec end to end: topology, arrivals, policy,
+// workload shaping and the fault plan's agent references.
+func (s Spec) Validate() error {
+	resources, err := s.Topology.Build()
+	if err != nil {
+		return err
+	}
+	if _, err := core.ParsePolicy(s.Policy); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.Arrivals.Count <= 0 {
+		return fmt.Errorf("scenario: arrival count %d must be positive", s.Arrivals.Count)
+	}
+	proc, err := s.Arrivals.BuildProcess()
+	if err != nil {
+		return err
+	}
+	if err := proc.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.DeadlineScale < 0 {
+		return fmt.Errorf("scenario: negative deadline scale %g", s.DeadlineScale)
+	}
+	if plan := s.FaultPlan(); plan != nil {
+		if !s.AgentsEnabled() {
+			return fmt.Errorf("scenario: a fault plan requires use_agents (the fault model targets the agent layer)")
+		}
+		known := make(map[string]bool, len(resources))
+		for _, r := range resources {
+			known[r.Name] = true
+		}
+		if err := plan.Validate(known); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads, decodes and validates a scenario file. Unknown JSON fields
+// are errors — a typoed knob silently reverting to a default would
+// invalidate an experiment. A trace_file is resolved relative to the
+// spec file's directory and loaded into Arrivals.Times.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	if s.Arrivals.TraceFile != "" {
+		if len(s.Arrivals.Times) > 0 {
+			return Spec{}, fmt.Errorf("scenario: %s: trace_file and times are mutually exclusive", path)
+		}
+		tracePath := s.Arrivals.TraceFile
+		if !filepath.IsAbs(tracePath) {
+			tracePath = filepath.Join(filepath.Dir(path), tracePath)
+		}
+		times, err := LoadTraceCSV(tracePath)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Arrivals.Times = times
+	}
+	if s.Name == "" {
+		s.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadTraceCSV reads arrival times from a CSV/plain-text file: one time
+// per line (the first field of each line), '#' comments and a
+// non-numeric header line skipped.
+func LoadTraceCSV(path string) ([]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var out []float64
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		field := line
+		if idx := strings.IndexByte(line, ','); idx >= 0 {
+			field = line[:idx]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			if len(out) == 0 {
+				continue // header line
+			}
+			return nil, fmt.Errorf("scenario: %s line %d: %w", path, i+1, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: %s holds no arrival times", path)
+	}
+	return out, nil
+}

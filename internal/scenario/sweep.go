@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Sweep axes: the one dimension a sweep varies while everything else in
+// the spec stays fixed.
+const (
+	AxisAgents        = "agents"         // generated-topology size
+	AxisRate          = "rate"           // long-run arrival rate, requests/s
+	AxisRequests      = "requests"       // request count
+	AxisDeadlineScale = "deadline_scale" // deadline-tightness multiplier
+	AxisSeed          = "seed"           // replication axis
+)
+
+// SweepPoint is one run of a sweep.
+type SweepPoint struct {
+	Axis   string  `json:"axis"`
+	Value  float64 `json:"value"`
+	Result Result  `json:"result"`
+}
+
+// SweepReport is the machine-readable product of a sweep (BENCH_PR4.json
+// records one).
+type SweepReport struct {
+	Scenario string       `json:"scenario"`
+	Axis     string       `json:"axis"`
+	Points   []SweepPoint `json:"points"`
+}
+
+// ParseAxis parses a CLI sweep argument of the form "axis=v1,v2,...".
+func ParseAxis(arg string) (axis string, values []float64, err error) {
+	axis, list, ok := strings.Cut(arg, "=")
+	if !ok || axis == "" || list == "" {
+		return "", nil, fmt.Errorf("scenario: sweep %q not of the form axis=v1,v2,...", arg)
+	}
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("scenario: sweep value %q: %w", f, err)
+		}
+		values = append(values, v)
+	}
+	return axis, values, nil
+}
+
+// apply returns the spec with the axis set to value.
+func apply(spec Spec, axis string, value float64) (Spec, error) {
+	out := spec
+	switch axis {
+	case AxisAgents:
+		if out.Topology.Preset != "" {
+			return Spec{}, fmt.Errorf("scenario: the %s axis needs a generated topology, not preset %q", axis, out.Topology.Preset)
+		}
+		if value < 1 || value != float64(int(value)) {
+			return Spec{}, fmt.Errorf("scenario: agent count %g must be a positive integer", value)
+		}
+		out.Topology.Agents = int(value)
+	case AxisRate:
+		arr, err := out.Arrivals.WithMeanRate(value)
+		if err != nil {
+			return Spec{}, err
+		}
+		out.Arrivals = arr
+	case AxisRequests:
+		if value < 1 || value != float64(int(value)) {
+			return Spec{}, fmt.Errorf("scenario: request count %g must be a positive integer", value)
+		}
+		out.Arrivals.Count = int(value)
+	case AxisDeadlineScale:
+		if value <= 0 {
+			return Spec{}, fmt.Errorf("scenario: deadline scale %g must be positive", value)
+		}
+		out.DeadlineScale = value
+	case AxisSeed:
+		if value < 0 || value != float64(uint64(value)) {
+			return Spec{}, fmt.Errorf("scenario: seed %g must be a non-negative integer", value)
+		}
+		out.Seed = uint64(value)
+	default:
+		return Spec{}, fmt.Errorf("scenario: unknown sweep axis %q (want %s, %s, %s, %s or %s)",
+			axis, AxisAgents, AxisRate, AxisRequests, AxisDeadlineScale, AxisSeed)
+	}
+	return out, nil
+}
+
+// Sweep runs the scenario once per axis value. Every point gets its own
+// RNG stream split off the scenario seed up front — before any point
+// runs — so results are a pure function of (spec, axis, values): the
+// same no matter how wide the GA worker pool is or in what order the
+// points would execute. The seed axis is the exception: there the value
+// *is* the seed, by definition.
+func Sweep(spec Spec, axis string, values []float64, opt RunOptions) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("scenario: empty sweep")
+	}
+	master := sim.NewRNG(spec.Seed)
+	seeds := make([]uint64, len(values))
+	for i := range seeds {
+		seeds[i] = master.Split().Uint64()
+	}
+	out := make([]SweepPoint, len(values))
+	for i, v := range values {
+		pt, err := apply(spec, axis, v)
+		if err != nil {
+			return nil, err
+		}
+		seed := seeds[i]
+		if axis == AxisSeed {
+			seed = pt.Seed
+		}
+		res, err := runSeeded(pt, seed, opt)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sweep %s=%g: %w", axis, v, err)
+		}
+		out[i] = SweepPoint{Axis: axis, Value: v, Result: res}
+	}
+	return out, nil
+}
+
+// WriteJSON renders a sweep report as indented JSON.
+func (r SweepReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteCSV renders the sweep as one row per point.
+func (r SweepReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"axis", "value", "agents", "requests", "completed", "span_s",
+		"eps_s", "ups_pct", "beta_pct", "hit_rate",
+		"slack_p50_s", "slack_p95_s", "slack_p99_s", "throughput_s",
+		"mean_hops", "max_hops", "fallbacks", "wall_clock_s", "audit_ok",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range r.Points {
+		res := p.Result
+		row := []string{
+			p.Axis, f(p.Value),
+			strconv.Itoa(res.Agents), strconv.Itoa(res.Requests), strconv.Itoa(res.Completed), f(res.Span),
+			f(res.Epsilon), f(res.Upsilon), f(res.Beta), f(res.HitRate),
+			f(res.SlackP50), f(res.SlackP95), f(res.SlackP99), f(res.Throughput),
+			f(res.MeanHops), strconv.Itoa(res.MaxHops), strconv.Itoa(res.Fallbacks),
+			f(res.WallClock), strconv.FormatBool(res.AuditOK),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatSweep renders a sweep as a human-readable table.
+func FormatSweep(r SweepReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sweep of %s over %s\n\n", r.Scenario, r.Axis)
+	fmt.Fprintf(&b, "%12s %7s %9s %9s %8s %8s %8s %9s %9s %9s %10s %8s %6s\n",
+		r.Axis, "agents", "requests", "eps (s)", "ups (%)", "beta (%)", "hit (%)",
+		"p50 (s)", "p95 (s)", "p99 (s)", "thru (/s)", "wall (s)", "audit")
+	for _, p := range r.Points {
+		res := p.Result
+		verdict := "ok"
+		if !res.AuditOK {
+			verdict = fmt.Sprintf("%d!", res.AuditViolations)
+		}
+		fmt.Fprintf(&b, "%12g %7d %9d %9.1f %8.1f %8.1f %8.1f %9.1f %9.1f %9.1f %10.2f %8.1f %6s\n",
+			p.Value, res.Agents, res.Requests, res.Epsilon, res.Upsilon, res.Beta,
+			res.HitRate*100, res.SlackP50, res.SlackP95, res.SlackP99,
+			res.Throughput, res.WallClock, verdict)
+	}
+	return b.String()
+}

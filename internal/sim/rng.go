@@ -8,6 +8,8 @@
 // the workload seed, so it can be replayed in virtual time.
 package sim
 
+import "math"
+
 // RNG is a deterministic pseudo-random number generator based on
 // xoshiro256** seeded via SplitMix64. It is self-contained so that
 // experiment results do not depend on the Go runtime's math/rand
@@ -95,6 +97,15 @@ func (r *RNG) UniformIn(lo, hi float64) float64 {
 		panic("sim: UniformIn called with hi < lo")
 	}
 	return lo + (hi-lo)*r.Float64()
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1
+// (rate 1), via inversion sampling. Scale by 1/λ for rate λ — the
+// inter-arrival time of a Poisson process with rate λ is
+// ExpFloat64()/λ. The result is strictly positive and finite:
+// Float64 never returns 1, so the log argument stays in (0, 1].
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
 }
 
 // IntIn returns a uniformly distributed integer in the inclusive range

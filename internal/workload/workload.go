@@ -28,9 +28,28 @@ func (r Request) Deadline() float64 { return r.At + r.DeadlineRel }
 type Spec struct {
 	Seed       uint64
 	Count      int
-	Interval   float64
+	Interval   float64 // fixed-interval spacing; used only when Arrivals is nil
 	AgentNames []string
 	Library    *pace.Library
+
+	// Arrivals selects the arrival process. nil keeps the paper's
+	// FixedInterval{Interval} behaviour (and its exact byte-identical
+	// stream). Arrival randomness comes from a stream split off the
+	// workload seed, disjoint from the app/agent/deadline draws, so two
+	// specs differing only in Arrivals ask for the same work at
+	// different times.
+	Arrivals ArrivalProcess
+
+	// AppWeights biases the application mix. nil draws uniformly over
+	// the library (the paper's behaviour, byte-identical); otherwise
+	// each listed application is drawn proportionally to its weight and
+	// unlisted applications are never drawn.
+	AppWeights map[string]float64
+
+	// DeadlineScale multiplies every drawn relative deadline: values
+	// below 1 tighten the Table 1 requirement domains, above 1 relax
+	// them. 0 means 1 (unscaled).
+	DeadlineScale float64
 }
 
 // CaseStudySpec returns the §4.1 parameters over the given agents: 600
@@ -55,8 +74,12 @@ func Generate(spec Spec) ([]Request, error) {
 	if spec.Count < 0 {
 		return nil, fmt.Errorf("workload: negative request count %d", spec.Count)
 	}
-	if spec.Interval <= 0 {
-		return nil, fmt.Errorf("workload: non-positive interval %g", spec.Interval)
+	arrivals := spec.Arrivals
+	if arrivals == nil {
+		arrivals = FixedInterval{Interval: spec.Interval}
+	}
+	if err := arrivals.Validate(); err != nil {
+		return nil, err
 	}
 	if len(spec.AgentNames) == 0 {
 		return nil, fmt.Errorf("workload: no agents to target")
@@ -64,25 +87,97 @@ func Generate(spec Spec) ([]Request, error) {
 	if spec.Library == nil || spec.Library.Len() == 0 {
 		return nil, fmt.Errorf("workload: empty application library")
 	}
+	if spec.DeadlineScale < 0 {
+		return nil, fmt.Errorf("workload: negative deadline scale %g", spec.DeadlineScale)
+	}
+	scale := spec.DeadlineScale
+	if scale == 0 {
+		scale = 1
+	}
 	apps := spec.Library.Models()
 	for _, m := range apps {
 		if !m.HasDeadlineDomain() {
 			return nil, fmt.Errorf("workload: model %q has no deadline domain", m.Name)
 		}
 	}
+	weights, totalWeight, err := appWeights(apps, spec.AppWeights)
+	if err != nil {
+		return nil, err
+	}
 
+	// The body stream (app, agent, deadline per request) is exactly the
+	// seed's NewRNG(Seed) sequence; arrivals draw from a stream split
+	// off a sibling generator so that changing the arrival process — or
+	// it consuming a different amount of randomness — never changes what
+	// each request asks for.
 	rng := sim.NewRNG(spec.Seed)
-	out := make([]Request, spec.Count)
+	times := arrivals.Times(sim.NewRNG(spec.Seed).Split(), spec.Count)
+	out := make([]Request, len(times))
 	for i := range out {
-		app := apps[rng.Intn(len(apps))]
+		var app *pace.AppModel
+		if weights == nil {
+			app = apps[rng.Intn(len(apps))]
+		} else {
+			app = pickWeighted(apps, weights, totalWeight, rng)
+		}
 		out[i] = Request{
-			At:          float64(i) * spec.Interval,
+			At:          times[i],
 			AgentName:   spec.AgentNames[rng.Intn(len(spec.AgentNames))],
 			AppName:     app.Name,
-			DeadlineRel: rng.UniformIn(app.DeadlineLo, app.DeadlineHi),
+			DeadlineRel: rng.UniformIn(app.DeadlineLo, app.DeadlineHi) * scale,
 		}
 	}
 	return out, nil
+}
+
+// appWeights resolves Spec.AppWeights against the library's model order.
+// A nil map returns a nil slice: the caller then uses the unbiased (and
+// byte-identical) uniform draw.
+func appWeights(apps []*pace.AppModel, byName map[string]float64) ([]float64, float64, error) {
+	if byName == nil {
+		return nil, 0, nil
+	}
+	known := make(map[string]bool, len(apps))
+	for _, m := range apps {
+		known[m.Name] = true
+	}
+	var total float64
+	for name, w := range byName {
+		if !known[name] {
+			return nil, 0, fmt.Errorf("workload: app weight for unknown application %q", name)
+		}
+		if w < 0 {
+			return nil, 0, fmt.Errorf("workload: negative weight %g for application %q", w, name)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, 0, fmt.Errorf("workload: app weights sum to %g, need a positive total", total)
+	}
+	weights := make([]float64, len(apps))
+	for i, m := range apps {
+		weights[i] = byName[m.Name]
+	}
+	return weights, total, nil
+}
+
+// pickWeighted draws one application proportionally to its weight.
+func pickWeighted(apps []*pace.AppModel, weights []float64, total float64, rng *sim.RNG) *pace.AppModel {
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return apps[i]
+		}
+	}
+	// Rounding can leave u at a hair above zero after the last positive
+	// weight; fall back to the last weighted application.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return apps[i]
+		}
+	}
+	return apps[len(apps)-1]
 }
 
 // Summary tallies a workload by application and by agent, for reports and

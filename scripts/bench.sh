@@ -16,7 +16,8 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR2.json}"
 micro="$(mktemp)"
 table3="$(mktemp)"
-trap 'rm -f "$micro" "$table3"' EXIT
+t3json="$(mktemp)"
+trap 'rm -f "$micro" "$table3" "$t3json"' EXIT
 
 echo "== micro benches (count=5) ==" >&2
 go test -run '^$' \
@@ -27,10 +28,13 @@ echo "== Table 3 experiments (benchtime=1x, count=5) ==" >&2
 go test -run '^$' -bench 'BenchmarkTable3Experiments' \
   -benchtime=1x -count=5 . | tee "$table3" >&2
 
-python3 - "$micro" "$table3" "$out" <<'PY'
+echo "== Table 3 metrics (gridexp -out) ==" >&2
+go run ./cmd/gridexp -table3 -out "$t3json" >&2
+
+python3 - "$micro" "$table3" "$t3json" "$out" <<'PY'
 import json, re, statistics, sys
 
-micro_path, table3_path, out_path = sys.argv[1:4]
+micro_path, table3_path, t3json_path, out_path = sys.argv[1:5]
 
 def parse(path):
     rows = {}
@@ -57,9 +61,21 @@ def summarise(rows, units):
         out[name] = entry
     return out
 
+# ns/op comes from the bench; the Table 3 metrics come from gridexp's
+# machine-readable -out export, not from scraping benchmark text.
+table3 = summarise(parse(table3_path), ['ns/op'])
+results = json.load(open(t3json_path))
+policy_bench = {1: 'exp1_fifo', 2: 'exp2_ga', 3: 'exp3_ga'}
+for exp in results.get('experiments', []):
+    name = 'BenchmarkTable3Experiments/' + policy_bench[exp['id']]
+    entry = table3.setdefault(name, {'runs': 1})
+    entry['eps_s'] = exp['eps_s']
+    entry['ups_pct'] = exp['ups_pct']
+    entry['beta_pct'] = exp['beta_pct']
+
 post = {
     'micro': summarise(parse(micro_path), ['ns/op', 'B/op', 'allocs/op']),
-    'table3': summarise(parse(table3_path), ['ns/op', 'eps_s', 'ups_pct', 'beta_pct']),
+    'table3': table3,
 }
 
 # Pre-PR numbers measured at commit 8883d5a on the same host (median of 5,
