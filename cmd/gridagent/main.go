@@ -28,6 +28,7 @@ import (
 	"repro/internal/pace"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "GA random seed")
 		pull    = flag.Float64("pull", agent.DefaultPullPeriod, "advertisement pull period in seconds")
 		push    = flag.Bool("push", false, "also push advertisements to neighbours on freetime changes (§3.1)")
+		metrics = flag.String("metrics", "", "serve GET /metrics (Prometheus text, ?format=json) and /healthz on this address; empty (the default) disables telemetry")
 		listHW  = flag.Bool("list-hw", false, "list hardware models and exit")
 		service = flag.Bool("print-service", false, "print this agent's Fig. 5 service information and exit")
 	)
@@ -104,16 +106,34 @@ func main() {
 	}
 
 	node.SetClockOrigin(transport.MidnightOrigin())
+	var msrv *telemetry.Server
+	if *metrics != "" {
+		reg := telemetry.NewRegistry()
+		node.SetTelemetry(reg)
+		msrv, err = telemetry.StartServer(*metrics, reg, func() error {
+			if node.Addr() == "" {
+				return fmt.Errorf("agent %s not listening", *name)
+			}
+			return nil
+		})
+		fail(err)
+	}
 	fail(node.Start(*listen))
 	fmt.Printf("gridagent %s (%s x%d, %s) listening on %s\n", *name, hw.Name, *nodes, pol.Name(), node.Addr())
 	if *upper != "" {
 		fmt.Printf("  upper agent: %s\n", *upper)
+	}
+	if msrv != nil {
+		fmt.Printf("  telemetry: http://%s/metrics\n", msrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("gridagent: shutting down")
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	fail(node.Close())
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // exportDoc is the machine-readable product of a gridexp invocation
@@ -150,5 +151,26 @@ func (d exportDoc) write(path string) error {
 		return err
 	}
 	fmt.Printf("results written to %s\n", path)
+	return nil
+}
+
+// writeTelemetry renders the collected telemetry exports — one per
+// instrumented run, keyed by experiment or sweep point — as indented
+// JSON at path (the -telemetry flag).
+func writeTelemetry(path string, exports map[string]*telemetry.Export) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(exports)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry written to %s\n", path)
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pace"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -61,11 +62,14 @@ func main() {
 		sweepArg     = flag.String("sweep", "", "with -scenario: sweep one axis, e.g. rate=0.5,1,2 or agents=12,24,48")
 		findSat      = flag.Bool("find-saturation", false, "with -scenario: binary-search the arrival rate where ε crosses zero")
 		outPath      = flag.String("out", "", "export the selected results as JSON to this file (a -sweep also accepts a .csv path)")
+
+		telemetryOut = flag.String("telemetry", "", "instrument the runs and write the telemetry exports (registry snapshot + virtual-time series) as JSON to this file; results are byte-identical with or without it")
+		samplePeriod = flag.Float64("sample-period", 10, "telemetry series sampling period in virtual seconds")
 	)
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *sweepArg, *findSat, *outPath, *workers)
+		runScenario(*scenarioPath, *sweepArg, *findSat, *outPath, *workers, *telemetryOut, *samplePeriod)
 		return
 	}
 	if *sweepArg != "" || *findSat {
@@ -96,6 +100,9 @@ func main() {
 	params.Seed = *seed
 	params.Workers = *workers
 	params.Audit = *auditRun
+	params.Telemetry = *telemetryOut != ""
+	params.SamplePeriod = *samplePeriod
+	telemetryExports := map[string]*telemetry.Export{}
 	var rec *trace.Recorder
 	if *traceOut != "" {
 		rec = trace.NewRecorder(4 * *requests * len(experiment.Configs))
@@ -169,6 +176,9 @@ func main() {
 		if *outPath != "" {
 			fail(doc.write(*outPath))
 		}
+		if *telemetryOut != "" {
+			fail(writeTelemetry(*telemetryOut, telemetryExports))
+		}
 		if auditFailed {
 			os.Exit(1)
 		}
@@ -184,6 +194,9 @@ func main() {
 	for _, o := range outs {
 		doc.Experiments = append(doc.Experiments, summariseOutcome(o))
 		verdict(fmt.Sprintf("[experiment %d]", o.Setup.ID), o.Audit)
+		if o.Telemetry != nil {
+			telemetryExports[fmt.Sprintf("experiment_%d", o.Setup.ID)] = o.Telemetry
+		}
 	}
 
 	if all || *table3 {
@@ -221,6 +234,9 @@ func main() {
 	if *outPath != "" {
 		fail(doc.write(*outPath))
 	}
+	if *telemetryOut != "" {
+		fail(writeTelemetry(*telemetryOut, telemetryExports))
+	}
 	if auditFailed {
 		os.Exit(1)
 	}
@@ -229,11 +245,12 @@ func main() {
 // runScenario is the -scenario entry point: one audited run, a sweep
 // over one axis, or a saturation search, with optional JSON/CSV export.
 // Every scenario run is audited; any violation exits non-zero.
-func runScenario(path, sweepArg string, findSat bool, outPath string, workers int) {
+func runScenario(path, sweepArg string, findSat bool, outPath string, workers int, telemetryOut string, samplePeriod float64) {
 	spec, err := scenario.Load(path)
 	fail(err)
-	opt := scenario.RunOptions{Workers: workers}
+	opt := scenario.RunOptions{Workers: workers, Telemetry: telemetryOut != "", SamplePeriod: samplePeriod}
 	doc := exportDoc{Seed: spec.Seed, Requests: spec.Arrivals.Count}
+	telemetryExports := map[string]*telemetry.Export{}
 	failed := false
 	switch {
 	case sweepArg != "":
@@ -252,6 +269,9 @@ func runScenario(path, sweepArg string, findSat bool, outPath string, workers in
 				failed = true
 				fmt.Printf("AUDIT FAILED at %s=%g: %s\n", axis, p.Value, p.Result.AuditSummary)
 			}
+			if p.Result.Telemetry != nil {
+				telemetryExports[fmt.Sprintf("%s=%g", axis, p.Value)] = p.Result.Telemetry
+			}
 		}
 	case findSat:
 		fmt.Printf("Searching for the saturation rate of %s\n", spec.Name)
@@ -264,12 +284,18 @@ func runScenario(path, sweepArg string, findSat bool, outPath string, workers in
 		fail(err)
 		fmt.Println(scenario.FormatResult(res))
 		doc.Scenario = &res
+		if res.Telemetry != nil {
+			telemetryExports["scenario"] = res.Telemetry
+		}
 		if !res.AuditOK {
 			failed = true
 		}
 	}
 	if outPath != "" {
 		fail(doc.write(outPath))
+	}
+	if telemetryOut != "" {
+		fail(writeTelemetry(telemetryOut, telemetryExports))
 	}
 	if failed {
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //
 //	gridfarm -base 7100 &
 //	gridsubmit -to 127.0.0.1:7111 -app sweep3d -deadline 10   # arrives at S12
+//	curl http://127.0.0.1:7190/metrics                        # live telemetry
 package main
 
 import (
@@ -15,20 +16,26 @@ import (
 	"syscall"
 
 	"repro/internal/experiment"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
 func main() {
 	var (
-		base   = flag.Int("base", 7100, "first TCP port; agents take consecutive ports")
-		host   = flag.String("host", "127.0.0.1", "bind host")
-		policy = flag.String("policy", "ga", "local scheduling policy: ga or fifo")
-		seed   = flag.Uint64("seed", 1, "GA random seed")
-		pull   = flag.Float64("pull", 10, "advertisement pull period in seconds")
-		push   = flag.Bool("push", false, "event-triggered advertisement pushes")
+		base    = flag.Int("base", 7100, "first TCP port; agents take consecutive ports")
+		host    = flag.String("host", "127.0.0.1", "bind host")
+		policy  = flag.String("policy", "ga", "local scheduling policy: ga or fifo")
+		seed    = flag.Uint64("seed", 1, "GA random seed")
+		pull    = flag.Float64("pull", 10, "advertisement pull period in seconds")
+		push    = flag.Bool("push", false, "event-triggered advertisement pushes")
+		metrics = flag.String("metrics", "127.0.0.1:7190", "serve GET /metrics (Prometheus text, ?format=json) and /healthz on this address; empty disables telemetry")
 	)
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *metrics != "" {
+		reg = telemetry.NewRegistry()
+	}
 	farm, err := transport.StartFarm(transport.FarmConfig{
 		Specs:      experiment.CaseStudyResources(),
 		Host:       *host,
@@ -37,19 +44,35 @@ func main() {
 		Seed:       *seed,
 		PullPeriod: *pull,
 		Push:       *push,
+		Telemetry:  reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridfarm:", err)
 		os.Exit(1)
 	}
+	var msrv *telemetry.Server
+	if reg != nil {
+		msrv, err = telemetry.StartServer(*metrics, reg, farm.Healthz)
+		if err != nil {
+			_ = farm.Close()
+			fmt.Fprintln(os.Stderr, "gridfarm:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Printf("gridfarm: %d agents up (%s policy)\n", len(farm.Names()), *policy)
 	fmt.Print(farm.Describe())
+	if msrv != nil {
+		fmt.Printf("telemetry: http://%s/metrics and /healthz\n", msrv.Addr())
+	}
 	fmt.Println("submit with: gridsubmit -to <addr> -app sweep3d -deadline 60")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("gridfarm: shutting down")
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 	if err := farm.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "gridfarm:", err)
 		os.Exit(1)

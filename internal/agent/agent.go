@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/pace"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 )
 
 // Request is a task execution request travelling through the hierarchy —
@@ -54,7 +55,7 @@ type Dispatch struct {
 	Fallback bool    // true when no resource met the deadline (best effort)
 }
 
-// Stats counts agent activity.
+// Stats is a point-in-time snapshot of the agent's activity counters.
 type Stats struct {
 	Received       int // requests evaluated at this agent
 	LocalAccept    int // requests submitted to the local scheduler
@@ -66,6 +67,27 @@ type Stats struct {
 	PushesReceived int // advertisements received by push
 	FailedPulls    int // per-neighbour pull attempts that errored
 	Redispatches   int // tasks this agent re-placed after a resource failed
+}
+
+// statCounters holds the live counters behind Stats as atomic telemetry
+// instruments. The agent itself is not safe for concurrent use, but its
+// counters are read from other goroutines — the networked node serves
+// Stats() to monitoring while its pull/tick loops drive the agent, and
+// a telemetry registry scrapes them live — so they must be atomic.
+type statCounters struct {
+	received       telemetry.Counter
+	localAccept    telemetry.Counter
+	forwarded      telemetry.Counter
+	escalated      telemetry.Counter
+	fallbacks      telemetry.Counter
+	pulls          telemetry.Counter
+	pushesSent     telemetry.Counter
+	pushesReceived telemetry.Counter
+	failedPulls    telemetry.Counter
+	redispatches   telemetry.Counter
+
+	breakerTrips telemetry.Counter // health transitions: circuits opened
+	breakersOpen telemetry.Gauge   // circuits currently open
 }
 
 // Gate models the network between agents: an optional hook consulted
@@ -148,7 +170,7 @@ type Agent struct {
 	AdvertTTL float64
 
 	cache  map[string]cachedService
-	stats  Stats
+	stats  statCounters
 	gate   Gate
 	health map[string]*peerHealth
 
@@ -229,6 +251,8 @@ func (a *Agent) RecordPeerFailure(name string) bool {
 	}
 	if !h.tripped && h.consecFails >= threshold {
 		h.tripped = true
+		a.stats.breakerTrips.Inc()
+		a.stats.breakersOpen.Add(1)
 		return true
 	}
 	return false
@@ -241,6 +265,9 @@ func (a *Agent) RecordPeerSuccess(name string) bool {
 	was := h.tripped
 	h.consecFails = 0
 	h.tripped = false
+	if was {
+		a.stats.breakersOpen.Add(-1)
+	}
 	return was
 }
 
@@ -253,12 +280,12 @@ func (a *Agent) PeerTripped(name string) bool {
 
 // CountFailedPull bumps the failed-pull counter for an externally
 // driven refresh attempt that errored.
-func (a *Agent) CountFailedPull() { a.stats.FailedPulls++ }
+func (a *Agent) CountFailedPull() { a.stats.failedPulls.Inc() }
 
 // CountRedispatch records that this agent re-placed a task rescued from
 // a failed resource (the injector drives the re-dispatch through
 // HandleRequest, then attributes it here).
-func (a *Agent) CountRedispatch() { a.stats.Redispatches++ }
+func (a *Agent) CountRedispatch() { a.stats.redispatches.Inc() }
 
 // Name returns the agent's identity.
 func (a *Agent) Name() string { return a.name }
@@ -276,8 +303,46 @@ func (a *Agent) Lowers() []Peer {
 	return out
 }
 
-// Stats returns a snapshot of the agent's counters.
-func (a *Agent) Stats() Stats { return a.stats }
+// Stats returns a snapshot of the agent's counters. The counters are
+// atomic, so unlike the rest of the agent this is safe to call from any
+// goroutine while the agent runs — each field is read individually, so
+// the snapshot is per-counter exact but not a cross-counter cut.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		Received:       int(a.stats.received.Value()),
+		LocalAccept:    int(a.stats.localAccept.Value()),
+		Forwarded:      int(a.stats.forwarded.Value()),
+		Escalated:      int(a.stats.escalated.Value()),
+		Fallbacks:      int(a.stats.fallbacks.Value()),
+		Pulls:          int(a.stats.pulls.Value()),
+		PushesSent:     int(a.stats.pushesSent.Value()),
+		PushesReceived: int(a.stats.pushesReceived.Value()),
+		FailedPulls:    int(a.stats.failedPulls.Value()),
+		Redispatches:   int(a.stats.redispatches.Value()),
+	}
+}
+
+// RegisterMetrics attaches the agent's counters to a telemetry registry
+// under agent_*_total{resource=...} names. The registry reads the same
+// atomics the agent bumps — no double counting, no extra hot-path cost.
+func (a *Agent) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	label := func(name string) string { return telemetry.Label(name, "resource", a.name) }
+	reg.RegisterCounter(label("agent_requests_received_total"), &a.stats.received)
+	reg.RegisterCounter(label("agent_local_accepts_total"), &a.stats.localAccept)
+	reg.RegisterCounter(label("agent_forwards_total"), &a.stats.forwarded)
+	reg.RegisterCounter(label("agent_escalations_total"), &a.stats.escalated)
+	reg.RegisterCounter(label("agent_fallbacks_total"), &a.stats.fallbacks)
+	reg.RegisterCounter(label("agent_pulls_total"), &a.stats.pulls)
+	reg.RegisterCounter(label("agent_pushes_sent_total"), &a.stats.pushesSent)
+	reg.RegisterCounter(label("agent_pushes_received_total"), &a.stats.pushesReceived)
+	reg.RegisterCounter(label("agent_failed_pulls_total"), &a.stats.failedPulls)
+	reg.RegisterCounter(label("agent_redispatches_total"), &a.stats.redispatches)
+	reg.RegisterCounter(label("agent_breaker_trips_total"), &a.stats.breakerTrips)
+	reg.RegisterGauge(label("agent_breakers_open"), &a.stats.breakersOpen)
+}
 
 // SetUpper wires a remote upper neighbour; Link is the in-process
 // equivalent that wires both directions at once.
@@ -326,7 +391,7 @@ func (a *Agent) Pull(now float64) {
 			info, err = n.PullService()
 		}
 		if err != nil {
-			a.stats.FailedPulls++
+			a.stats.failedPulls.Inc()
 			a.RecordPeerFailure(name)
 			continue
 		}
@@ -337,7 +402,7 @@ func (a *Agent) Pull(now float64) {
 			pulledAt:  now,
 		}
 	}
-	a.stats.Pulls++
+	a.stats.pulls.Inc()
 }
 
 // StoreAdvertisement records a neighbour's advertisement pulled by an
@@ -348,13 +413,13 @@ func (a *Agent) StoreAdvertisement(name string, info scheduler.ServiceInfo, now 
 }
 
 // CountPull bumps the pull counter for an externally driven refresh.
-func (a *Agent) CountPull() { a.stats.Pulls++ }
+func (a *Agent) CountPull() { a.stats.pulls.Inc() }
 
 // PushAdvertisement implements AdvertSink: record a neighbour's pushed
 // service information.
 func (a *Agent) PushAdvertisement(from string, info scheduler.ServiceInfo, now float64) error {
 	a.StoreAdvertisement(from, info, now)
-	a.stats.PushesReceived++
+	a.stats.pushesReceived.Inc()
 	return nil
 }
 
@@ -381,7 +446,7 @@ func (a *Agent) MarkPushed(si scheduler.ServiceInfo, sent int) {
 	if sent <= 0 {
 		return
 	}
-	a.stats.PushesSent += sent
+	a.stats.pushesSent.Add(uint64(sent))
 	a.lastPushedFreetime = si.Freetime
 	a.pushedOnce = true
 }
@@ -425,8 +490,8 @@ func (a *Agent) PeerName() string { return a.name }
 // counters so peers can observe a resource's failure history.
 func (a *Agent) PullService() (scheduler.ServiceInfo, error) {
 	si := a.local.ServiceInfo()
-	si.FailedPulls = a.stats.FailedPulls
-	si.Redispatches = a.stats.Redispatches
+	si.FailedPulls = int(a.stats.failedPulls.Value())
+	si.Redispatches = int(a.stats.redispatches.Value())
 	return si, nil
 }
 
@@ -441,7 +506,7 @@ func (a *Agent) SubmitDirect(req Request, now float64) (Dispatch, error) {
 	if err != nil {
 		return Dispatch{}, err
 	}
-	a.stats.LocalAccept++
+	a.stats.localAccept.Inc()
 	return Dispatch{Resource: a.name, TaskID: id, ReqID: req.ReqID, Hops: len(req.Visited), Fallback: true}, nil
 }
 
@@ -540,7 +605,7 @@ type Decision struct {
 // terminate unsuccessfully, but its experiments account for all 600
 // tasks).
 func (a *Agent) Decide(req Request, now float64) Decision {
-	a.stats.Received++
+	a.stats.received.Inc()
 	visited := make([]string, 0, len(req.Visited)+1)
 	visited = append(visited, req.Visited...)
 	visited = append(visited, a.name)
@@ -559,7 +624,7 @@ func (a *Agent) Decide(req Request, now float64) Decision {
 
 	// 2. Evaluate neighbours' advertised services.
 	if target, eta, ok := a.bestNeighbour(req, now); ok {
-		a.stats.Forwarded++
+		a.stats.forwarded.Inc()
 		d.Kind, d.Peer, d.Eta = DecideForward, target, eta
 		return d
 	}
@@ -569,13 +634,13 @@ func (a *Agent) Decide(req Request, now float64) Decision {
 	// like the head and falls back rather than escalating into a known
 	// failure.
 	if a.upper != nil && !req.visited(a.upper.PeerName()) && !a.PeerTripped(a.upper.PeerName()) {
-		a.stats.Escalated++
+		a.stats.escalated.Inc()
 		d.Kind, d.Peer = DecideEscalate, a.upper
 		return d
 	}
 
 	// 4. Head of the hierarchy, still no match: best-effort fallback.
-	a.stats.Fallbacks++
+	a.stats.fallbacks.Inc()
 	peer, eta, local, err := a.fallbackTarget(req, now, nil)
 	if err != nil {
 		d.Kind, d.Err = DecideFail, err
@@ -648,13 +713,13 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 		failed := map[string]bool{dec.Peer.PeerName(): true}
 		if a.upper != nil && !req.visited(a.upper.PeerName()) && !failed[a.upper.PeerName()] &&
 			!a.PeerTripped(a.upper.PeerName()) {
-			a.stats.Escalated++
+			a.stats.escalated.Inc()
 			if d, err := a.callHandle(a.upper, req, now); err == nil {
 				return d, nil
 			}
 			failed[a.upper.PeerName()] = true
 		}
-		a.stats.Fallbacks++
+		a.stats.fallbacks.Inc()
 		return a.dispatchFallback(req, now, failed)
 	case DecideEscalate:
 		d, err := a.callHandle(dec.Peer, req, now)
@@ -662,7 +727,7 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 			return d, nil
 		}
 		// Upper agent unreachable: behave like the head and fall back.
-		a.stats.Fallbacks++
+		a.stats.fallbacks.Inc()
 		return a.dispatchFallback(req, now, map[string]bool{dec.Peer.PeerName(): true})
 	case DecideFallbackLocal:
 		return a.AcceptLocal(req, now, dec.Eta, true)
@@ -685,7 +750,7 @@ func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispa
 	if err != nil {
 		return Dispatch{}, err
 	}
-	a.stats.LocalAccept++
+	a.stats.localAccept.Inc()
 	hops := len(req.Visited) - 1
 	if hops < 0 {
 		hops = 0

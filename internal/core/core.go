@@ -23,6 +23,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -114,6 +115,19 @@ type Options struct {
 	// that trips an agent's circuit breaker; 0 keeps
 	// agent.DefaultFailureThreshold.
 	FailureThreshold int
+
+	// Telemetry, when set, instruments every layer of the grid (agents,
+	// schedulers, GA policies, the shared PACE engine) on one registry
+	// and samples it on a virtual-time period during Run. Nil — the
+	// default — leaves every hot path with a single nil-check branch and
+	// zero allocations. Instruments are read-only observers: enabling
+	// telemetry changes no scheduling decision and no RNG draw, so
+	// results are byte-identical either way.
+	Telemetry *telemetry.Registry
+	// SamplePeriod is the virtual-time series sampling period in
+	// simulated seconds; <= 0 defaults to 10 s (the advert pull cadence).
+	// Ignored without Telemetry.
+	SamplePeriod float64
 }
 
 func (o *Options) setDefaults() {
@@ -155,6 +169,13 @@ type Grid struct {
 	requests      int
 	nextReqID     uint64 // grid-wide request IDs, minted at SubmitAt
 	ran           bool
+
+	// Grid-level instruments and the virtual-time sampler; all nil (and
+	// every use a no-op) when Options.Telemetry is unset.
+	sampler     *telemetry.Sampler
+	mRequests   *telemetry.Counter
+	mErrors     *telemetry.Counter
+	mDispatches *telemetry.Counter
 }
 
 // New builds a Grid from resource specs.
@@ -218,6 +239,13 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 			return nil, err
 		}
 		a.PullPeriod = opts.PullPeriod
+		if opts.Telemetry != nil {
+			local.SetMetrics(scheduler.NewMetrics(opts.Telemetry, spec.Name))
+			if gp, ok := pol.(*scheduler.GAPolicy); ok {
+				gp.RegisterMetrics(opts.Telemetry, spec.Name)
+			}
+			a.RegisterMetrics(opts.Telemetry)
+		}
 		g.locals[spec.Name] = local
 		agents[spec.Name] = a
 		ordered = append(ordered, a)
@@ -258,6 +286,39 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		for _, a := range ordered {
 			a.SetGate(inj.Registry())
 		}
+	}
+	if reg := opts.Telemetry; reg != nil {
+		engine.RegisterMetrics(reg)
+		reg.Gauge("grid_resources").Set(float64(len(specs)))
+		g.mRequests = reg.Counter("grid_requests_total")
+		g.mErrors = reg.Counter("grid_request_errors_total")
+		g.mDispatches = reg.Counter("grid_dispatches_total")
+		g.sampler = telemetry.NewSampler(reg, opts.SamplePeriod)
+		// Grid-wide ε over time: mean advance time (deadline − completion)
+		// and count over every record already completed at the sample
+		// instant. Probes run on the simulator goroutine only, so walking
+		// committed scheduler state here is safe (see telemetry/series.go).
+		g.sampler.AddProbe("grid_eps_s", func(now float64) float64 {
+			var sum float64
+			var n int
+			for _, l := range g.locals {
+				s, c := l.AdvanceBefore(now)
+				sum += s
+				n += c
+			}
+			if n == 0 {
+				return 0
+			}
+			return sum / float64(n)
+		})
+		g.sampler.AddProbe("grid_completed", func(now float64) float64 {
+			var n int
+			for _, l := range g.locals {
+				_, c := l.AdvanceBefore(now)
+				n += c
+			}
+			return float64(n)
+		})
 	}
 	return g, nil
 }
@@ -344,6 +405,7 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 	reqID := g.nextReqID
 	g.simr.At(at, func(now float64) {
 		g.advanceAll(now)
+		g.mRequests.Inc()
 		deadline := now + deadlineRel
 		arriveDetail := ""
 		arrival := agentName
@@ -368,6 +430,7 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 		if arrivalDown {
 			err := fmt.Errorf("request at %g: no live agent for arrival at %s", now, agentName)
 			g.errs = append(g.errs, err)
+			g.mErrors.Inc()
 			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 			return
 		}
@@ -376,10 +439,12 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 			d, err := a.HandleRequest(agent.Request{ReqID: reqID, App: app, Env: "test", Deadline: deadline}, now)
 			if err != nil {
 				g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
+				g.mErrors.Inc()
 				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 				return
 			}
 			g.dispatches = append(g.dispatches, d)
+			g.mDispatches.Inc()
 			detail := fmt.Sprintf("hops=%d", d.Hops)
 			if d.Fallback {
 				detail += " fallback"
@@ -398,10 +463,12 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 		id, err := g.locals[agentName].SubmitRequest(app, deadline, now, reqID)
 		if err != nil {
 			g.errs = append(g.errs, fmt.Errorf("request at %g: %w", now, err))
+			g.mErrors.Inc()
 			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 			return
 		}
 		g.dispatches = append(g.dispatches, agent.Dispatch{Resource: agentName, TaskID: id, ReqID: reqID})
+		g.mDispatches.Inc()
 		g.traceEvent(trace.Event{
 			Time: now, Kind: trace.KindDispatch, ReqID: reqID, Agent: agentName,
 			Resource: agentName, TaskID: id, App: appName, Detail: "direct",
@@ -469,9 +536,32 @@ func (g *Grid) Run() error {
 	if g.injector != nil {
 		g.injector.Schedule(g.simr)
 	}
+	if g.sampler != nil {
+		// Scheduled after the pull Every so at coincident fire times the
+		// sample observes the post-pull state; the sampler itself mutates
+		// nothing and draws no randomness, so the event stream the
+		// schedulers see is identical with or without it.
+		g.sampler.Sample(0)
+		last := g.lastRequestAt
+		g.simr.Every(g.sampler.Period(), func(now float64) bool {
+			g.sampler.Sample(now)
+			return now < last
+		})
+	}
 	g.simr.RunAll(0)
 	for _, name := range g.hier.Names() {
 		g.locals[name].Drain()
+	}
+	if g.sampler != nil {
+		// One final point after the drain, at the completion time of the
+		// last record, so the series ends with the finished grid.
+		var end float64
+		for _, r := range g.Records() {
+			if r.End > end {
+				end = r.End
+			}
+		}
+		g.sampler.Sample(end)
 	}
 	return errors.Join(g.errs...)
 }
@@ -501,6 +591,22 @@ func (g *Grid) Metrics(minWindow float64) (metrics.GridReport, error) {
 
 // Requests returns the number of scheduled requests.
 func (g *Grid) Requests() int { return g.requests }
+
+// Telemetry returns the registry the grid was built with, nil when
+// uninstrumented.
+func (g *Grid) Telemetry() *telemetry.Registry { return g.opts.Telemetry }
+
+// Sampler returns the virtual-time sampler, nil when uninstrumented.
+func (g *Grid) Sampler() *telemetry.Sampler { return g.sampler }
+
+// TelemetryExport bundles the final registry snapshot with the sampled
+// virtual-time series for JSON export; nil when uninstrumented.
+func (g *Grid) TelemetryExport() *telemetry.Export {
+	if g.opts.Telemetry == nil {
+		return nil
+	}
+	return telemetry.NewExport(g.opts.Telemetry, g.sampler)
+}
 
 // FaultStats reports what the fault injector did during the run; the
 // zero value when no fault plan was configured.

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pace"
 	"repro/internal/scenario"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -65,6 +66,12 @@ type Params struct {
 	Workers  int             // GA cost-evaluation workers per policy; ≤1 sequential, results identical either way
 	Trace    *trace.Recorder // optional lifecycle recorder
 	Audit    bool            // run the lifecycle auditor over each experiment
+	// Telemetry instruments each experiment on its own fresh registry
+	// (RunAll runs experiments concurrently, so a shared registry would
+	// mix their totals) and attaches the export to Outcome.Telemetry.
+	// Observing only: Table 1/Table 3 numbers are identical either way.
+	Telemetry    bool
+	SamplePeriod float64 // series period in virtual seconds; <= 0 → 10 s
 }
 
 // DefaultParams returns the §4.1 case-study parameters. The GA knobs
@@ -93,7 +100,8 @@ type Outcome struct {
 	Records    []scheduler.Record
 	EvalStats  pace.EvalStats
 	Requests   int
-	Audit      *audit.Result // set when Params.Audit is on
+	Audit      *audit.Result     // set when Params.Audit is on
+	Telemetry  *telemetry.Export // set when Params.Telemetry is on
 }
 
 // Run executes one experiment configuration against the case-study grid
@@ -107,14 +115,19 @@ func Run(setup Setup, p Params) (Outcome, error) {
 	if p.Audit && rec == nil {
 		rec = trace.NewRecorder(8*p.Requests + 64)
 	}
-	grid, err := core.New(CaseStudyResources(), core.Options{
+	copts := core.Options{
 		Policy:    setup.Policy,
 		GA:        p.GA,
 		Workers:   p.Workers,
 		UseAgents: setup.UseAgents,
 		Seed:      p.Seed,
 		Trace:     rec,
-	})
+	}
+	if p.Telemetry {
+		copts.Telemetry = telemetry.NewRegistry()
+		copts.SamplePeriod = p.SamplePeriod
+	}
+	grid, err := core.New(CaseStudyResources(), copts)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -142,6 +155,7 @@ func Run(setup Setup, p Params) (Outcome, error) {
 		Records:    grid.Records(),
 		EvalStats:  grid.Engine().Stats(),
 		Requests:   len(reqs),
+		Telemetry:  grid.TelemetryExport(),
 	}
 	if p.Audit {
 		res := audit.Check(audit.Run{

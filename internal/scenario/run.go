@@ -8,6 +8,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -23,6 +24,13 @@ type RunOptions struct {
 	// audit. It must be sized for at least 8×Count+64 events or the
 	// audit will report dropped events.
 	Trace *trace.Recorder
+	// Telemetry instruments the run on a fresh registry and attaches the
+	// final snapshot plus the virtual-time series to Result.Telemetry.
+	// Observing only: results are byte-identical with it on or off.
+	Telemetry bool
+	// SamplePeriod is the series sampling period in virtual seconds;
+	// <= 0 defaults to core's 10 s. Ignored without Telemetry.
+	SamplePeriod float64
 }
 
 // Result is one scenario run, reduced to the numbers a sweep compares:
@@ -56,6 +64,10 @@ type Result struct {
 	AuditViolations int    `json:"audit_violations"`
 	AuditSummary    string `json:"audit_summary"`
 
+	// Telemetry is the final registry snapshot plus the virtual-time
+	// series, present only when RunOptions.Telemetry was set.
+	Telemetry *telemetry.Export `json:"telemetry,omitempty"`
+
 	Report metrics.GridReport `json:"-"` // full per-resource detail
 	Audit  *audit.Result      `json:"-"`
 }
@@ -88,7 +100,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	if rec == nil {
 		rec = trace.NewRecorder(8*spec.Arrivals.Count + 64)
 	}
-	grid, err := core.New(resources, core.Options{
+	copts := core.Options{
 		Policy:    policy,
 		GA:        spec.GAConfig(),
 		Workers:   opt.Workers,
@@ -96,7 +108,14 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		Seed:      seed,
 		Trace:     rec,
 		FaultPlan: spec.FaultPlan(),
-	})
+	}
+	if opt.Telemetry {
+		// Each run gets a fresh registry: sweep points run concurrently
+		// and their totals must not bleed into each other.
+		copts.Telemetry = telemetry.NewRegistry()
+		copts.SamplePeriod = opt.SamplePeriod
+	}
+	grid, err := core.New(resources, copts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -171,6 +190,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		Report: report,
 		Audit:  &res,
 	}
+	out.Telemetry = grid.TelemetryExport()
 	if len(recs) > 0 {
 		slack := make([]float64, len(recs))
 		for i, r := range recs {

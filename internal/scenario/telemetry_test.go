@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestRunTelemetry proves the observing-only contract at the scenario
+// layer — identical results with the registry on or off — and that the
+// export carries the registry totals and the virtual-time series.
+func TestRunTelemetry(t *testing.T) {
+	spec := smallSpec()
+	plain, err := Run(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := Run(spec, RunOptions{Telemetry: true, SamplePeriod: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, q := stripHost(plain), stripHost(instr)
+	q.Telemetry = nil
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("telemetry changed scenario results:\noff: %+v\non:  %+v", p, q)
+	}
+
+	exp := instr.Telemetry
+	if exp == nil || exp.Series == nil {
+		t.Fatal("instrumented run exported no telemetry")
+	}
+	if got := exp.Snapshot.Counters["grid_requests_total"]; got != 120 {
+		t.Fatalf("grid_requests_total = %d, want 120", got)
+	}
+	if len(exp.Series.Points) < 2 {
+		t.Fatalf("series has %d points", len(exp.Series.Points))
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("uninstrumented run exported telemetry")
+	}
+
+	// The export must survive the JSON path gridexp uses.
+	blob, err := json.Marshal(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Telemetry == nil || back.Telemetry.Snapshot.Counters["grid_requests_total"] != 120 {
+		t.Fatal("telemetry lost in JSON round-trip")
+	}
+}
+
+// TestSweepTelemetryPerPoint checks that concurrent sweep points keep
+// isolated registries: each point's totals match its own workload.
+func TestSweepTelemetryPerPoint(t *testing.T) {
+	spec := smallSpec()
+	spec.Arrivals.Count = 60
+	pts, err := Sweep(spec, AxisRate, []float64{1, 3}, RunOptions{Telemetry: true, SamplePeriod: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		exp := pt.Result.Telemetry
+		if exp == nil {
+			t.Fatalf("point %d has no telemetry", i)
+		}
+		if got := exp.Snapshot.Counters["grid_requests_total"]; got != uint64(pt.Result.Requests) {
+			t.Fatalf("point %d: grid_requests_total = %d, want %d", i, got, pt.Result.Requests)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // GAPolicy is the genetic-algorithm scheduling policy of §2.1. Each Plan
@@ -21,10 +22,16 @@ type GAPolicy struct {
 	rng           *sim.RNG
 
 	carry carryState // previous best, keyed by task ID
-	stats GAPolicyStats
+
+	// Activity counters are atomic telemetry instruments so a live
+	// registry (and Stats) can read them while another goroutine plans.
+	plans       telemetry.Counter
+	generations telemetry.Counter
+	costEvals   telemetry.Counter
 }
 
-// GAPolicyStats accumulates GA activity across Plan calls.
+// GAPolicyStats is a snapshot of GA activity accumulated across Plan
+// calls.
 type GAPolicyStats struct {
 	Plans       int
 	Generations int
@@ -49,8 +56,34 @@ func (g *GAPolicy) Name() string { return "ga" }
 // Forget implements Policy.
 func (g *GAPolicy) Forget(taskID int) { g.carry.forget(taskID) }
 
-// Stats returns cumulative GA activity.
-func (g *GAPolicy) Stats() GAPolicyStats { return g.stats }
+// Stats returns a snapshot of cumulative GA activity; safe to call from
+// any goroutine.
+func (g *GAPolicy) Stats() GAPolicyStats {
+	return GAPolicyStats{
+		Plans:       int(g.plans.Value()),
+		Generations: int(g.generations.Value()),
+		CostEvals:   int(g.costEvals.Value()),
+	}
+}
+
+// RegisterMetrics attaches the policy's counters to a telemetry
+// registry under ga_*{resource=...} names, plus a gauge reporting the
+// configured evaluation worker pool (the utilisation knob of PR 2's
+// parallel cost evaluation).
+func (g *GAPolicy) RegisterMetrics(reg *telemetry.Registry, resource string) {
+	if reg == nil {
+		return
+	}
+	l := func(name string) string { return telemetry.Label(name, "resource", resource) }
+	reg.RegisterCounter(l("ga_plans_total"), &g.plans)
+	reg.RegisterCounter(l("ga_generations_total"), &g.generations)
+	reg.RegisterCounter(l("ga_cost_evals_total"), &g.costEvals)
+	workers := g.Config.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	reg.Gauge(l("ga_workers")).Set(float64(workers))
+}
 
 // Plan implements Policy.
 func (g *GAPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float64, predict schedule.Predictor) *schedule.Schedule {
@@ -85,9 +118,9 @@ func (g *GAPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now float6
 	}
 
 	res2 := ga.Run[schedule.Solution](p, g.Config, g.rng, seeds)
-	g.stats.Plans++
-	g.stats.Generations += res2.Generations
-	g.stats.CostEvals += res2.CostEvals
+	g.plans.Inc()
+	g.generations.Add(uint64(res2.Generations))
+	g.costEvals.Add(uint64(res2.CostEvals))
 
 	g.carry.remember(tasks, res2.Best)
 	return schedule.Build(res2.Best, tasks, res, now, predict)

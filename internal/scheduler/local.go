@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"time"
 
 	"repro/internal/pace"
 	"repro/internal/schedule"
@@ -75,6 +76,7 @@ type Config struct {
 type Local struct {
 	cfg     Config
 	monitor *Monitor
+	metrics Metrics
 
 	pending   []schedule.Task // the GA's optimisation set T, arrival order
 	plan      *schedule.Schedule
@@ -131,6 +133,26 @@ func (l *Local) Environments() []string { return l.cfg.Environments }
 // Monitor exposes the resource monitor (for failure injection).
 func (l *Local) Monitor() *Monitor { return l.monitor }
 
+// Engine returns the PACE evaluation engine this scheduler queries.
+func (l *Local) Engine() *pace.Engine { return l.cfg.Engine }
+
+// Policy returns the active scheduling policy.
+func (l *Local) Policy() Policy { return l.cfg.Policy }
+
+// SetMetrics installs telemetry instruments; the zero Metrics disables
+// instrumentation again. Call before driving the scheduler.
+func (l *Local) SetMetrics(m Metrics) { l.metrics = m }
+
+// updateGauges refreshes the queue-shape gauges after a queue change.
+// Backlog is gated on its instrument because Freetime() walks the node
+// horizon — with telemetry off this must stay free.
+func (l *Local) updateGauges() {
+	l.metrics.QueueDepth.Set(float64(len(l.pending)))
+	if l.metrics.Backlog != nil {
+		l.metrics.Backlog.Set(l.Freetime() - l.now)
+	}
+}
+
 // PolicyName reports the active scheduling policy.
 func (l *Local) PolicyName() string { return l.cfg.Policy.Name() }
 
@@ -174,6 +196,8 @@ func (l *Local) SubmitRequest(app *pace.AppModel, deadline, now float64, reqID u
 	id := l.nextID
 	l.pending = append(l.pending, schedule.Task{ID: id, ReqID: reqID, App: app, Arrival: now, Deadline: deadline})
 	l.replan()
+	l.metrics.TasksSubmitted.Inc()
+	l.updateGauges()
 	return id, nil
 }
 
@@ -187,6 +211,7 @@ func (l *Local) Delete(taskID int, now float64) error {
 			l.pending = append(l.pending[:i], l.pending[i+1:]...)
 			l.cfg.Policy.Forget(taskID)
 			l.replan()
+			l.updateGauges()
 			return nil
 		}
 	}
@@ -206,7 +231,14 @@ func (l *Local) replan() {
 		res.Avail[c] = l.nodeBusy[phys]
 	}
 	predict := func(app *pace.AppModel, k int) float64 { return l.duration(app, k) }
-	l.plan = l.cfg.Policy.Plan(l.pending, res, l.now, predict)
+	l.metrics.Plans.Inc()
+	if l.metrics.PlanLatency != nil {
+		t0 := time.Now()
+		l.plan = l.cfg.Policy.Plan(l.pending, res, l.now, predict)
+		l.metrics.PlanLatency.Observe(time.Since(t0).Seconds())
+	} else {
+		l.plan = l.cfg.Policy.Plan(l.pending, res, l.now, predict)
+	}
 	l.planPhys = up
 }
 
@@ -299,6 +331,8 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 	if len(promoted) == 0 {
 		return
 	}
+	l.metrics.TasksStarted.Add(uint64(len(promoted)))
+	defer l.updateGauges()
 
 	// Rebuild pending and translate the surviving plan items to the new
 	// task positions.
@@ -341,6 +375,20 @@ func (l *Local) physMask(compact uint64) uint64 {
 		phys |= uint64(1) << uint(l.planPhys[c])
 	}
 	return phys
+}
+
+// AdvanceBefore returns the summed advance time Σ(δ_r − end) and the
+// count over committed tasks that have completed by virtual time t —
+// the running ε numerator and denominator, which the telemetry sampler
+// probes mid-run to chart grid-wide ε over time. Read-only.
+func (l *Local) AdvanceBefore(t float64) (sum float64, n int) {
+	for _, r := range l.committed {
+		if r.End <= t {
+			sum += r.Deadline - r.End
+			n++
+		}
+	}
+	return sum, n
 }
 
 // Records returns the committed (started or finished) tasks in start

@@ -1,0 +1,37 @@
+package scheduler
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Metrics is the set of telemetry instruments a Local scheduler updates
+// as it runs: queue depth and freetime backlog after every queue
+// change, plan count and wall-clock planning latency per policy run,
+// task flow counters. The zero value (all nil) is the disabled
+// configuration — every instrument method no-ops, so an uninstrumented
+// scheduler pays one branch per site and allocates nothing.
+type Metrics struct {
+	QueueDepth     *telemetry.Gauge     // tasks waiting to start
+	Backlog        *telemetry.Gauge     // Freetime() − now, seconds
+	Plans          *telemetry.Counter   // policy runs
+	PlanLatency    *telemetry.Histogram // wall-clock seconds per policy run
+	TasksSubmitted *telemetry.Counter   // requests accepted into the queue
+	TasksStarted   *telemetry.Counter   // tasks promoted into execution
+}
+
+// NewMetrics builds the per-resource scheduler instruments on reg; the
+// zero (disabled) Metrics on a nil registry.
+func NewMetrics(reg *telemetry.Registry, resource string) Metrics {
+	if reg == nil {
+		return Metrics{}
+	}
+	l := func(name string) string { return telemetry.Label(name, "resource", resource) }
+	return Metrics{
+		QueueDepth:     reg.Gauge(l("sched_queue_depth")),
+		Backlog:        reg.Gauge(l("sched_backlog_s")),
+		Plans:          reg.Counter(l("sched_plans_total")),
+		PlanLatency:    reg.Histogram(l("sched_plan_latency_s")),
+		TasksSubmitted: reg.Counter(l("sched_tasks_submitted_total")),
+		TasksStarted:   reg.Counter(l("sched_tasks_started_total")),
+	}
+}

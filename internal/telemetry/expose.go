@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Exposition: a Snapshot renders either as Prometheus text format
+// (version 0.0.4 — `# TYPE` lines, cumulative `_bucket{le=...}`
+// histograms) for live scraping, or as the JSON Export document that
+// gridexp -telemetry and scenario results embed.
+
+// Export is the JSON shape of a run's telemetry: the final snapshot
+// plus, when a sampler ran, the virtual-time series.
+type Export struct {
+	Snapshot Snapshot `json:"snapshot"`
+	Series   *Series  `json:"series,omitempty"`
+}
+
+// NewExport captures reg and, when non-nil, the sampler's series.
+func NewExport(reg *Registry, s *Sampler) *Export {
+	e := &Export{Snapshot: reg.Snapshot()}
+	if s != nil {
+		series := s.Series()
+		e.Series = &series
+	}
+	return e
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+// Families are emitted in sorted name order, one `# TYPE` line each;
+// label sets embedded in metric names are re-emitted verbatim, with
+// `le` appended for histogram buckets.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := map[string]bool{} // base name -> TYPE line already written
+
+	writeType := func(base, kind string) error {
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		base, _ := splitName(name)
+		if err := writeType(base, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		base, _ := splitName(name)
+		if err := writeType(base, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		base, labels := splitName(name)
+		if err := writeType(base, "histogram"); err != nil {
+			return err
+		}
+		h := s.Histograms[name]
+		var cum uint64
+		sawInf := false
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := formatFloat(b.UpperBound)
+			if math.IsInf(b.UpperBound, 1) {
+				le = "+Inf"
+				sawInf = true
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labelPrefix(labels), le, cum); err != nil {
+				return err
+			}
+		}
+		if !sawInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labelPrefix(labels), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labelSuffix(labels), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labelSuffix(labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// labelPrefix renders an inner label list for prepending before `le=`:
+// `resource="S1"` -> `resource="S1",`, "" -> "".
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders an inner label list back to a braced set: "" ->
+// "", `resource="S1"` -> `{resource="S1"}`.
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients expect: the
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("agent_pulls_total", "resource", "S1")).Add(4)
+	r.Counter(Label("agent_pulls_total", "resource", "S2")).Add(6)
+	r.Gauge("grid_agents").Set(12)
+	h := r.Histogram(Label("transport_exchange_latency_s", "resource", "S1"))
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE agent_pulls_total counter\n",
+		"agent_pulls_total{resource=\"S1\"} 4\n",
+		"agent_pulls_total{resource=\"S2\"} 6\n",
+		"# TYPE grid_agents gauge\n",
+		"grid_agents 12\n",
+		"# TYPE transport_exchange_latency_s histogram\n",
+		"transport_exchange_latency_s_bucket{resource=\"S1\",le=\"+Inf\"} 3\n",
+		"transport_exchange_latency_s_count{resource=\"S1\"} 3\n",
+		"transport_exchange_latency_s_sum{resource=\"S1\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with two label sets.
+	if n := strings.Count(out, "# TYPE agent_pulls_total counter"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times", n)
+	}
+	// Bucket counts must be cumulative: the 0.25s observations share the
+	// (0.131, 0.262] bucket, the +Inf line covers all 3.
+	if !strings.Contains(out, "le=\"0.262144\"} 2\n") {
+		t.Fatalf("cumulative bucket line missing in:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_latency_s")
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// An empty histogram still exposes a complete family: +Inf bucket,
+	// sum and count at zero.
+	for _, want := range []string{
+		"idle_latency_s_bucket{le=\"+Inf\"} 0\n",
+		"idle_latency_s_sum 0\n",
+		"idle_latency_s_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNewExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	s := NewSampler(r, 10)
+	s.Sample(0)
+	e := NewExport(r, s)
+	if e.Snapshot.Counters["a"] != 1 {
+		t.Fatalf("export snapshot: %+v", e.Snapshot)
+	}
+	if e.Series == nil || len(e.Series.Points) != 1 {
+		t.Fatalf("export series: %+v", e.Series)
+	}
+	if e2 := NewExport(r, nil); e2.Series != nil {
+		t.Fatal("export without sampler must omit series")
+	}
+}

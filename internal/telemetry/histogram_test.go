@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramZeroObservations(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%g) on empty = %g, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("Mean on empty = %g", s.Mean())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// Identical observations all land in one bucket; every quantile must
+	// clamp to the exact observed value, not the bucket bounds.
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Observe(1.0)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("buckets = %+v, want exactly one", s.Buckets)
+	}
+	if s.Min != 1.0 || s.Max != 1.0 {
+		t.Fatalf("min/max = %g/%g, want 1/1", s.Min, s.Max)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 1.0 {
+			t.Fatalf("Quantile(%g) = %g, want 1.0", q, got)
+		}
+	}
+	if s.Mean() != 1.0 {
+		t.Fatalf("Mean = %g, want 1.0", s.Mean())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 1000 observations spread over three decades; check the quantile
+	// estimate lands within its covering power-of-two bucket.
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 0.001) // 1 ms .. 1 s
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0); got != 0.001 {
+		t.Fatalf("p0 = %g, want exact min 0.001", got)
+	}
+	if got := s.Quantile(1); got != 1.0 {
+		t.Fatalf("p100 = %g, want exact max 1.0", got)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 0.25 || p50 > 1.0 {
+		// True p50 is 0.5 s; the covering bucket is (0.262, 0.524].
+		t.Fatalf("p50 = %g, outside factor-of-two tolerance around 0.5", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 0.5 || p99 > 1.0 {
+		t.Fatalf("p99 = %g, outside (0.5, 1.0]", p99)
+	}
+	if p50 > p99 {
+		t.Fatalf("quantiles not monotone: p50 %g > p99 %g", p50, p99)
+	}
+}
+
+func TestHistogramMergePerResourceIntoGridWide(t *testing.T) {
+	// The rollup the sampler relies on: per-resource latency histograms
+	// merge into one grid-wide distribution with exact count/sum/min/max.
+	s1 := NewHistogram()
+	s2 := NewHistogram()
+	for i := 0; i < 10; i++ {
+		s1.Observe(0.010) // resource S1: 10 ms exchanges
+	}
+	for i := 0; i < 30; i++ {
+		s2.Observe(0.080) // resource S2: 80 ms exchanges
+	}
+	grid := s1.Snapshot().Merge(s2.Snapshot())
+	if grid.Count != 40 {
+		t.Fatalf("merged count = %d, want 40", grid.Count)
+	}
+	wantSum := 10*0.010 + 30*0.080
+	if math.Abs(grid.Sum-wantSum) > 1e-12 {
+		t.Fatalf("merged sum = %g, want %g", grid.Sum, wantSum)
+	}
+	if grid.Min != 0.010 || grid.Max != 0.080 {
+		t.Fatalf("merged min/max = %g/%g", grid.Min, grid.Max)
+	}
+	var bucketTotal uint64
+	for i := 1; i < len(grid.Buckets); i++ {
+		if grid.Buckets[i-1].UpperBound >= grid.Buckets[i].UpperBound {
+			t.Fatalf("merged buckets not ascending: %+v", grid.Buckets)
+		}
+	}
+	for _, b := range grid.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != grid.Count {
+		t.Fatalf("bucket total %d != count %d", bucketTotal, grid.Count)
+	}
+	// p100 must be the global max, p0 the global min.
+	if grid.Quantile(0) != 0.010 || grid.Quantile(1) != 0.080 {
+		t.Fatalf("merged extremes: p0=%g p100=%g", grid.Quantile(0), grid.Quantile(1))
+	}
+
+	// Merging with an empty side returns the non-empty side unchanged.
+	empty := NewHistogram().Snapshot()
+	if got := empty.Merge(grid); got.Count != 40 {
+		t.Fatalf("empty.Merge = %+v", got)
+	}
+	if got := grid.Merge(empty); got.Count != 40 {
+		t.Fatalf("Merge(empty) = %+v", got)
+	}
+
+	// Overlapping buckets (same value observed on both sides) sum.
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(0.010)
+	b.Observe(0.010)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if len(m.Buckets) != 1 || m.Buckets[0].Count != 2 {
+		t.Fatalf("overlapping merge: %+v", m.Buckets)
+	}
+}
+
+func TestBucketIndexLayout(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{1e-9, 0},
+		{histMin, 0},
+		{1.5 * histMin, 1},
+		{2 * histMin, 1}, // upper bounds are inclusive
+		{2.1 * histMin, 2},
+		{1e9, histBuckets - 1}, // far past the last bound clamps
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Fatalf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bound covers it.
+	for _, v := range []float64{1e-7, 3e-5, 0.002, 0.7, 42, 90000} {
+		i := bucketIndex(v)
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %g above its bucket bound %g", v, up)
+		}
+		if i > 0 {
+			if low := bucketUpper(i - 1); v <= low {
+				t.Fatalf("value %g at or below previous bound %g", v, low)
+			}
+		}
+	}
+	if !math.IsInf(bucketUpper(histBuckets-1), 1) {
+		t.Fatal("last bucket must be unbounded")
+	}
+}
+
+func TestHistogramNegativeAndNaNClamp(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("clamped snapshot: %+v", s)
+	}
+}

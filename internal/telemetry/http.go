@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Live exposition for the daemons: GET /metrics serves the registry in
+// Prometheus text format (or JSON with ?format=json), GET /healthz
+// answers 200/503 from a caller-supplied check. Handlers only call
+// Registry.Snapshot, which reads atomic instruments — scraping never
+// takes a lock shared with node goroutines.
+
+// NewHandler returns the /metrics + /healthz mux for reg. healthz may be
+// nil (always healthy); a non-nil error means 503 with the error text.
+func NewHandler(reg *Registry, healthz func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Server is a live metrics endpoint bound to one registry.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer serves /metrics and /healthz for reg on addr (host:port;
+// port 0 picks a free one). It returns once the listener is bound; the
+// accept loop runs in a background goroutine until Close.
+func StartServer(addr string, reg *Registry, healthz func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:      NewHandler(reg, healthz),
+		ReadTimeout:  5 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

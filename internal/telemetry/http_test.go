@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerMetricsAndHealthz(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("grid_requests_total").Add(9)
+
+	healthy := true
+	srv, err := StartServer("127.0.0.1:0", r, func() error {
+		if !healthy {
+			return errors.New("node down")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "grid_requests_total 9") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != http.StatusOK || !strings.Contains(body, `"grid_requests_total": 9`) {
+		t.Fatalf("/metrics?format=json = %d:\n%s", code, body)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	healthy = false
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "node down") {
+		t.Fatalf("unhealthy /healthz = %d %q", code, body)
+	}
+}
+
+func TestServerNilHealthz(t *testing.T) {
+	srv, err := StartServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil healthz = %d", resp.StatusCode)
+	}
+}

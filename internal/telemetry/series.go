@@ -1,0 +1,129 @@
+package telemetry
+
+// The virtual-time series layer: where internal/metrics reduces a
+// finished run to §3.3 totals, the Sampler snapshots the registry at a
+// fixed period of the *simulated* clock, so a scenario run yields
+// per-resource trajectories — queue depth over time, ε accumulating,
+// cache hit ratio warming up — on the same time axis as the workload.
+//
+// The Sampler is driven by the single simulator goroutine (an Every
+// event wired by core.Grid), so unlike live scrapes its probes may read
+// grid state directly: anything the simulator domain owns (scheduler
+// queues, committed records) is safe here and ONLY here. Probes must be
+// read-only and draw no randomness — the sampler runs interleaved with
+// scheduling events and must not perturb them.
+
+// Point is one sample: every registry value plus every probe, flattened
+// to name → value, at virtual time T (seconds).
+type Point struct {
+	T float64            `json:"t"`
+	V map[string]float64 `json:"v"`
+}
+
+// Series is a sampled run: points at Period intervals of virtual time.
+type Series struct {
+	Period float64 `json:"period_s"`
+	Points []Point `json:"points"`
+}
+
+// maxPoints bounds a series; when a run outlives it, the sampler halves
+// its resolution (drops every other retained point, doubles the period)
+// so unbounded scenarios cost bounded memory.
+const maxPoints = 2048
+
+// Sampler snapshots a registry on a virtual-time period. Not
+// goroutine-safe: one owner (the simulator event loop) calls Sample;
+// Series is read after the run. All methods no-op on nil.
+type Sampler struct {
+	reg    *Registry
+	period float64
+	probes []probe
+	points []Point
+}
+
+type probe struct {
+	name string
+	fn   func(now float64) float64
+}
+
+// NewSampler samples reg every period seconds of virtual time. A
+// period <= 0 defaults to 10 s (the advert/pull cadence of the case
+// study).
+func NewSampler(reg *Registry, period float64) *Sampler {
+	if period <= 0 {
+		period = 10
+	}
+	return &Sampler{reg: reg, period: period}
+}
+
+// Period returns the current sampling period in virtual seconds.
+func (s *Sampler) Period() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.period
+}
+
+// AddProbe registers a named read-only probe evaluated at each sample.
+// Probes exist for values that live in the simulator domain and have no
+// atomic instrument — queue depths walked from scheduler state,
+// grid-wide ε accumulated over committed records.
+func (s *Sampler) AddProbe(name string, fn func(now float64) float64) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.probes = append(s.probes, probe{name: name, fn: fn})
+}
+
+// Sample records one point at virtual time now. When the series is at
+// capacity it is decimated: every other point is dropped and the period
+// doubles, after which off-period calls are ignored.
+func (s *Sampler) Sample(now float64) {
+	if s == nil {
+		return
+	}
+	if n := len(s.points); n > 0 {
+		// After decimation the driving event still fires on the original
+		// period; keep only on-(new-)period samples. The final sample of a
+		// run (post-drain) may fall off-period — admit anything beyond the
+		// current horizon.
+		if now < s.points[n-1].T+s.period*0.999 {
+			return
+		}
+	}
+	snap := s.reg.Snapshot()
+	v := make(map[string]float64, len(snap.Counters)+len(snap.Gauges)+2*len(snap.Histograms)+len(s.probes))
+	for name, c := range snap.Counters {
+		v[name] = float64(c)
+	}
+	for name, g := range snap.Gauges {
+		v[name] = g
+	}
+	for name, h := range snap.Histograms {
+		v[name+"_count"] = float64(h.Count)
+		v[name+"_sum"] = h.Sum
+	}
+	for _, p := range s.probes {
+		v[p.name] = p.fn(now)
+	}
+	s.points = append(s.points, Point{T: now, V: v})
+	if len(s.points) >= maxPoints {
+		kept := s.points[:0]
+		for i := 0; i < len(s.points); i += 2 {
+			kept = append(kept, s.points[i])
+		}
+		s.points = kept
+		s.period *= 2
+	}
+}
+
+// Series returns the sampled series (a shallow copy of the point
+// slice); empty on nil.
+func (s *Sampler) Series() Series {
+	if s == nil {
+		return Series{}
+	}
+	out := Series{Period: s.period, Points: make([]Point, len(s.points))}
+	copy(out.Points, s.points)
+	return out
+}

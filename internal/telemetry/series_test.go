@@ -1,0 +1,84 @@
+package telemetry
+
+import "testing"
+
+func TestSamplerRecordsRegistryAndProbes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("grid_requests_total")
+	r.Gauge("queue_depth{resource=\"S1\"}").Set(2)
+	h := r.Histogram("sched_plan_latency_s")
+	h.Observe(0.001)
+
+	s := NewSampler(r, 10)
+	depth := 5.0
+	s.AddProbe("probe_backlog_s", func(now float64) float64 { return depth + now })
+
+	s.Sample(0)
+	c.Add(3)
+	depth = 7
+	s.Sample(10)
+
+	series := s.Series()
+	if series.Period != 10 || len(series.Points) != 2 {
+		t.Fatalf("series = period %g, %d points", series.Period, len(series.Points))
+	}
+	p0, p1 := series.Points[0], series.Points[1]
+	if p0.T != 0 || p1.T != 10 {
+		t.Fatalf("times = %g, %g", p0.T, p1.T)
+	}
+	if p0.V["grid_requests_total"] != 0 || p1.V["grid_requests_total"] != 3 {
+		t.Fatalf("counter series: %g then %g", p0.V["grid_requests_total"], p1.V["grid_requests_total"])
+	}
+	if p0.V[`queue_depth{resource="S1"}`] != 2 {
+		t.Fatalf("gauge missing: %+v", p0.V)
+	}
+	if p0.V["sched_plan_latency_s_count"] != 1 {
+		t.Fatalf("histogram count missing: %+v", p0.V)
+	}
+	if p0.V["probe_backlog_s"] != 5 || p1.V["probe_backlog_s"] != 17 {
+		t.Fatalf("probe series: %g then %g", p0.V["probe_backlog_s"], p1.V["probe_backlog_s"])
+	}
+}
+
+func TestSamplerDefaultPeriod(t *testing.T) {
+	s := NewSampler(NewRegistry(), 0)
+	if s.Period() != 10 {
+		t.Fatalf("default period = %g, want 10", s.Period())
+	}
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	// Past maxPoints the sampler halves resolution instead of growing
+	// without bound, and then ignores off-period samples.
+	r := NewRegistry()
+	s := NewSampler(r, 10)
+	for i := 0; i < maxPoints; i++ {
+		s.Sample(float64(i) * 10)
+	}
+	if n := len(s.points); n != maxPoints/2 {
+		t.Fatalf("after decimation: %d points, want %d", n, maxPoints/2)
+	}
+	if s.Period() != 20 {
+		t.Fatalf("period after decimation = %g, want 20", s.Period())
+	}
+	last := s.points[len(s.points)-1].T
+	s.Sample(last + 10) // off the doubled period: ignored
+	if n := len(s.points); n != maxPoints/2 {
+		t.Fatalf("off-period sample was recorded (%d points)", n)
+	}
+	s.Sample(last + 20)
+	if n := len(s.points); n != maxPoints/2+1 {
+		t.Fatalf("on-period sample dropped (%d points)", n)
+	}
+}
+
+func TestSamplerIgnoresRewinds(t *testing.T) {
+	s := NewSampler(NewRegistry(), 10)
+	s.Sample(0)
+	s.Sample(10)
+	s.Sample(10) // duplicate tick
+	s.Sample(5)  // rewind
+	if n := len(s.points); n != 2 {
+		t.Fatalf("points = %d, want 2", n)
+	}
+}

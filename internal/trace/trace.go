@@ -205,7 +205,10 @@ func (r *Recorder) WriteText(w io.Writer) error {
 // WriteCSV exports the retained events as CSV with a header row, in
 // virtual-time order. The request column is the grid-wide request ID
 // (empty for non-task events such as peerdown); task is the
-// scheduler-local ID on the resource.
+// scheduler-local ID on the resource. When the ring evicted events, a
+// final trailer row ("dropped", <count>) makes the loss visible in the
+// file itself — a trace missing its oldest events must not pass for a
+// complete one.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"seq", "time", "kind", "request", "agent", "resource", "task", "app", "detail"}); err != nil {
@@ -228,6 +231,12 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			ev.Detail,
 		}
 		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		trailer := []string{"dropped", strconv.FormatUint(d, 10), "", "", "", "", "", "", ""}
+		if err := cw.Write(trailer); err != nil {
 			return err
 		}
 	}

@@ -204,3 +204,46 @@ func TestEventString(t *testing.T) {
 		t.Fatalf("zero event String() = %q", zero)
 	}
 }
+
+func TestDroppedSurfacedInSummaryAndCSV(t *testing.T) {
+	// Capacity 2, three events: the ring evicts the oldest and counts it.
+	r := NewRecorder(2)
+	r.Record(Event{Time: 1, Kind: KindArrive, ReqID: 1})
+	r.Record(Event{Time: 2, Kind: KindArrive, ReqID: 2})
+	r.Record(Event{Time: 3, Kind: KindArrive, ReqID: 3})
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	if s := r.Summary(); !strings.Contains(s, "1 dropped") {
+		t.Fatalf("summary hides the drop: %q", s)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "dropped,1") {
+		t.Fatalf("CSV missing dropped trailer, last line: %q", last)
+	}
+	// header + 2 retained events + trailer
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines: %q", len(lines), buf.String())
+	}
+}
+
+func TestNoDroppedTrailerWhenComplete(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Time: 1, Kind: KindArrive, ReqID: 1})
+	if s := r.Summary(); strings.Contains(s, "dropped") {
+		t.Fatalf("summary reports drops on a complete trace: %q", s)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Fatalf("CSV has a trailer on a complete trace:\n%s", buf.String())
+	}
+}

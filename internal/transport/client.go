@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/xmlmsg"
 )
 
@@ -55,6 +56,38 @@ type Client struct {
 	// schedules are asserted without wall-clock sleeps. Nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+
+	// Metrics instruments this client's exchanges; the zero value (all
+	// nil, the default) adds one branch per call and nothing else.
+	Metrics ClientMetrics
+}
+
+// ClientMetrics is the set of instruments a Client updates per Call:
+// exchange count and end-to-end latency (including retries and
+// backoff), retry attempts, and exchanges that failed outright. The
+// exchange counter is sharded because node pull/tick/serve goroutines
+// call concurrently.
+type ClientMetrics struct {
+	Exchanges *telemetry.ShardedCounter // Calls made
+	Retries   *telemetry.Counter        // extra attempts after the first
+	Failures  *telemetry.Counter        // Calls that returned an error
+	Latency   *telemetry.Histogram      // wall-clock seconds per Call
+}
+
+// NewClientMetrics builds client instruments on reg; kv are optional
+// label pairs (e.g. "resource", "S1" for the node that owns the
+// client). The zero (disabled) ClientMetrics on a nil registry.
+func NewClientMetrics(reg *telemetry.Registry, kv ...string) ClientMetrics {
+	if reg == nil {
+		return ClientMetrics{}
+	}
+	l := func(name string) string { return telemetry.Label(name, kv...) }
+	return ClientMetrics{
+		Exchanges: reg.ShardedCounter(l("transport_exchanges_total")),
+		Retries:   reg.Counter(l("transport_retries_total")),
+		Failures:  reg.Counter(l("transport_failures_total")),
+		Latency:   reg.Histogram(l("transport_exchange_latency_s")),
+	}
 }
 
 // NewClient returns a client with the package defaults.
@@ -109,9 +142,27 @@ func (c *Client) Call(addr string, msg interface{}) (interface{}, xmlmsg.Kind, e
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	c.Metrics.Exchanges.Inc()
+	var start time.Time
+	if c.Metrics.Latency != nil {
+		start = time.Now()
+	}
+	reply, kind, err := c.call(addr, msg, attempts, sleep)
+	if c.Metrics.Latency != nil {
+		c.Metrics.Latency.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		c.Metrics.Failures.Inc()
+	}
+	return reply, kind, err
+}
+
+// call is the retry loop behind Call.
+func (c *Client) call(addr string, msg interface{}, attempts int, sleep func(time.Duration)) (interface{}, xmlmsg.Kind, error) {
 	var last *ExchangeError
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
+			c.Metrics.Retries.Inc()
 			sleep(c.Backoff(addr, attempt-1))
 		}
 		reply, kind, xerr := c.once(addr, msg)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pace"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Farm hosts a whole agent hierarchy as networked TCP nodes in one
@@ -22,6 +23,7 @@ type Farm struct {
 	nodes map[string]*Node
 	order []string
 	lib   *pace.Library
+	reg   *telemetry.Registry
 }
 
 // FarmConfig configures StartFarm.
@@ -34,6 +36,11 @@ type FarmConfig struct {
 	PullPeriod float64 // advertisement pull period; defaults to §4.1's 10 s
 	Push       bool    // event-triggered advertisement pushes
 	Library    *pace.Library
+
+	// Telemetry, when set, instruments every node (agent, scheduler, GA,
+	// engine, outbound exchanges) on one shared registry — the registry a
+	// daemon serves at /metrics. Nil runs the farm uninstrumented.
+	Telemetry *telemetry.Registry
 }
 
 // StartFarm brings up one TCP node per resource spec, wires the hierarchy
@@ -53,7 +60,7 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 		cfg.Policy = "ga"
 	}
 
-	f := &Farm{nodes: map[string]*Node{}, lib: cfg.Library}
+	f := &Farm{nodes: map[string]*Node{}, lib: cfg.Library, reg: cfg.Telemetry}
 	master := sim.NewRNG(cfg.Seed)
 	// Start every node first (ephemeral ports must be known before
 	// neighbours can be wired).
@@ -95,6 +102,7 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 			return nil, err
 		}
 		node.SetPushEnabled(cfg.Push)
+		node.SetTelemetry(cfg.Telemetry)
 		addr := fmt.Sprintf("%s:0", cfg.Host)
 		if cfg.BasePort > 0 {
 			addr = fmt.Sprintf("%s:%d", cfg.Host, cfg.BasePort+i)
@@ -106,7 +114,23 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 		f.nodes[spec.Name] = node
 		f.order = append(f.order, spec.Name)
 	}
-	// Wire the hierarchy over the wire protocol.
+	// Wire the hierarchy over the wire protocol. With telemetry on, each
+	// node's outbound exchanges go through one instrumented client
+	// labelled with the *calling* node's name, so retry storms are
+	// attributable to the node experiencing them.
+	clients := map[string]*Client{}
+	clientFor := func(name string) *Client {
+		if cfg.Telemetry == nil {
+			return nil // RemotePeer falls back to the package default
+		}
+		c, ok := clients[name]
+		if !ok {
+			c = NewClient()
+			c.Metrics = NewClientMetrics(cfg.Telemetry, "resource", name)
+			clients[name] = c
+		}
+		return c
+	}
 	for _, spec := range cfg.Specs {
 		if spec.Parent == "" {
 			continue
@@ -116,16 +140,37 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 			f.closeAll()
 			return nil, fmt.Errorf("transport: resource %q: unknown parent %q", spec.Name, spec.Parent)
 		}
-		if err := child.SetUpper(&RemotePeer{Name: spec.Parent, Addr: parent.Addr(), Lib: cfg.Library}); err != nil {
+		up := &RemotePeer{Name: spec.Parent, Addr: parent.Addr(), Lib: cfg.Library, Client: clientFor(spec.Name)}
+		if err := child.SetUpper(up); err != nil {
 			f.closeAll()
 			return nil, err
 		}
-		if err := parent.AddLower(&RemotePeer{Name: spec.Name, Addr: child.Addr(), Lib: cfg.Library}); err != nil {
+		down := &RemotePeer{Name: spec.Name, Addr: child.Addr(), Lib: cfg.Library, Client: clientFor(spec.Parent)}
+		if err := parent.AddLower(down); err != nil {
 			f.closeAll()
 			return nil, err
 		}
 	}
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Gauge("grid_agents").Set(float64(len(cfg.Specs)))
+	}
 	return f, nil
+}
+
+// Registry returns the telemetry registry the farm was started with,
+// nil when uninstrumented.
+func (f *Farm) Registry() *telemetry.Registry { return f.reg }
+
+// Healthz reports farm liveness for the /healthz endpoint: an error
+// when any node's listener is gone.
+func (f *Farm) Healthz() error {
+	for _, name := range f.order {
+		n := f.nodes[name]
+		if n.srv == nil {
+			return fmt.Errorf("node %s has no listener", name)
+		}
+	}
+	return nil
 }
 
 func (f *Farm) closeAll() {

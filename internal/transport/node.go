@@ -9,6 +9,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/pace"
 	"repro/internal/scheduler"
+	"repro/internal/telemetry"
 	"repro/internal/xmlmsg"
 )
 
@@ -188,6 +189,27 @@ func (n *Node) Stats() agent.Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.agent.Stats()
+}
+
+// SetTelemetry registers the node's full stack — agent counters,
+// scheduler queue/plan instruments, the GA policy's counters and the
+// PACE engine's cache statistics — on reg under the node's resource
+// name. Call before Start: the registrations write agent and scheduler
+// state. Live scrapes of reg afterwards read only atomic instruments
+// and snapshot-time collectors, so they never contend with the node
+// lock.
+func (n *Node) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	name := n.agent.Name()
+	n.agent.RegisterMetrics(reg)
+	local := n.agent.Local()
+	local.SetMetrics(scheduler.NewMetrics(reg, name))
+	local.Engine().RegisterMetrics(reg, "resource", name)
+	if gp, ok := local.Policy().(*scheduler.GAPolicy); ok {
+		gp.RegisterMetrics(reg, name)
+	}
 }
 
 // DefaultTickPeriod is how often an idle node advances its scheduler
