@@ -23,6 +23,7 @@ type exportDoc struct {
 	Experiments []expSummary   `json:"experiments,omitempty"` // Table 2 runs 1–3
 	Accuracy    []accuracyRow  `json:"accuracy,omitempty"`    // §5 prediction-noise study
 	Resilience  *resilienceRow `json:"resilience,omitempty"`  // experiment 4
+	Migration   *migrationRow  `json:"migration,omitempty"`   // experiment 5
 	Scale       []scaleRow     `json:"scale,omitempty"`       // §5 scalability study
 
 	Scenario   *scenario.Result           `json:"scenario,omitempty"`
@@ -69,6 +70,16 @@ type resilienceRow struct {
 	Baseline expSummary `json:"baseline"`
 	Faulted  expSummary `json:"faulted"`
 	Events   int        `json:"fault_events"`
+}
+
+// migrationRow is the experiment-5 export: the degraded run with the
+// migration policy off against the identical run with it on.
+type migrationRow struct {
+	Degraded expSummary `json:"degraded"`
+	Migrated expSummary `json:"migrated"`
+	Offers   int        `json:"migrate_offers"`
+	Accepts  int        `json:"migrate_accepts"`
+	Rejects  int        `json:"migrate_rejects"`
 }
 
 type scaleRow struct {

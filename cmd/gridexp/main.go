@@ -51,6 +51,7 @@ func main() {
 		accuracy = flag.Bool("accuracy", false, "run the §5 prediction-accuracy study")
 		scale    = flag.Bool("scale", false, "run the §5 scalability study on synthetic hierarchies")
 		exp4     = flag.Bool("exp4", false, "run Experiment 4: the resilience study under agent crashes")
+		exp5     = flag.Bool("exp5", false, "run Experiment 5: drift-driven migration off a degraded node, off vs on")
 		auditRun = flag.Bool("audit", false, "run the lifecycle auditor over every experiment and exit non-zero on violations")
 		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
@@ -59,6 +60,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "GA cost-evaluation workers per scheduler (results are identical for any value)")
 
 		scenarioPath = flag.String("scenario", "", "run the scenario described by this JSON spec (see examples/scenarios/)")
+		migrate      = flag.Bool("migrate", false, "with -scenario: force the drift-driven migration policy on (spec defaults for every knob)")
 		sweepArg     = flag.String("sweep", "", "with -scenario: sweep one axis, e.g. rate=0.5,1,2 or agents=12,24,48")
 		findSat      = flag.Bool("find-saturation", false, "with -scenario: binary-search the arrival rate where ε crosses zero")
 		outPath      = flag.String("out", "", "export the selected results as JSON to this file (a -sweep also accepts a .csv path)")
@@ -69,14 +71,17 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		runScenario(*scenarioPath, *sweepArg, *findSat, *outPath, *workers, *telemetryOut, *samplePeriod)
+		runScenario(*scenarioPath, *sweepArg, *findSat, *outPath, *workers, *telemetryOut, *samplePeriod, *migrate, *traceOut)
 		return
 	}
 	if *sweepArg != "" || *findSat {
 		fail(fmt.Errorf("-sweep and -find-saturation need a -scenario spec"))
 	}
+	if *migrate {
+		fail(fmt.Errorf("-migrate needs a -scenario spec (use -exp5 for the canned migration study)"))
+	}
 
-	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4)
+	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4 || *exp5)
 	doc := exportDoc{Seed: *seed, Requests: *requests}
 
 	if all || *table1 {
@@ -166,9 +171,28 @@ func main() {
 		verdict("[exp3 baseline]", r.Baseline.Audit)
 		verdict("[exp4 faulted]", r.Faulted.Audit)
 	}
+	if *exp5 {
+		plan := experiment.ScaledDegradedPlan(float64(params.Requests) * params.Interval)
+		fmt.Printf("Running experiment 5 (migration): %d requests, seed %d, degraded resource S2\n",
+			params.Requests, params.Seed)
+		start := time.Now()
+		r, err := experiment.RunMigrationStudy(params, plan, experiment.DefaultMigrationPolicy())
+		fail(err)
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.FormatMigration(r))
+		doc.Migration = &migrationRow{
+			Degraded: summariseOutcome(r.Degraded),
+			Migrated: summariseOutcome(r.Migrated),
+			Offers:   r.Stats.Offers,
+			Accepts:  r.Stats.Accepts,
+			Rejects:  r.Stats.Rejects,
+		}
+		verdict("[exp5 degraded]", r.Degraded.Audit)
+		verdict("[exp5 migrated]", r.Migrated.Audit)
+	}
 
 	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""
-	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4) {
+	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4 || *exp5) {
 		// `gridexp -audit` alone still means "audit the experiments".
 		needRuns = true
 	}
@@ -245,10 +269,24 @@ func main() {
 // runScenario is the -scenario entry point: one audited run, a sweep
 // over one axis, or a saturation search, with optional JSON/CSV export.
 // Every scenario run is audited; any violation exits non-zero.
-func runScenario(path, sweepArg string, findSat bool, outPath string, workers int, telemetryOut string, samplePeriod float64) {
+func runScenario(path, sweepArg string, findSat bool, outPath string, workers int, telemetryOut string, samplePeriod float64, migrate bool, traceOut string) {
 	spec, err := scenario.Load(path)
 	fail(err)
+	if migrate {
+		if spec.Migration == nil {
+			spec.Migration = &scenario.MigrationSpec{}
+		}
+		spec.Migration.Enabled = true
+	}
 	opt := scenario.RunOptions{Workers: workers, Telemetry: telemetryOut != "", SamplePeriod: samplePeriod}
+	var rec *trace.Recorder
+	if traceOut != "" {
+		if sweepArg != "" || findSat {
+			fail(fmt.Errorf("-tracefile records a single scenario run, not a sweep or saturation search"))
+		}
+		rec = trace.NewRecorder(8*spec.Arrivals.Count + 64)
+		opt.Trace = rec
+	}
 	doc := exportDoc{Seed: spec.Seed, Requests: spec.Arrivals.Count}
 	telemetryExports := map[string]*telemetry.Export{}
 	failed := false
@@ -290,6 +328,13 @@ func runScenario(path, sweepArg string, findSat bool, outPath string, workers in
 		if !res.AuditOK {
 			failed = true
 		}
+	}
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		fail(err)
+		fail(rec.WriteCSV(f))
+		fail(f.Close())
+		fmt.Printf("lifecycle trace written to %s (%s)\n", traceOut, rec.Summary())
 	}
 	if outPath != "" {
 		fail(doc.write(outPath))

@@ -744,6 +744,49 @@ func (a *Agent) HandleRequest(req Request, now float64) (Dispatch, error) {
 	return Dispatch{}, dec.Err
 }
 
+// ErrNoMigrationTarget rejects a migration offer: no reachable resource
+// is expected to meet the task's deadline, so the task is better left
+// where it is (a migration must never trade a slow placement for a
+// best-effort one).
+var ErrNoMigrationTarget = fmt.Errorf("agent: no deadline-meeting migration target")
+
+// HandleMigration evaluates a migration offer: a drift-breached origin
+// scheduler asking this agent to re-place one of its not-yet-started
+// tasks. Unlike HandleRequest it never escalates or falls back — the
+// task already has a (degraded) home, so only a placement expected to
+// meet the deadline is worth the move; anything else returns
+// ErrNoMigrationTarget and the task stays put. The offer carries the
+// origin in Visited, excluding the drifting resource from discovery.
+// Counters are touched only for paths actually taken, so a rejected
+// offer leaves the agent's stats exactly as it found them.
+func (a *Agent) HandleMigration(req Request, now float64) (Dispatch, error) {
+	visited := make([]string, 0, len(req.Visited)+1)
+	visited = append(visited, req.Visited...)
+	if !req.visited(a.name) {
+		visited = append(visited, a.name)
+	}
+	req.Visited = visited
+
+	// Own service first, mirroring Decide's priority order.
+	if a.local.SupportsEnvironment(req.Env) {
+		eta, err := a.local.EstimateCompletion(req.App)
+		if err == nil && eta <= req.Deadline {
+			a.stats.received.Inc()
+			return a.AcceptLocal(req, now, eta, false)
+		}
+	}
+	if target, _, ok := a.bestNeighbour(req, now); ok {
+		d, err := a.callHandle(target, req, now)
+		if err == nil {
+			a.stats.received.Inc()
+			a.stats.forwarded.Inc()
+			d.Hops = len(req.Visited)
+			return d, nil
+		}
+	}
+	return Dispatch{}, ErrNoMigrationTarget
+}
+
 // AcceptLocal submits the request to this agent's own scheduler.
 func (a *Agent) AcceptLocal(req Request, now, eta float64, fallback bool) (Dispatch, error) {
 	id, err := a.local.SubmitRequest(req.App, req.Deadline, now, req.ReqID)

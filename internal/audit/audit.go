@@ -11,7 +11,11 @@
 //
 //	(a) conservation — every arrival terminates in exactly one complete
 //	    or exactly one fail; re-dispatch chains net to exactly one
-//	    execution record.
+//	    execution record. Migration chains obey the same conservation:
+//	    every migrate-withdraw is preceded by a migrate-offer and
+//	    followed by exactly one migrate-redispatch, so an offered task
+//	    is never lost (withdrawn without re-placement) and never
+//	    duplicated (re-placed without withdrawal).
 //	(b) exclusivity — no two committed records overlap on the same
 //	    physical node of one resource.
 //	(c) timing — start ≥ arrival and end ≥ start per record, and each
@@ -68,6 +72,13 @@ type Counts struct {
 	Completes    int
 	Fails        int
 	Records      int // execution records
+
+	// Migration-chain events (core.MigrationPolicy): offers made,
+	// accepted offers (withdrawals from the origin queue) and the
+	// re-dispatches completing each chain.
+	MigrateOffers       int
+	MigrateWithdraws    int
+	MigrateRedispatches int
 }
 
 // Result is the auditor's verdict over one run.
@@ -104,6 +115,9 @@ func (r Result) Summary() string {
 	c := r.Counts
 	s := fmt.Sprintf("audit: %d requests: %d arrives, %d completes, %d fails, %d redispatches, %d records",
 		c.Requests, c.Arrives, c.Completes, c.Fails, c.Redispatches, c.Records)
+	if c.MigrateOffers > 0 {
+		s += fmt.Sprintf(", %d migrate offers (%d accepted)", c.MigrateOffers, c.MigrateWithdraws)
+	}
 	if r.Truncated {
 		s += ", trace truncated"
 	}
@@ -165,6 +179,9 @@ func Check(run Run) Result {
 		res.Counts.Redispatches += lc.counts[trace.KindRedispatch]
 		res.Counts.Completes += lc.counts[trace.KindComplete]
 		res.Counts.Fails += lc.counts[trace.KindFail]
+		res.Counts.MigrateOffers += lc.counts[trace.KindMigrateOffer]
+		res.Counts.MigrateWithdraws += lc.counts[trace.KindMigrateWithdraw]
+		res.Counts.MigrateRedispatches += lc.counts[trace.KindMigrateRedispatch]
 		res.checkRequest(id, lc, recsByReq[id])
 	}
 	for id := range recsByReq {
@@ -205,12 +222,18 @@ func (r *Result) checkRequest(id uint64, lc *lifecycle, recs []scheduler.Record)
 	if starts != completes {
 		r.add("conservation", id, fmt.Sprintf("%d starts but %d completes", starts, completes))
 	}
-	if completes == 1 && lc.counts[trace.KindDispatch]+lc.counts[trace.KindRedispatch] == 0 {
+	if completes == 1 && lc.counts[trace.KindDispatch]+lc.counts[trace.KindRedispatch]+lc.counts[trace.KindMigrateRedispatch] == 0 {
 		r.add("conservation", id, "request executed without any dispatch")
 	}
 	if len(recs) != completes {
 		r.add("conservation", id, fmt.Sprintf("%d execution records for %d completions; redispatch chains must net to one execution", len(recs), completes))
 	}
+
+	// (a) migration-chain conservation: every withdraw pairs with exactly
+	// one re-dispatch (never zero — the task would vanish — and never
+	// two — it would run twice), every withdraw follows an offer, and
+	// migration events name the resource that actually held the task.
+	r.checkMigrationChain(id, lc)
 
 	// (c) lifecycle-time monotonicity: events are causally ordered by
 	// Seq, so virtual time must never run backwards along a request's
@@ -256,7 +279,7 @@ func (r *Result) checkRequest(id uint64, lc *lifecycle, recs []scheduler.Record)
 	var final *trace.Event
 	for i := range lc.events {
 		ev := lc.events[i]
-		if ev.Kind == trace.KindDispatch || ev.Kind == trace.KindRedispatch {
+		if ev.Kind == trace.KindDispatch || ev.Kind == trace.KindRedispatch || ev.Kind == trace.KindMigrateRedispatch {
 			final = &lc.events[i]
 		}
 	}
@@ -266,6 +289,60 @@ func (r *Result) checkRequest(id uint64, lc *lifecycle, recs []scheduler.Record)
 	if final.Resource != rec.Resource || final.TaskID != rec.TaskID {
 		r.add("placement", id, fmt.Sprintf("final %s targeted %s task %d but the execution record is %s task %d",
 			final.Kind, final.Resource, final.TaskID, rec.Resource, rec.TaskID))
+	}
+}
+
+// checkMigrationChain walks one request's events in causal (record)
+// order and verifies the offer → withdraw → re-dispatch protocol. The
+// scan is stateful: a withdraw opens a hole (the task is on no queue)
+// that exactly one migrate-redispatch must close before the task can
+// start or be withdrawn again.
+func (r *Result) checkMigrationChain(id uint64, lc *lifecycle) {
+	if lc.counts[trace.KindMigrateOffer]+lc.counts[trace.KindMigrateWithdraw]+lc.counts[trace.KindMigrateRedispatch] == 0 {
+		return
+	}
+	placed := "" // resource currently holding the task, per the placement events
+	offers, withdraws := 0, 0
+	pendingWithdraw := 0
+	for _, ev := range lc.events {
+		switch ev.Kind {
+		case trace.KindDispatch, trace.KindRedispatch:
+			placed = ev.Resource
+		case trace.KindMigrateOffer:
+			offers++
+			if placed != "" && ev.Resource != placed {
+				r.add("conservation", id, fmt.Sprintf("migrate-offer from %s but the task was placed on %s", ev.Resource, placed))
+			}
+		case trace.KindMigrateWithdraw:
+			withdraws++
+			if offers < withdraws {
+				r.add("conservation", id, "migrate-withdraw without a preceding migrate-offer")
+			}
+			if pendingWithdraw > 0 {
+				r.add("conservation", id, "second migrate-withdraw before the previous chain re-dispatched")
+			}
+			if placed != "" && ev.Resource != placed {
+				r.add("conservation", id, fmt.Sprintf("migrate-withdraw from %s but the task was placed on %s", ev.Resource, placed))
+			}
+			pendingWithdraw++
+		case trace.KindMigrateRedispatch:
+			if pendingWithdraw == 0 {
+				r.add("conservation", id, "migrate-redispatch without a migrate-withdraw: the task would run twice")
+			} else {
+				pendingWithdraw--
+			}
+			placed = ev.Resource
+		case trace.KindStart:
+			if pendingWithdraw > 0 {
+				r.add("conservation", id, "task started while withdrawn from every queue")
+			}
+			if placed != "" && ev.Resource != placed {
+				r.add("placement", id, fmt.Sprintf("task started on %s but was last placed on %s", ev.Resource, placed))
+			}
+		}
+	}
+	if pendingWithdraw > 0 {
+		r.add("conservation", id, "migrate-withdraw never re-dispatched: the task vanished")
 	}
 }
 

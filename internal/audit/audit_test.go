@@ -195,3 +195,155 @@ func hasViolationFor(res Result, check string, reqID uint64) bool {
 	}
 	return false
 }
+
+// migratedRun extends the clean run with a migration chain: request 2
+// is dispatched to S2, offered off it, withdrawn, re-dispatched to S1
+// (task 2) and executes there.
+func migratedRun(t *testing.T) Run {
+	t.Helper()
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindArrive, ReqID: 1, Agent: "S1", App: "fft"},
+		{Time: 0, Kind: trace.KindDispatch, ReqID: 1, Agent: "S1", Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 1, Kind: trace.KindArrive, ReqID: 2, Agent: "S1", App: "cpi"},
+		{Time: 1, Kind: trace.KindDispatch, ReqID: 2, Agent: "S1", Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 2, Kind: trace.KindStart, ReqID: 1, Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 3, Kind: trace.KindMigrateOffer, ReqID: 2, Agent: "S2", Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 3, Kind: trace.KindMigrateWithdraw, ReqID: 2, Resource: "S2", TaskID: 1, App: "cpi"},
+		{Time: 3, Kind: trace.KindMigrateRedispatch, ReqID: 2, Agent: "S1", Resource: "S1", TaskID: 2, App: "cpi"},
+		{Time: 6, Kind: trace.KindComplete, ReqID: 1, Resource: "S1", TaskID: 1, App: "fft"},
+		{Time: 6, Kind: trace.KindStart, ReqID: 2, Resource: "S1", TaskID: 2, App: "cpi"},
+		{Time: 8, Kind: trace.KindComplete, ReqID: 2, Resource: "S1", TaskID: 2, App: "cpi"},
+	}
+	records := []scheduler.Record{
+		{ReqID: 1, TaskID: 1, Resource: "S1", Arrival: 0, Start: 2, End: 6, Deadline: 10, Mask: 0b01},
+		{ReqID: 2, TaskID: 2, Resource: "S1", Arrival: 1, Start: 6, End: 8, Deadline: 12, Mask: 0b01},
+	}
+	dispatches := []agent.Dispatch{
+		{ReqID: 1, Resource: "S1", TaskID: 1},
+		{ReqID: 2, Resource: "S2", TaskID: 1},
+	}
+	nodes := map[string]int{"S1": 2, "S2": 2}
+	rep, err := metrics.Compute(records, nodes, metrics.Window{Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run{Events: events, Records: records, Dispatches: dispatches, Nodes: nodes, Report: rep}
+}
+
+func TestMigrationChainPasses(t *testing.T) {
+	res := Check(migratedRun(t))
+	if !res.OK() {
+		t.Fatalf("clean migration chain has violations: %v", res.Violations)
+	}
+	c := res.Counts
+	if c.MigrateOffers != 1 || c.MigrateWithdraws != 1 || c.MigrateRedispatches != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if !strings.Contains(res.Summary(), "1 migrate offers (1 accepted)") {
+		t.Fatalf("summary: %q", res.Summary())
+	}
+}
+
+// dropEvent removes the i-th event matching kind from the run.
+func dropEvent(run Run, kind trace.Kind) Run {
+	out := make([]trace.Event, 0, len(run.Events))
+	dropped := false
+	for _, ev := range run.Events {
+		if !dropped && ev.Kind == kind {
+			dropped = true
+			continue
+		}
+		out = append(out, ev)
+	}
+	run.Events = out
+	return run
+}
+
+func TestDetectsRedispatchWithoutWithdraw(t *testing.T) {
+	// No withdraw: the task is still queued on S2 when S1 also gets it —
+	// it would run twice.
+	res := Check(dropEvent(migratedRun(t), trace.KindMigrateWithdraw))
+	if res.OK() {
+		t.Fatal("duplicated task not detected")
+	}
+	if !hasViolation(res, "run twice") {
+		t.Fatalf("no duplication violation in %v", res.Violations)
+	}
+}
+
+func TestDetectsWithdrawNeverRedispatched(t *testing.T) {
+	// No re-dispatch: the withdraw removed the task from S2 and nothing
+	// re-placed it — but it executed anyway (and the record says S1), so
+	// both the vanish and the phantom execution must surface.
+	res := Check(dropEvent(migratedRun(t), trace.KindMigrateRedispatch))
+	if res.OK() {
+		t.Fatal("vanished task not detected")
+	}
+	if !hasViolation(res, "vanished") {
+		t.Fatalf("no vanish violation in %v", res.Violations)
+	}
+	if !hasViolation(res, "started while withdrawn") {
+		t.Fatalf("no started-while-withdrawn violation in %v", res.Violations)
+	}
+}
+
+func TestDetectsWithdrawWithoutOffer(t *testing.T) {
+	res := Check(dropEvent(migratedRun(t), trace.KindMigrateOffer))
+	if res.OK() {
+		t.Fatal("unoffered withdraw not detected")
+	}
+	if !hasViolation(res, "without a preceding migrate-offer") {
+		t.Fatalf("no offer-order violation in %v", res.Violations)
+	}
+}
+
+func TestDetectsOfferFromWrongResource(t *testing.T) {
+	run := migratedRun(t)
+	for i := range run.Events {
+		if run.Events[i].Kind == trace.KindMigrateOffer {
+			run.Events[i].Resource = "S1" // the task was placed on S2
+		}
+	}
+	res := Check(run)
+	if res.OK() {
+		t.Fatal("misplaced offer not detected")
+	}
+	if !hasViolation(res, "migrate-offer from S1") {
+		t.Fatalf("no misplacement violation in %v", res.Violations)
+	}
+}
+
+func TestDetectsStartOnOriginAfterMigration(t *testing.T) {
+	// The chain completes, but the execution happens back on the origin:
+	// the migration was a lie.
+	run := migratedRun(t)
+	for i := range run.Events {
+		ev := &run.Events[i]
+		if ev.ReqID != 2 {
+			continue
+		}
+		if ev.Kind == trace.KindStart || ev.Kind == trace.KindComplete {
+			ev.Resource = "S2"
+		}
+	}
+	run.Records[1].Resource = "S2"
+	run.Records[1].TaskID = 2
+	res := Check(run)
+	if res.OK() {
+		t.Fatal("execution on the withdrawn origin not detected")
+	}
+	if !hasViolation(res, "last placed on") {
+		t.Fatalf("no placement violation in %v", res.Violations)
+	}
+}
+
+// hasViolation reports whether any violation's detail contains the
+// substring.
+func hasViolation(res Result, detail string) bool {
+	for _, v := range res.Violations {
+		if strings.Contains(v.Detail, detail) {
+			return true
+		}
+	}
+	return false
+}

@@ -116,6 +116,13 @@ type Options struct {
 	// agent.DefaultFailureThreshold.
 	FailureThreshold int
 
+	// Migration configures proactive task migration: drift-driven
+	// rescheduling of queued work off resources whose observed
+	// performance has fallen behind their PACE predictions. Requires
+	// UseAgents — migration re-places tasks through agent discovery.
+	// The zero value (disabled) changes nothing about a run.
+	Migration MigrationPolicy
+
 	// Telemetry, when set, instruments every layer of the grid (agents,
 	// schedulers, GA policies, the shared PACE engine) on one registry
 	// and samples it on a virtual-time period during Run. Nil — the
@@ -161,6 +168,7 @@ type Grid struct {
 	locals   map[string]*scheduler.Local
 	simr     *sim.Simulator
 	injector *fault.Injector
+	migrator *migrator
 
 	dispatches []agent.Dispatch
 	errs       []error
@@ -286,6 +294,23 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		for _, a := range ordered {
 			a.SetGate(inj.Registry())
 		}
+		// Degradation reaches the schedulers as a static function of the
+		// plan: a task's slowdown is decided by its start time alone, so
+		// the same plan always stretches the same tasks regardless of how
+		// clock advances interleave with fault events.
+		for _, name := range inj.Plan().Degraded() {
+			plan, local := inj.Plan(), g.locals[name]
+			agentName := name
+			local.SetSlowdown(func(start float64) float64 {
+				return plan.SlowdownAt(agentName, start)
+			})
+		}
+	}
+	if opts.Migration.Enabled {
+		if !opts.UseAgents {
+			return nil, fmt.Errorf("core: migration requires agent-based discovery (UseAgents)")
+		}
+		g.migrator = newMigrator(g, opts.Migration)
 	}
 	if reg := opts.Telemetry; reg != nil {
 		engine.RegisterMetrics(reg)
@@ -536,6 +561,17 @@ func (g *Grid) Run() error {
 	if g.injector != nil {
 		g.injector.Schedule(g.simr)
 	}
+	if g.migrator != nil {
+		// Scheduled after the pull Every and the fault events so a
+		// migration check at a coincident instant sees fresh adverts and
+		// the post-fault grid. With the policy disabled no event is ever
+		// queued — the stream the schedulers see is byte-identical.
+		last := g.lastRequestAt
+		g.simr.Every(g.migrator.pol.CheckPeriod, func(now float64) bool {
+			g.migrator.check(now)
+			return now < last
+		})
+	}
 	if g.sampler != nil {
 		// Scheduled after the pull Every so at coincident fire times the
 		// sample observes the post-pull state; the sampler itself mutates
@@ -606,6 +642,15 @@ func (g *Grid) TelemetryExport() *telemetry.Export {
 		return nil
 	}
 	return telemetry.NewExport(g.opts.Telemetry, g.sampler)
+}
+
+// MigrationStats reports what the migration policy did during the run;
+// the zero value when migration was not enabled.
+func (g *Grid) MigrationStats() MigrationStats {
+	if g.migrator == nil {
+		return MigrationStats{}
+	}
+	return g.migrator.stats
 }
 
 // FaultStats reports what the fault injector did during the run; the

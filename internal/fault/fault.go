@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -39,21 +40,36 @@ const (
 	// independently with probability Rate (deterministic given the plan
 	// seed). Rate 0 restores a reliable link.
 	Lossy Kind = "lossy"
+	// Degrade slows a resource without killing it: every task that
+	// *starts* on the agent's local scheduler while the degradation is in
+	// effect takes Factor times its predicted execution time. The agent
+	// keeps exchanging and accepting work — which is exactly what makes
+	// degradation more insidious than a crash: the PACE predictions
+	// steering dispatch stay optimistic while observed performance
+	// drifts, the condition the migration policy (core.MigrationPolicy)
+	// exists to detect.
+	Degrade Kind = "degrade"
+	// Restore ends a degradation, returning actual execution times to
+	// the predicted values.
+	Restore Kind = "restore"
 )
 
 // Event is one scheduled state change of a fault plan.
 type Event struct {
-	At    float64 // virtual time the fault takes effect
-	Kind  Kind
-	Agent string  // Crash/Recover target
-	A, B  string  // Cut/Heal/Lossy link endpoints
-	Rate  float64 // Lossy loss probability in [0, 1]
+	At     float64 // virtual time the fault takes effect
+	Kind   Kind
+	Agent  string  // Crash/Recover/Degrade/Restore target
+	A, B   string  // Cut/Heal/Lossy link endpoints
+	Rate   float64 // Lossy loss probability in [0, 1]
+	Factor float64 // Degrade execution-time multiplier, > 0 (3 = tasks run 3x slower)
 }
 
 func (e Event) String() string {
 	switch e.Kind {
-	case Crash, Recover:
+	case Crash, Recover, Restore:
 		return fmt.Sprintf("t=%-6g %-7s %s", e.At, e.Kind, e.Agent)
+	case Degrade:
+		return fmt.Sprintf("t=%-6g %-7s %s factor=%g", e.At, e.Kind, e.Agent, e.Factor)
 	case Lossy:
 		return fmt.Sprintf("t=%-6g %-7s %s-%s rate=%g", e.At, e.Kind, e.A, e.B, e.Rate)
 	default:
@@ -88,6 +104,13 @@ func (p Plan) Validate(known map[string]bool) error {
 			if !known[ev.Agent] {
 				return fmt.Errorf("fault: event %d (%s) names unknown agent %q", i, ev.Kind, ev.Agent)
 			}
+		case Degrade, Restore:
+			if !known[ev.Agent] {
+				return fmt.Errorf("fault: event %d (%s) names unknown agent %q", i, ev.Kind, ev.Agent)
+			}
+			if ev.Kind == Degrade && ev.Factor <= 0 {
+				return fmt.Errorf("fault: event %d degrades %s by non-positive factor %g", i, ev.Agent, ev.Factor)
+			}
 		case Cut, Heal, Lossy:
 			if !known[ev.A] || !known[ev.B] {
 				return fmt.Errorf("fault: event %d (%s) names unknown link %s-%s", i, ev.Kind, ev.A, ev.B)
@@ -112,6 +135,74 @@ func (p Plan) String() string {
 		fmt.Fprintln(&b, ev.String())
 	}
 	return b.String()
+}
+
+// DegradeWindow is one interval during which tasks starting on a
+// resource run slower than predicted. To stays +Inf when the plan never
+// restores the resource.
+type DegradeWindow struct {
+	From, To float64
+	Factor   float64
+}
+
+// Covers reports whether a task starting at t falls in the window.
+func (w DegradeWindow) Covers(t float64) bool { return t >= w.From && t < w.To }
+
+// DegradeWindows derives the named agent's degradation intervals from
+// the plan, in time order. The windows are a static function of the plan
+// — unlike the live registry state they answer "was this resource
+// degraded at time t" for any t, which is what the scheduler's slowdown
+// hook needs (a task's slowdown is decided by its start time, not by
+// whatever event happens to be processed next).
+func (p Plan) DegradeWindows(agent string) []DegradeWindow {
+	var out []DegradeWindow
+	open := -1 // index into out of the unclosed window
+	for _, ev := range p.Sorted() {
+		if ev.Agent != agent {
+			continue
+		}
+		switch ev.Kind {
+		case Degrade:
+			if open >= 0 {
+				out[open].To = ev.At // a new factor supersedes the old one
+			}
+			out = append(out, DegradeWindow{From: ev.At, To: math.Inf(1), Factor: ev.Factor})
+			open = len(out) - 1
+		case Restore:
+			if open >= 0 {
+				out[open].To = ev.At
+				open = -1
+			}
+		}
+	}
+	return out
+}
+
+// SlowdownAt returns the execution-time multiplier in effect for a task
+// starting at time t on the named agent (1 when undegraded).
+func (p Plan) SlowdownAt(agent string, t float64) float64 {
+	for _, w := range p.DegradeWindows(agent) {
+		if w.Covers(t) {
+			return w.Factor
+		}
+	}
+	return 1
+}
+
+// Degraded returns the distinct agents the plan ever degrades, sorted.
+func (p Plan) Degraded() []string {
+	seen := map[string]bool{}
+	for _, ev := range p.Events {
+		if ev.Kind == Degrade {
+			seen[ev.Agent] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Crashed returns the distinct agents the plan ever crashes, sorted.

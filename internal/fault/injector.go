@@ -12,6 +12,8 @@ import (
 type Stats struct {
 	Crashes      int // crash events applied
 	Recoveries   int // recover events applied
+	Degrades     int // degrade events applied
+	Restores     int // restore events applied
 	Redispatched int // unstarted tasks moved off crashed resources
 	Lost         int // rescued tasks no reachable resource could take
 	Rerouted     int // arrivals redirected away from a crashed agent
@@ -107,6 +109,24 @@ func (in *Injector) apply(ev Event, now float64) {
 		in.traceEvent(trace.Event{
 			Time: now, Kind: trace.KindPeerUp, Agent: ev.Agent,
 			Detail: "fault: agent recovered",
+		})
+	case Degrade:
+		if !in.reg.Apply(ev) {
+			return
+		}
+		in.stats.Degrades++
+		in.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindDegrade, Agent: ev.Agent,
+			Detail: fmt.Sprintf("fault: resource degraded, factor=%g", ev.Factor),
+		})
+	case Restore:
+		if !in.reg.Apply(ev) {
+			return
+		}
+		in.stats.Restores++
+		in.traceEvent(trace.Event{
+			Time: now, Kind: trace.KindRestore, Agent: ev.Agent,
+			Detail: "fault: resource restored",
 		})
 	default:
 		in.reg.Apply(ev)

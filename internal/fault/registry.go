@@ -38,6 +38,7 @@ func keyOf(a, b string) linkKey {
 // for concurrent use, matching the sequential simulator.
 type Registry struct {
 	down map[string]bool
+	slow map[string]float64 // live degradation factors (introspection only)
 	cut  map[linkKey]bool
 	loss map[linkKey]float64
 	rng  *sim.RNG
@@ -50,6 +51,7 @@ type Registry struct {
 func NewRegistry(seed uint64) *Registry {
 	return &Registry{
 		down: map[string]bool{},
+		slow: map[string]float64{},
 		cut:  map[linkKey]bool{},
 		loss: map[linkKey]float64{},
 		rng:  sim.NewRNG(seed),
@@ -93,6 +95,16 @@ func (r *Registry) Apply(ev Event) bool {
 		} else {
 			r.loss[k] = ev.Rate
 		}
+	case Degrade:
+		if r.slow[ev.Agent] == ev.Factor {
+			return false
+		}
+		r.slow[ev.Agent] = ev.Factor
+	case Restore:
+		if _, ok := r.slow[ev.Agent]; !ok {
+			return false
+		}
+		delete(r.slow, ev.Agent)
 	default:
 		return false
 	}
@@ -106,6 +118,28 @@ func (r *Registry) AgentDown(name string) bool { return r.down[name] }
 func (r *Registry) Down() []string {
 	out := make([]string, 0, len(r.down))
 	for n := range r.down {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DegradeFactor returns the execution-time multiplier currently applied
+// to the named agent's resource (1 when undegraded). Note degradation
+// never fails an exchange — a degraded node is slow, not silent — so
+// ExchangeErr ignores it; schedulers consume the factor through the
+// slowdown hook installed from the plan's static windows.
+func (r *Registry) DegradeFactor(name string) float64 {
+	if f, ok := r.slow[name]; ok {
+		return f
+	}
+	return 1
+}
+
+// Degraded returns the currently degraded agents, sorted.
+func (r *Registry) Degraded() []string {
+	out := make([]string, 0, len(r.slow))
+	for n := range r.slow {
 		out = append(out, n)
 	}
 	sort.Strings(out)

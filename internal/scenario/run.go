@@ -58,6 +58,11 @@ type Result struct {
 	MaxHops   int     `json:"max_hops"`
 	Fallbacks int     `json:"fallbacks"`
 
+	// Migration-policy activity (zero unless the spec enables migration).
+	MigrateOffers  int `json:"migrate_offers,omitempty"`
+	MigrateAccepts int `json:"migrate_accepts,omitempty"`
+	MigrateRejects int `json:"migrate_rejects,omitempty"`
+
 	WallClock float64 `json:"wall_clock_s"` // host seconds, informational only
 
 	AuditOK         bool   `json:"audit_ok"`
@@ -108,6 +113,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		Seed:      seed,
 		Trace:     rec,
 		FaultPlan: spec.FaultPlan(),
+		Migration: spec.MigrationPolicy(),
 	}
 	if opt.Telemetry {
 		// Each run gets a fresh registry: sweep points run concurrently
@@ -215,6 +221,8 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	if n := len(grid.Dispatches()); n > 0 {
 		out.MeanHops = float64(hops) / float64(n)
 	}
+	ms := grid.MigrationStats()
+	out.MigrateOffers, out.MigrateAccepts, out.MigrateRejects = ms.Offers, ms.Accepts, ms.Rejects
 	return out, nil
 }
 
@@ -233,6 +241,9 @@ func FormatResult(r Result) string {
 		r.HitRate*100, r.SlackP50, r.SlackP95, r.SlackP99, r.Throughput)
 	if r.MaxHops > 0 || r.Fallbacks > 0 {
 		fmt.Fprintf(&b, "  discovery: %.2f mean hops, %d max, %d fallbacks\n", r.MeanHops, r.MaxHops, r.Fallbacks)
+	}
+	if r.MigrateOffers > 0 {
+		fmt.Fprintf(&b, "  migration: %d offers, %d accepted, %d rejected\n", r.MigrateOffers, r.MigrateAccepts, r.MigrateRejects)
 	}
 	fmt.Fprintf(&b, "  audit: %s\n", r.AuditSummary)
 	return b.String()

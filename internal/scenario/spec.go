@@ -48,8 +48,9 @@ type Spec struct {
 	Policy    string `json:"policy,omitempty"`
 	UseAgents *bool  `json:"use_agents,omitempty"`
 
-	GA     *GASpec    `json:"ga,omitempty"`
-	Faults *FaultSpec `json:"faults,omitempty"`
+	GA        *GASpec        `json:"ga,omitempty"`
+	Faults    *FaultSpec     `json:"faults,omitempty"`
+	Migration *MigrationSpec `json:"migration,omitempty"`
 }
 
 // TopologySpec describes the grid. Either a named preset or a generated
@@ -119,12 +120,26 @@ type FaultSpec struct {
 
 // FaultEvent is the JSON shape of one fault.Event.
 type FaultEvent struct {
-	At    float64 `json:"at"`
-	Kind  string  `json:"kind"`
-	Agent string  `json:"agent,omitempty"`
-	A     string  `json:"a,omitempty"`
-	B     string  `json:"b,omitempty"`
-	Rate  float64 `json:"rate,omitempty"`
+	At     float64 `json:"at"`
+	Kind   string  `json:"kind"`
+	Agent  string  `json:"agent,omitempty"`
+	A      string  `json:"a,omitempty"`
+	B      string  `json:"b,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Factor float64 `json:"factor,omitempty"` // degrade: execution-time multiplier
+}
+
+// MigrationSpec is the JSON shape of core.MigrationPolicy: drift-driven
+// rescheduling of queued work off resources whose observed performance
+// has fallen behind their PACE predictions. Zero fields keep the core
+// defaults.
+type MigrationSpec struct {
+	Enabled        bool    `json:"enabled"`
+	CheckPeriod    float64 `json:"check_period,omitempty"`
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	Window         int     `json:"window,omitempty"`
+	Cooldown       float64 `json:"cooldown,omitempty"`
+	MaxPerRound    int     `json:"max_per_round,omitempty"`
 }
 
 // DefaultGA returns the GA configuration of the §4.1 case study (the
@@ -185,9 +200,26 @@ func (s Spec) FaultPlan() *fault.Plan {
 	for i, ev := range s.Faults.Events {
 		plan.Events[i] = fault.Event{
 			At: ev.At, Kind: fault.Kind(ev.Kind), Agent: ev.Agent, A: ev.A, B: ev.B, Rate: ev.Rate,
+			Factor: ev.Factor,
 		}
 	}
 	return plan
+}
+
+// MigrationPolicy converts the spec's migration section; the zero
+// (disabled) policy when absent.
+func (s Spec) MigrationPolicy() core.MigrationPolicy {
+	if s.Migration == nil {
+		return core.MigrationPolicy{}
+	}
+	return core.MigrationPolicy{
+		Enabled:        s.Migration.Enabled,
+		CheckPeriod:    s.Migration.CheckPeriod,
+		DriftThreshold: s.Migration.DriftThreshold,
+		Window:         s.Migration.Window,
+		Cooldown:       s.Migration.Cooldown,
+		MaxPerRound:    s.Migration.MaxPerRound,
+	}
 }
 
 // BuildProcess builds the workload.ArrivalProcess the spec describes.
@@ -290,6 +322,9 @@ func (s Spec) Validate() error {
 	}
 	if s.DeadlineScale < 0 {
 		return fmt.Errorf("scenario: negative deadline scale %g", s.DeadlineScale)
+	}
+	if s.Migration != nil && s.Migration.Enabled && !s.AgentsEnabled() {
+		return fmt.Errorf("scenario: migration requires use_agents (tasks are re-placed through agent discovery)")
 	}
 	if plan := s.FaultPlan(); plan != nil {
 		if !s.AgentsEnabled() {

@@ -1,0 +1,85 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalSlowdownStretchesPromotion(t *testing.T) {
+	l := newTestLocal(t, "S1", NewFIFOPolicy(), 16)
+	app := appOf(t, "fft") // 10s on 16 nodes
+	l.SetSlowdown(func(start float64) float64 {
+		if start >= 5 {
+			return 3
+		}
+		return 1
+	})
+
+	if _, err := l.Submit(app, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Submit(app, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Drain()
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	// First task starts at 0 (undegraded), second at 10 (slowed 3x).
+	if d := recs[0].End - recs[0].Start; d != 10 {
+		t.Fatalf("first duration %g, want 10", d)
+	}
+	if d := recs[1].End - recs[1].Start; d != 30 {
+		t.Fatalf("second duration %g, want 30 (3x slowdown)", d)
+	}
+	// Predicted keeps the plan's estimate either way.
+	if recs[0].Predicted != 10 || recs[1].Predicted != 10 {
+		t.Fatalf("Predicted = %g/%g, want 10/10", recs[0].Predicted, recs[1].Predicted)
+	}
+}
+
+func TestLocalDriftBetween(t *testing.T) {
+	l := newTestLocal(t, "S1", NewFIFOPolicy(), 16)
+	app := appOf(t, "fft") // 10s on 16 nodes
+	l.SetSlowdown(func(float64) float64 { return 2 })
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Submit(app, 1000, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Drain()
+	// Three sequential executions at 20s each: ends at 20, 40, 60.
+
+	obs, pred, n := l.DriftBetween(0, 60)
+	if n != 3 || math.Abs(obs-60) > 1e-9 || math.Abs(pred-30) > 1e-9 {
+		t.Fatalf("full window: obs=%g pred=%g n=%d, want 60/30/3", obs, pred, n)
+	}
+	// Half-open window (t0, t1]: the record ending exactly at t0 is out,
+	// the one ending exactly at t1 is in.
+	obs, pred, n = l.DriftBetween(20, 40)
+	if n != 1 || obs != 20 || pred != 10 {
+		t.Fatalf("middle window: obs=%g pred=%g n=%d, want 20/10/1", obs, pred, n)
+	}
+	if _, _, n := l.DriftBetween(60, 100); n != 0 {
+		t.Fatalf("empty window: n=%d", n)
+	}
+}
+
+func TestLocalDriftBetweenFallsBackWithoutPredicted(t *testing.T) {
+	// Records predating the Predicted field (zero value) must not read
+	// as infinite drift: the fallback counts them as zero-drift.
+	l := newTestLocal(t, "S1", NewFIFOPolicy(), 16)
+	app := appOf(t, "fft")
+	if _, err := l.Submit(app, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Drain()
+	l.committed[0].Predicted = 0
+
+	obs, pred, n := l.DriftBetween(0, 100)
+	if n != 1 || obs != pred {
+		t.Fatalf("obs=%g pred=%g n=%d, want obs==pred for a zero Predicted", obs, pred, n)
+	}
+}

@@ -27,6 +27,11 @@ type Record struct {
 	Start    float64
 	End      float64
 	Resource string
+	// Predicted is the PACE-predicted execution duration the plan was
+	// built on. End−Start equals Predicted unless an ActualDuration hook
+	// or a degradation slowdown stretched the real execution — the gap is
+	// the drift signal the migration policy watches.
+	Predicted float64
 }
 
 // Executor is the task-execution module of Fig. 3. Under the paper's test
@@ -86,6 +91,14 @@ type Local struct {
 
 	nextID int
 	now    float64
+
+	// slowdown, when set, multiplies the execution duration of every task
+	// by the factor in effect at its start time — how fault-plan
+	// degradation windows reach the scheduler. It stacks on top of any
+	// ActualDuration hook, and unlike that hook it is keyed on the start
+	// instant, so the same plan always degrades the same tasks no matter
+	// how clock advances interleave with fault events.
+	slowdown func(start float64) float64
 }
 
 // NewLocal validates cfg and returns a scheduler at virtual time 0.
@@ -299,23 +312,30 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 				start = b
 			}
 		}
-		dur := it.End - it.Start
+		predicted := it.End - it.Start
+		dur := predicted
 		if l.cfg.ActualDuration != nil {
 			dur = l.cfg.ActualDuration(t.App, bits.OnesCount64(it.Mask), dur, t.ID)
 			if dur < 0 {
 				dur = 0
 			}
 		}
+		if l.slowdown != nil {
+			if f := l.slowdown(start); f > 0 {
+				dur *= f
+			}
+		}
 		rec := Record{
-			TaskID:   t.ID,
-			ReqID:    t.ReqID,
-			App:      t.App,
-			Arrival:  t.Arrival,
-			Deadline: t.Deadline,
-			Mask:     mask,
-			Start:    start,
-			End:      start + dur,
-			Resource: l.cfg.Name,
+			TaskID:    t.ID,
+			ReqID:     t.ReqID,
+			App:       t.App,
+			Arrival:   t.Arrival,
+			Deadline:  t.Deadline,
+			Mask:      mask,
+			Start:     start,
+			End:       start + dur,
+			Resource:  l.cfg.Name,
+			Predicted: predicted,
 		}
 		l.committed = append(l.committed, rec)
 		l.cfg.Executor.Launch(rec)
@@ -389,6 +409,33 @@ func (l *Local) AdvanceBefore(t float64) (sum float64, n int) {
 		}
 	}
 	return sum, n
+}
+
+// SetSlowdown installs (or, with nil, removes) the degradation hook: fn
+// returns the execution-time multiplier in effect for a task starting at
+// the given virtual time (1 or less means no slowdown). Call before
+// driving the scheduler; already-committed tasks are unaffected.
+func (l *Local) SetSlowdown(fn func(start float64) float64) { l.slowdown = fn }
+
+// DriftBetween measures how far observed execution times drifted from
+// the PACE predictions over committed tasks completing in (t0, t1]: the
+// summed observed and predicted durations plus the task count. The
+// relative drift obs/pred − 1 is the migration policy's trigger signal —
+// 0 when reality matches the model, 2 when a factor-3 degradation is in
+// effect. Read-only, like AdvanceBefore.
+func (l *Local) DriftBetween(t0, t1 float64) (obs, pred float64, n int) {
+	for _, r := range l.committed {
+		if r.End > t0 && r.End <= t1 {
+			obs += r.End - r.Start
+			if r.Predicted > 0 {
+				pred += r.Predicted
+			} else {
+				pred += r.End - r.Start // pre-Predicted records: no drift
+			}
+			n++
+		}
+	}
+	return obs, pred, n
 }
 
 // Records returns the committed (started or finished) tasks in start

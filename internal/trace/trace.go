@@ -31,13 +31,29 @@ const (
 	KindPeerDown   Kind = "peerdown"   // an agent crashed / became unreachable
 	KindPeerUp     Kind = "peerup"     // a crashed agent recovered
 	KindRedispatch Kind = "redispatch" // a pending task was re-placed elsewhere
+
+	// Degradation events (internal/fault): a resource slowing down
+	// without leaving the grid, and its later restoration.
+	KindDegrade Kind = "degrade" // a resource started running slower than predicted
+	KindRestore Kind = "restore" // a degraded resource returned to predicted speed
+
+	// Migration events (internal/core migration policy): a drift-breached
+	// scheduler offering an unstarted task back to the grid, the task's
+	// removal from the origin queue once a better placement accepted it,
+	// and the re-dispatch completing the chain. Every migrate-redispatch
+	// is preceded by a migrate-withdraw for the same request, and the
+	// audit holds each chain to exactly one final execution.
+	KindMigrateOffer      Kind = "migrate-offer"      // origin offered an unstarted task for re-placement
+	KindMigrateWithdraw   Kind = "migrate-withdraw"   // the offered task left the origin queue
+	KindMigrateRedispatch Kind = "migrate-redispatch" // the offered task was re-placed elsewhere
 )
 
 // TaskBearing reports whether events of this kind describe the lifecycle
 // of one request (as opposed to grid-level events such as peerdown).
 func (k Kind) TaskBearing() bool {
 	switch k {
-	case KindArrive, KindDispatch, KindStart, KindComplete, KindFail, KindRedispatch:
+	case KindArrive, KindDispatch, KindStart, KindComplete, KindFail, KindRedispatch,
+		KindMigrateOffer, KindMigrateWithdraw, KindMigrateRedispatch:
 		return true
 	}
 	return false

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/sim"
 	"repro/internal/xmlmsg"
 )
 
@@ -156,4 +158,77 @@ func TestBackoffCapsAtMax(t *testing.T) {
 	if c.Backoff("x:1", 1) == c.Backoff("y:2", 1) && c.Backoff("x:1", 2) == c.Backoff("y:2", 2) {
 		t.Fatal("jitter ignores the peer address")
 	}
+}
+
+// TestBackoffWithoutJitterSourceIsByteIdentical pins the opt-in
+// contract of Client.Jitter: a nil source must reproduce the original
+// hash-derived schedule exactly — the delay for every (seed, address,
+// attempt) triple is the same value it was before the field existed.
+func TestBackoffWithoutJitterSourceIsByteIdentical(t *testing.T) {
+	c := NewClient()
+	c.JitterSeed = 42
+	for _, addr := range []string{"a:1", "b:2"} {
+		for attempt := 1; attempt <= 4; attempt++ {
+			base := c.BackoffBase
+			max := c.BackoffMax
+			d := base
+			for i := 1; i < attempt && d < max; i++ {
+				d *= 2
+			}
+			if d > max {
+				d = max
+			}
+			// The pre-Jitter formula, inlined: any drift here means a
+			// deployment that never set Jitter changed behaviour.
+			jitter := splitmix64(c.JitterSeed ^ hashAddr(addr) ^ uint64(attempt))
+			want := d + time.Duration(jitter%uint64(d/2+1))
+			if got := c.Backoff(addr, attempt); got != want {
+				t.Fatalf("Backoff(%q, %d) = %v, want the hash schedule %v", addr, attempt, got, want)
+			}
+		}
+	}
+}
+
+// TestBackoffJitterSourceDrawsFromRNGStream exercises the opt-in path:
+// the same seed replays the same schedule, successive retries to one
+// peer differ (the stream advances), and concurrent draws are safe
+// (meaningful under -race).
+func TestBackoffJitterSourceDrawsFromRNGStream(t *testing.T) {
+	mk := func() *Client {
+		c := NewClient()
+		c.Jitter = NewJitterSource(sim.NewRNG(7))
+		return c
+	}
+	a, b := mk(), mk()
+	var seqA, seqB []time.Duration
+	for attempt := 1; attempt <= 4; attempt++ {
+		seqA = append(seqA, a.Backoff("x:1", attempt))
+		seqB = append(seqB, b.Backoff("x:1", attempt))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed, different schedule at %d: %v vs %v", i, seqA[i], seqB[i])
+		}
+	}
+	// Re-drawing the same (addr, attempt) advances the stream: unlike
+	// hash jitter, a repeated retry spreads differently.
+	if x, y := a.Backoff("x:1", 1), a.Backoff("x:1", 1); x == y {
+		t.Fatalf("stream jitter repeated a delay: %v", x)
+	}
+	if NewJitterSource(nil) != nil {
+		t.Fatal("NewJitterSource(nil) must return a nil source")
+	}
+
+	c := mk()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 50; i++ {
+				_ = c.Backoff("x:1", i%4+1)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// JitterSource adapts a sim.RNG stream into backoff jitter for a
+// Client. The default jitter hashes (seed, address, attempt), which is
+// reproducible but means the same retry always gets the same delay; a
+// JitterSource instead consumes a sequential stream, so repeated
+// retries to one peer spread differently each time while the whole
+// schedule still replays exactly from the seed.
+//
+// The mutex is load-bearing: one client is shared by a node's pull,
+// tick and serve goroutines, which retry concurrently, and sim.RNG is
+// not safe for concurrent use. Give the source its own Split() of the
+// simulation RNG — drawing from a stream the simulation also draws
+// from would let wall-clock retry timing perturb virtual-time results.
+type JitterSource struct {
+	mu  sync.Mutex
+	rng *sim.RNG
+}
+
+// NewJitterSource wraps rng; nil returns a nil source (hash jitter).
+func NewJitterSource(rng *sim.RNG) *JitterSource {
+	if rng == nil {
+		return nil
+	}
+	return &JitterSource{rng: rng}
+}
+
+// draw returns the next raw jitter word.
+func (j *JitterSource) draw() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Uint64()
+}
