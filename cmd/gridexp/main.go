@@ -124,15 +124,15 @@ func main() {
 		fmt.Printf("%s %s\n", scope, res.Summary())
 		if !res.OK() {
 			auditFailed = true
-			max := len(res.Violations)
-			if max > 10 {
-				max = 10
+			limit := len(res.Violations)
+			if limit > 10 {
+				limit = 10
 			}
-			for _, v := range res.Violations[:max] {
+			for _, v := range res.Violations[:limit] {
 				fmt.Printf("  VIOLATION %s\n", v)
 			}
-			if len(res.Violations) > max {
-				fmt.Printf("  ... and %d more\n", len(res.Violations)-max)
+			if len(res.Violations) > limit {
+				fmt.Printf("  ... and %d more\n", len(res.Violations)-limit)
 			}
 		}
 	}
@@ -279,12 +279,23 @@ func runScenario(path, sweepArg string, findSat bool, outPath string, workers in
 		spec.Migration.Enabled = true
 	}
 	opt := scenario.RunOptions{Workers: workers, Telemetry: telemetryOut != "", SamplePeriod: samplePeriod}
-	var rec *trace.Recorder
+	// The scenario trace streams: a retention-off recorder feeds a CSV
+	// sink that flushes rows as the grid's virtual-time watermark passes
+	// them, so a 1M-request trace goes to disk without ever holding the
+	// run in memory. The bytes are identical to the batch WriteCSV export.
+	var sink *trace.CSVSink
+	var traceFile *os.File
 	if traceOut != "" {
 		if sweepArg != "" || findSat {
 			fail(fmt.Errorf("-tracefile records a single scenario run, not a sweep or saturation search"))
 		}
-		rec = trace.NewRecorder(8*spec.Arrivals.Count + 64)
+		f, err := os.Create(traceOut)
+		fail(err)
+		traceFile = f
+		sink = trace.NewCSVSink(f)
+		rec := trace.NewRecorder(1)
+		rec.SetRetention(false)
+		rec.AddSink(sink)
 		opt.Trace = rec
 	}
 	doc := exportDoc{Seed: spec.Seed, Requests: spec.Arrivals.Count}
@@ -329,12 +340,10 @@ func runScenario(path, sweepArg string, findSat bool, outPath string, workers in
 			failed = true
 		}
 	}
-	if rec != nil {
-		f, err := os.Create(traceOut)
-		fail(err)
-		fail(rec.WriteCSV(f))
-		fail(f.Close())
-		fmt.Printf("lifecycle trace written to %s (%s)\n", traceOut, rec.Summary())
+	if sink != nil {
+		fail(sink.Close(0))
+		fail(traceFile.Close())
+		fmt.Printf("lifecycle trace streamed to %s (peak reorder buffer %d events)\n", traceOut, sink.PeakBuffered())
 	}
 	if outPath != "" {
 		fail(doc.write(outPath))

@@ -405,6 +405,50 @@ func (a *Agent) Pull(now float64) {
 	a.stats.pulls.Inc()
 }
 
+// PullBatched refreshes the advert cache exactly like Pull, but takes
+// each neighbour's base advertisement from a tick-wide snapshot instead
+// of recomputing ServiceInfo per puller. Within one pull tick a
+// scheduler's state does not change, so every puller of the same
+// publisher would compute an identical base advertisement; batching
+// coalesces those O(degree) computations into one per publisher. The
+// publisher's fault counters are still read live, at exchange time,
+// because Pull annotates them per exchange and a lossy-gate failure
+// earlier in the same tick must be visible to later pullers. Peers
+// missing from the snapshot (or that are not in-process agents) fall
+// back to PullService, so the two paths are behaviourally identical.
+func (a *Agent) PullBatched(now float64, base func(name string) (scheduler.ServiceInfo, bool)) {
+	for _, n := range a.neighbours() {
+		name := n.PeerName()
+		var info scheduler.ServiceInfo
+		err := a.gateErr(name, now)
+		if err == nil {
+			snapped := false
+			if peer, ok := n.(*Agent); ok {
+				if si, ok := base(name); ok {
+					info, snapped = si, true
+					info.FailedPulls = int(peer.stats.failedPulls.Value())
+					info.Redispatches = int(peer.stats.redispatches.Value())
+				}
+			}
+			if !snapped {
+				info, err = n.PullService()
+			}
+		}
+		if err != nil {
+			a.stats.failedPulls.Inc()
+			a.RecordPeerFailure(name)
+			continue
+		}
+		a.RecordPeerSuccess(name)
+		a.cache[name] = cachedService{
+			info:      info,
+			agentName: name,
+			pulledAt:  now,
+		}
+	}
+	a.stats.pulls.Inc()
+}
+
 // StoreAdvertisement records a neighbour's advertisement pulled by an
 // external driver (the networked node pulls outside the agent lock to
 // avoid distributed deadlock, then stores the results through here).

@@ -28,9 +28,6 @@ package audit
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"sort"
 	"strings"
 
 	"repro/internal/agent"
@@ -99,12 +96,12 @@ func (r Result) Err() error {
 	if r.OK() {
 		return nil
 	}
-	max := len(r.Violations)
-	if max > 5 {
-		max = 5
+	n := len(r.Violations)
+	if n > 5 {
+		n = 5
 	}
-	lines := make([]string, 0, max)
-	for _, v := range r.Violations[:max] {
+	lines := make([]string, 0, n)
+	for _, v := range r.Violations[:n] {
 		lines = append(lines, v.String())
 	}
 	return fmt.Errorf("audit: %d violation(s): %s", len(r.Violations), strings.Join(lines, "; "))
@@ -125,413 +122,23 @@ func (r Result) Summary() string {
 	return s
 }
 
-// lifecycle collects one request's task-bearing events in record order.
-type lifecycle struct {
-	events []trace.Event
-	counts map[trace.Kind]int
-}
-
-// Check audits a completed run against invariants (a)–(e).
+// Check audits a completed run against invariants (a)–(e). It is a
+// replay wrapper over the streaming Observer — the same folded checks,
+// fed the whole run at once — so batch callers and the live grid
+// exercise one implementation. Replay keeps per-request state to the
+// end (no early retirement): a malformed trace with events after a
+// terminal is judged with the full lifecycle in view, as before.
 func Check(run Run) Result {
-	var res Result
-
-	if run.Dropped > 0 {
-		res.Truncated = true
-		res.add("trace", 0, fmt.Sprintf("event ring dropped %d events; conservation is unprovable (size the recorder to the workload)", run.Dropped))
+	o := NewObserver(run.Nodes)
+	o.retire = false
+	for _, rec := range run.Records {
+		o.ObserveRecord(rec)
 	}
-
-	byReq := map[uint64]*lifecycle{}
-	var reqIDs []uint64
+	for _, d := range run.Dispatches {
+		o.ObserveDispatch(d)
+	}
 	for _, ev := range run.Events {
-		if !ev.Kind.TaskBearing() {
-			continue
-		}
-		if ev.ReqID == 0 {
-			res.add("identity", 0, fmt.Sprintf("%s event at t=%g (resource %q, task %d) carries no request ID", ev.Kind, ev.Time, ev.Resource, ev.TaskID))
-			continue
-		}
-		lc := byReq[ev.ReqID]
-		if lc == nil {
-			lc = &lifecycle{counts: map[trace.Kind]int{}}
-			byReq[ev.ReqID] = lc
-			reqIDs = append(reqIDs, ev.ReqID)
-		}
-		lc.events = append(lc.events, ev)
-		lc.counts[ev.Kind]++
+		o.Observe(ev)
 	}
-	sort.Slice(reqIDs, func(i, j int) bool { return reqIDs[i] < reqIDs[j] })
-
-	recsByReq := map[uint64][]scheduler.Record{}
-	for _, rec := range run.Records {
-		res.Counts.Records++
-		if rec.ReqID == 0 {
-			res.add("identity", 0, fmt.Sprintf("execution record task %d on %s carries no request ID", rec.TaskID, rec.Resource))
-			continue
-		}
-		recsByReq[rec.ReqID] = append(recsByReq[rec.ReqID], rec)
-	}
-
-	res.Counts.Requests = len(reqIDs)
-	for _, id := range reqIDs {
-		lc := byReq[id]
-		res.Counts.Arrives += lc.counts[trace.KindArrive]
-		res.Counts.Dispatches += lc.counts[trace.KindDispatch]
-		res.Counts.Redispatches += lc.counts[trace.KindRedispatch]
-		res.Counts.Completes += lc.counts[trace.KindComplete]
-		res.Counts.Fails += lc.counts[trace.KindFail]
-		res.Counts.MigrateOffers += lc.counts[trace.KindMigrateOffer]
-		res.Counts.MigrateWithdraws += lc.counts[trace.KindMigrateWithdraw]
-		res.Counts.MigrateRedispatches += lc.counts[trace.KindMigrateRedispatch]
-		res.checkRequest(id, lc, recsByReq[id])
-	}
-	for id := range recsByReq {
-		if byReq[id] == nil {
-			res.add("conservation", id, "execution record without any lifecycle events")
-		}
-	}
-
-	res.checkExclusivity(run)
-	res.checkRecordTiming(run)
-	res.checkDispatchLog(run, byReq)
-	res.checkMetrics(run)
-	return res
-}
-
-func (r *Result) add(check string, reqID uint64, detail string) {
-	r.Violations = append(r.Violations, Violation{Check: check, ReqID: reqID, Detail: detail})
-}
-
-// checkRequest verifies conservation (a), lifecycle timing (c) and final
-// placement (d) for one request.
-func (r *Result) checkRequest(id uint64, lc *lifecycle, recs []scheduler.Record) {
-	arrives := lc.counts[trace.KindArrive]
-	completes := lc.counts[trace.KindComplete]
-	fails := lc.counts[trace.KindFail]
-	starts := lc.counts[trace.KindStart]
-
-	// (a) conservation.
-	switch {
-	case arrives == 0:
-		r.add("conservation", id, fmt.Sprintf("lifecycle events without an arrival (%d events)", len(lc.events)))
-	case arrives > 1:
-		r.add("conservation", id, fmt.Sprintf("%d arrivals for one request", arrives))
-	}
-	if completes+fails != 1 {
-		r.add("conservation", id, fmt.Sprintf("request terminated %d times (%d completes, %d fails); want exactly one terminal", completes+fails, completes, fails))
-	}
-	if starts != completes {
-		r.add("conservation", id, fmt.Sprintf("%d starts but %d completes", starts, completes))
-	}
-	if completes == 1 && lc.counts[trace.KindDispatch]+lc.counts[trace.KindRedispatch]+lc.counts[trace.KindMigrateRedispatch] == 0 {
-		r.add("conservation", id, "request executed without any dispatch")
-	}
-	if len(recs) != completes {
-		r.add("conservation", id, fmt.Sprintf("%d execution records for %d completions; redispatch chains must net to one execution", len(recs), completes))
-	}
-
-	// (a) migration-chain conservation: every withdraw pairs with exactly
-	// one re-dispatch (never zero — the task would vanish — and never
-	// two — it would run twice), every withdraw follows an offer, and
-	// migration events name the resource that actually held the task.
-	r.checkMigrationChain(id, lc)
-
-	// (c) lifecycle-time monotonicity: events are causally ordered by
-	// Seq, so virtual time must never run backwards along a request's
-	// lifecycle (completions legitimately carry their future completion
-	// instant, but nothing is recorded for the request after them).
-	first := lc.events[0]
-	if first.Kind != trace.KindArrive && lc.counts[trace.KindArrive] > 0 {
-		r.add("timing", id, fmt.Sprintf("first recorded event is %s, not the arrival", first.Kind))
-	}
-	for i := 1; i < len(lc.events); i++ {
-		prev, cur := lc.events[i-1], lc.events[i]
-		if cur.Time < prev.Time {
-			r.add("timing", id, fmt.Sprintf("%s at t=%g precedes %s at t=%g", cur.Kind, cur.Time, prev.Kind, prev.Time))
-		}
-	}
-
-	if len(recs) != 1 {
-		return
-	}
-	rec := recs[0]
-
-	// (c) the record must agree with its start/complete events.
-	for _, ev := range lc.events {
-		switch ev.Kind {
-		case trace.KindStart:
-			if ev.Time != rec.Start || ev.Resource != rec.Resource || ev.TaskID != rec.TaskID {
-				r.add("timing", id, fmt.Sprintf("start event (t=%g, %s task %d) disagrees with record (t=%g, %s task %d)",
-					ev.Time, ev.Resource, ev.TaskID, rec.Start, rec.Resource, rec.TaskID))
-			}
-		case trace.KindComplete:
-			if ev.Time != rec.End || ev.Resource != rec.Resource {
-				r.add("timing", id, fmt.Sprintf("complete event (t=%g, %s) disagrees with record (t=%g, %s)",
-					ev.Time, ev.Resource, rec.End, rec.Resource))
-			}
-		case trace.KindArrive:
-			if ev.Time > rec.Arrival {
-				r.add("timing", id, fmt.Sprintf("record arrival t=%g precedes the grid arrival t=%g", rec.Arrival, ev.Time))
-			}
-		}
-	}
-
-	// (d) the final placement decision must name the executing resource.
-	var final *trace.Event
-	for i := range lc.events {
-		ev := lc.events[i]
-		if ev.Kind == trace.KindDispatch || ev.Kind == trace.KindRedispatch || ev.Kind == trace.KindMigrateRedispatch {
-			final = &lc.events[i]
-		}
-	}
-	if final == nil {
-		return // already flagged under conservation
-	}
-	if final.Resource != rec.Resource || final.TaskID != rec.TaskID {
-		r.add("placement", id, fmt.Sprintf("final %s targeted %s task %d but the execution record is %s task %d",
-			final.Kind, final.Resource, final.TaskID, rec.Resource, rec.TaskID))
-	}
-}
-
-// checkMigrationChain walks one request's events in causal (record)
-// order and verifies the offer → withdraw → re-dispatch protocol. The
-// scan is stateful: a withdraw opens a hole (the task is on no queue)
-// that exactly one migrate-redispatch must close before the task can
-// start or be withdrawn again.
-func (r *Result) checkMigrationChain(id uint64, lc *lifecycle) {
-	if lc.counts[trace.KindMigrateOffer]+lc.counts[trace.KindMigrateWithdraw]+lc.counts[trace.KindMigrateRedispatch] == 0 {
-		return
-	}
-	placed := "" // resource currently holding the task, per the placement events
-	offers, withdraws := 0, 0
-	pendingWithdraw := 0
-	for _, ev := range lc.events {
-		switch ev.Kind {
-		case trace.KindDispatch, trace.KindRedispatch:
-			placed = ev.Resource
-		case trace.KindMigrateOffer:
-			offers++
-			if placed != "" && ev.Resource != placed {
-				r.add("conservation", id, fmt.Sprintf("migrate-offer from %s but the task was placed on %s", ev.Resource, placed))
-			}
-		case trace.KindMigrateWithdraw:
-			withdraws++
-			if offers < withdraws {
-				r.add("conservation", id, "migrate-withdraw without a preceding migrate-offer")
-			}
-			if pendingWithdraw > 0 {
-				r.add("conservation", id, "second migrate-withdraw before the previous chain re-dispatched")
-			}
-			if placed != "" && ev.Resource != placed {
-				r.add("conservation", id, fmt.Sprintf("migrate-withdraw from %s but the task was placed on %s", ev.Resource, placed))
-			}
-			pendingWithdraw++
-		case trace.KindMigrateRedispatch:
-			if pendingWithdraw == 0 {
-				r.add("conservation", id, "migrate-redispatch without a migrate-withdraw: the task would run twice")
-			} else {
-				pendingWithdraw--
-			}
-			placed = ev.Resource
-		case trace.KindStart:
-			if pendingWithdraw > 0 {
-				r.add("conservation", id, "task started while withdrawn from every queue")
-			}
-			if placed != "" && ev.Resource != placed {
-				r.add("placement", id, fmt.Sprintf("task started on %s but was last placed on %s", ev.Resource, placed))
-			}
-		}
-	}
-	if pendingWithdraw > 0 {
-		r.add("conservation", id, "migrate-withdraw never re-dispatched: the task vanished")
-	}
-}
-
-// checkExclusivity verifies (b): on each physical node of each resource,
-// committed executions never overlap in time.
-func (r *Result) checkExclusivity(run Run) {
-	type interval struct {
-		start, end float64
-		reqID      uint64
-		taskID     int
-	}
-	perNode := map[string]map[int][]interval{}
-	for _, rec := range run.Records {
-		n, known := run.Nodes[rec.Resource]
-		if !known {
-			r.add("exclusivity", rec.ReqID, fmt.Sprintf("record on unknown resource %q", rec.Resource))
-			continue
-		}
-		if rec.Mask == 0 {
-			r.add("exclusivity", rec.ReqID, fmt.Sprintf("record task %d on %s allocates no nodes", rec.TaskID, rec.Resource))
-			continue
-		}
-		nodes := perNode[rec.Resource]
-		if nodes == nil {
-			nodes = map[int][]interval{}
-			perNode[rec.Resource] = nodes
-		}
-		for m := rec.Mask; m != 0; m &= m - 1 {
-			i := bits.TrailingZeros64(m)
-			if i >= n {
-				r.add("exclusivity", rec.ReqID, fmt.Sprintf("record task %d uses node %d of %d on %s", rec.TaskID, i, n, rec.Resource))
-				continue
-			}
-			nodes[i] = append(nodes[i], interval{rec.Start, rec.End, rec.ReqID, rec.TaskID})
-		}
-	}
-	resources := make([]string, 0, len(perNode))
-	for name := range perNode {
-		resources = append(resources, name)
-	}
-	sort.Strings(resources)
-	for _, name := range resources {
-		nodes := perNode[name]
-		for node := 0; node < run.Nodes[name]; node++ {
-			ivs := nodes[node]
-			sort.Slice(ivs, func(i, j int) bool {
-				if ivs[i].start != ivs[j].start {
-					return ivs[i].start < ivs[j].start
-				}
-				return ivs[i].end < ivs[j].end
-			})
-			for i := 1; i < len(ivs); i++ {
-				if ivs[i].start < ivs[i-1].end {
-					r.add("exclusivity", ivs[i].reqID, fmt.Sprintf(
-						"task %d [%g, %g) overlaps task %d (req %d) [%g, %g) on %s node %d",
-						ivs[i].taskID, ivs[i].start, ivs[i].end,
-						ivs[i-1].taskID, ivs[i-1].reqID, ivs[i-1].start, ivs[i-1].end, name, node))
-				}
-			}
-		}
-	}
-}
-
-// checkRecordTiming verifies (c) on the records themselves.
-func (r *Result) checkRecordTiming(run Run) {
-	for _, rec := range run.Records {
-		if rec.Start < rec.Arrival {
-			r.add("timing", rec.ReqID, fmt.Sprintf("task %d on %s starts at t=%g before its arrival t=%g", rec.TaskID, rec.Resource, rec.Start, rec.Arrival))
-		}
-		if rec.End < rec.Start {
-			r.add("timing", rec.ReqID, fmt.Sprintf("task %d on %s ends at t=%g before its start t=%g", rec.TaskID, rec.Resource, rec.End, rec.Start))
-		}
-	}
-}
-
-// checkDispatchLog cross-checks (d) against the submission-order dispatch
-// log: each logged dispatch must match that request's dispatch event.
-func (r *Result) checkDispatchLog(run Run, byReq map[uint64]*lifecycle) {
-	for i, d := range run.Dispatches {
-		if d.ReqID == 0 {
-			r.add("identity", 0, fmt.Sprintf("dispatch log entry %d (%s task %d) carries no request ID", i, d.Resource, d.TaskID))
-			continue
-		}
-		lc := byReq[d.ReqID]
-		if lc == nil {
-			// Without a trace there is nothing to join against; the
-			// conservation pass has no events either, so stay silent
-			// only when the run recorded no events at all.
-			if len(run.Events) > 0 {
-				r.add("placement", d.ReqID, "dispatch log entry has no lifecycle events")
-			}
-			continue
-		}
-		matched := false
-		for _, ev := range lc.events {
-			if ev.Kind == trace.KindDispatch && ev.Resource == d.Resource && ev.TaskID == d.TaskID {
-				matched = true
-				break
-			}
-		}
-		if !matched {
-			r.add("placement", d.ReqID, fmt.Sprintf("dispatch log names %s task %d but no dispatch event agrees", d.Resource, d.TaskID))
-		}
-	}
-}
-
-// checkMetrics verifies (e): the §3.3 grid totals recomputed from the raw
-// records must match the run's report.
-func (r *Result) checkMetrics(run Run) {
-	w := run.Report.Window
-	t := w.End - w.Start
-	if t <= 0 {
-		r.add("metrics", 0, fmt.Sprintf("report window [%g, %g] is empty", w.Start, w.End))
-		return
-	}
-	busy := map[string][]float64{}
-	for name, n := range run.Nodes {
-		busy[name] = make([]float64, n)
-	}
-	var advance float64
-	tasks := 0
-	for _, rec := range run.Records {
-		nodes, ok := busy[rec.Resource]
-		if !ok {
-			continue // flagged by the exclusivity pass
-		}
-		tasks++
-		advance += rec.Deadline - rec.End
-		lo, hi := math.Max(rec.Start, w.Start), math.Min(rec.End, w.End)
-		if hi <= lo {
-			continue
-		}
-		for m := rec.Mask; m != 0; m &= m - 1 {
-			i := bits.TrailingZeros64(m)
-			if i < len(nodes) {
-				nodes[i] += hi - lo
-			}
-		}
-	}
-	var util []float64
-	names := make([]string, 0, len(busy))
-	for name := range busy {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		for _, b := range busy[name] {
-			util = append(util, b/t*100)
-		}
-	}
-	var eps float64
-	if tasks > 0 {
-		eps = advance / float64(tasks)
-	}
-	var ups float64
-	for _, u := range util {
-		ups += u
-	}
-	if len(util) > 0 {
-		ups /= float64(len(util))
-	}
-	var ss float64
-	for _, u := range util {
-		ss += (u - ups) * (u - ups)
-	}
-	var dev float64
-	if len(util) > 0 {
-		dev = math.Sqrt(ss / float64(len(util)))
-	}
-	var beta float64
-	if ups > 0 {
-		beta = (1 - dev/ups) * 100
-		if beta < 0 {
-			beta = 0
-		}
-	}
-
-	const tol = 1e-6
-	total := run.Report.Total
-	if tasks != total.Tasks {
-		r.add("metrics", 0, fmt.Sprintf("report counts %d tasks; records hold %d", total.Tasks, tasks))
-	}
-	if math.Abs(eps-total.Epsilon) > tol {
-		r.add("metrics", 0, fmt.Sprintf("epsilon recomputes to %.9g; report says %.9g", eps, total.Epsilon))
-	}
-	if math.Abs(ups-total.Upsilon) > tol {
-		r.add("metrics", 0, fmt.Sprintf("upsilon recomputes to %.9g; report says %.9g", ups, total.Upsilon))
-	}
-	if math.Abs(beta-total.Beta) > tol {
-		r.add("metrics", 0, fmt.Sprintf("beta recomputes to %.9g; report says %.9g", beta, total.Beta))
-	}
+	return o.Finish(run.Report, run.Dropped)
 }

@@ -1,0 +1,682 @@
+package audit
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/agent"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+)
+
+// Observer is the streaming form of Check: it consumes lifecycle events,
+// execution records and dispatch-log entries as the run produces them and
+// proves the same invariants (a)–(e) holding only O(in-flight) state. A
+// request's per-lifecycle state is retired the moment its terminal event
+// (complete or fail) is observed, and the exclusivity interval sets are
+// pruned as the virtual clock's safe horizon advances, so a 1M-request
+// run audits in memory bounded by the in-flight window, not the run
+// length.
+//
+// Feeding contract (the grid satisfies it naturally): a request's
+// execution record is observed before its start/complete events (the
+// executor emits the record at promotion, then the events), and a
+// dispatch-log entry before its dispatch event. Advance(now) promises
+// every record observed from here on starts strictly after now — the
+// grid calls it after each clock advance, when no planned start at or
+// before now remains unpromoted.
+//
+// Observer is not safe for concurrent use; the grid serialises all
+// observation on the simulation loop.
+type Observer struct {
+	nodes map[string]int
+
+	// retire controls early retirement. Live runs retire a request at
+	// its terminal event; the Check replay keeps state to the end so a
+	// malformed trace (events after a terminal) is judged with full
+	// context, exactly as the batch auditor did.
+	retire bool
+
+	counts    Counts
+	stream    []Violation // violations in observation order
+	anyEvents bool
+
+	inflight map[uint64]*reqState
+	order    []uint64 // insertion order of live states (finish fallback)
+
+	retired    bitset
+	retiredBig map[uint64]bool // ids too large for the bitset
+
+	// exclusivity intervals per resource per node, pruned on Advance.
+	// ivCount tracks the stored-interval population and ivFloor its size
+	// after the last sweep, so pruning can be amortized (see Advance).
+	ivs     map[string][][]interval
+	ivCount int
+	ivFloor int
+	horizon float64
+
+	// streaming §3.3 recomputation: unclipped per-node busy sums plus
+	// the record span, checked against the report window at Finish.
+	busy     map[string][]float64
+	advance  float64
+	tasks    int
+	minStart float64
+	maxEnd   float64
+
+	dispatchIdx int // running index into the dispatch log (for identity messages)
+	peakStates  int
+}
+
+type interval struct {
+	start, end float64
+	reqID      uint64
+	taskID     int
+}
+
+type dispatchKey struct {
+	resource string
+	taskID   int
+}
+
+// reqState is one in-flight request's lifecycle state — everything the
+// per-request checks of the batch auditor derive from the full event
+// list, folded incrementally.
+type reqState struct {
+	eventCount int
+	arrives    int
+	dispatches int
+	redisp     int
+	starts     int
+	completes  int
+	fails      int
+	migOffers  int
+	migWith    int
+	migRedisp  int
+
+	firstKind   trace.Kind
+	prevKind    trace.Kind
+	prevTime    float64
+	arriveTimes []float64
+
+	recCount int
+	rec      scheduler.Record // first observed record
+
+	// migration-chain scan state (checkMigrationChain, folded).
+	migrateSeen     bool
+	placed          string
+	pendingWithdraw int
+
+	// final placement decision (dispatch / redispatch / migrate-redispatch).
+	hasFinal      bool
+	finalKind     trace.Kind
+	finalResource string
+	finalTaskID   int
+
+	// dispatch-log entries logged for this request, and the dispatch
+	// events seen to match them against at finalisation.
+	logged       []agent.Dispatch
+	dispatchSeen []dispatchKey
+	agreement    []Violation // record-agreement violations, valid only if recCount stays 1
+}
+
+// NewObserver returns a streaming auditor for a grid with the given node
+// counts per resource.
+func NewObserver(nodes map[string]int) *Observer {
+	return &Observer{
+		nodes:    nodes,
+		retire:   true,
+		inflight: map[uint64]*reqState{},
+		ivs:      map[string][][]interval{},
+		busy:     map[string][]float64{},
+		minStart: math.Inf(1),
+		maxEnd:   math.Inf(-1),
+	}
+}
+
+func (o *Observer) add(check string, reqID uint64, detail string) {
+	o.stream = append(o.stream, Violation{Check: check, ReqID: reqID, Detail: detail})
+}
+
+// state returns (creating if needed) the in-flight state for a request.
+func (o *Observer) state(id uint64) *reqState {
+	s := o.inflight[id]
+	if s == nil {
+		s = &reqState{}
+		o.inflight[id] = s
+		o.order = append(o.order, id)
+		if len(o.inflight) > o.peakStates {
+			o.peakStates = len(o.inflight)
+		}
+	}
+	return s
+}
+
+func (o *Observer) isRetired(id uint64) bool {
+	if o.retiredBig != nil && o.retiredBig[id] {
+		return true
+	}
+	return o.retired.has(id)
+}
+
+func (o *Observer) markRetired(id uint64) {
+	const bitsetMax = 1 << 26 // ~8 MB of bits; larger ids spill to a map
+	if id < bitsetMax {
+		o.retired.set(id)
+		return
+	}
+	if o.retiredBig == nil {
+		o.retiredBig = map[uint64]bool{}
+	}
+	o.retiredBig[id] = true
+}
+
+// Record implements trace.Sink so the observer can be attached straight
+// to a trace recorder.
+func (o *Observer) Record(ev trace.Event) { o.Observe(ev) }
+
+// Observe folds one lifecycle event into the audit.
+func (o *Observer) Observe(ev trace.Event) {
+	o.anyEvents = true
+	if !ev.Kind.TaskBearing() {
+		return
+	}
+	if ev.ReqID == 0 {
+		o.add("identity", 0, fmt.Sprintf("%s event at t=%g (resource %q, task %d) carries no request ID", ev.Kind, ev.Time, ev.Resource, ev.TaskID))
+		return
+	}
+	o.countEvent(ev.Kind)
+	if o.isRetired(ev.ReqID) {
+		// Nothing may be recorded for a request after its terminal event
+		// — the retired state is gone, so this cannot be folded, only
+		// flagged (the batch auditor would have found the same lifecycle
+		// inconsistent).
+		o.add("conservation", ev.ReqID, fmt.Sprintf("%s event at t=%g after the request terminated", ev.Kind, ev.Time))
+		return
+	}
+	s := o.state(ev.ReqID)
+	if s.eventCount == 0 {
+		o.counts.Requests++
+		s.firstKind = ev.Kind
+	} else if ev.Time < s.prevTime {
+		// (c) lifecycle-time monotonicity along the causal event order.
+		o.add("timing", ev.ReqID, fmt.Sprintf("%s at t=%g precedes %s at t=%g", ev.Kind, ev.Time, s.prevKind, s.prevTime))
+	}
+	s.eventCount++
+	s.prevKind, s.prevTime = ev.Kind, ev.Time
+
+	switch ev.Kind {
+	case trace.KindArrive:
+		s.arrives++
+		s.arriveTimes = append(s.arriveTimes, ev.Time)
+	case trace.KindDispatch:
+		s.dispatches++
+		s.placed = ev.Resource
+		s.setFinal(ev)
+		s.dispatchSeen = append(s.dispatchSeen, dispatchKey{ev.Resource, ev.TaskID})
+	case trace.KindRedispatch:
+		s.redisp++
+		s.placed = ev.Resource
+		s.setFinal(ev)
+	case trace.KindStart:
+		s.starts++
+		if s.migrateSeen {
+			if s.pendingWithdraw > 0 {
+				o.add("conservation", ev.ReqID, "task started while withdrawn from every queue")
+			}
+			if s.placed != "" && ev.Resource != s.placed {
+				o.add("placement", ev.ReqID, fmt.Sprintf("task started on %s but was last placed on %s", ev.Resource, s.placed))
+			}
+		}
+		if s.recCount == 1 {
+			rec := s.rec
+			if ev.Time != rec.Start || ev.Resource != rec.Resource || ev.TaskID != rec.TaskID {
+				s.agreement = append(s.agreement, Violation{Check: "timing", ReqID: ev.ReqID,
+					Detail: fmt.Sprintf("start event (t=%g, %s task %d) disagrees with record (t=%g, %s task %d)",
+						ev.Time, ev.Resource, ev.TaskID, rec.Start, rec.Resource, rec.TaskID)})
+			}
+		}
+	case trace.KindComplete:
+		s.completes++
+		if s.recCount == 1 {
+			rec := s.rec
+			if ev.Time != rec.End || ev.Resource != rec.Resource {
+				s.agreement = append(s.agreement, Violation{Check: "timing", ReqID: ev.ReqID,
+					Detail: fmt.Sprintf("complete event (t=%g, %s) disagrees with record (t=%g, %s)",
+						ev.Time, ev.Resource, rec.End, rec.Resource)})
+			}
+		}
+	case trace.KindFail:
+		s.fails++
+	case trace.KindMigrateOffer:
+		s.migOffers++
+		s.migrateSeen = true
+		if s.placed != "" && ev.Resource != s.placed {
+			o.add("conservation", ev.ReqID, fmt.Sprintf("migrate-offer from %s but the task was placed on %s", ev.Resource, s.placed))
+		}
+	case trace.KindMigrateWithdraw:
+		s.migWith++
+		s.migrateSeen = true
+		if s.migOffers < s.migWith {
+			o.add("conservation", ev.ReqID, "migrate-withdraw without a preceding migrate-offer")
+		}
+		if s.pendingWithdraw > 0 {
+			o.add("conservation", ev.ReqID, "second migrate-withdraw before the previous chain re-dispatched")
+		}
+		if s.placed != "" && ev.Resource != s.placed {
+			o.add("conservation", ev.ReqID, fmt.Sprintf("migrate-withdraw from %s but the task was placed on %s", ev.Resource, s.placed))
+		}
+		s.pendingWithdraw++
+	case trace.KindMigrateRedispatch:
+		s.migRedisp++
+		s.migrateSeen = true
+		if s.pendingWithdraw == 0 {
+			o.add("conservation", ev.ReqID, "migrate-redispatch without a migrate-withdraw: the task would run twice")
+		} else {
+			s.pendingWithdraw--
+		}
+		s.placed = ev.Resource
+		s.setFinal(ev)
+	}
+
+	if o.retire && (ev.Kind == trace.KindComplete || ev.Kind == trace.KindFail) {
+		o.finalize(ev.ReqID, s)
+		delete(o.inflight, ev.ReqID)
+		o.markRetired(ev.ReqID)
+	}
+}
+
+func (s *reqState) setFinal(ev trace.Event) {
+	s.hasFinal = true
+	s.finalKind = ev.Kind
+	s.finalResource = ev.Resource
+	s.finalTaskID = ev.TaskID
+}
+
+func (o *Observer) countEvent(k trace.Kind) {
+	switch k {
+	case trace.KindArrive:
+		o.counts.Arrives++
+	case trace.KindDispatch:
+		o.counts.Dispatches++
+	case trace.KindRedispatch:
+		o.counts.Redispatches++
+	case trace.KindComplete:
+		o.counts.Completes++
+	case trace.KindFail:
+		o.counts.Fails++
+	case trace.KindMigrateOffer:
+		o.counts.MigrateOffers++
+	case trace.KindMigrateWithdraw:
+		o.counts.MigrateWithdraws++
+	case trace.KindMigrateRedispatch:
+		o.counts.MigrateRedispatches++
+	}
+}
+
+// ObserveRecord folds one committed execution record into the audit:
+// record timing (c), node exclusivity (b) via sorted-interval insertion,
+// and the §3.3 accumulators for the metrics recomputation (e).
+func (o *Observer) ObserveRecord(rec scheduler.Record) {
+	o.counts.Records++
+
+	// (c) on the record itself.
+	if rec.Start < rec.Arrival {
+		o.add("timing", rec.ReqID, fmt.Sprintf("task %d on %s starts at t=%g before its arrival t=%g", rec.TaskID, rec.Resource, rec.Start, rec.Arrival))
+	}
+	if rec.End < rec.Start {
+		o.add("timing", rec.ReqID, fmt.Sprintf("task %d on %s ends at t=%g before its start t=%g", rec.TaskID, rec.Resource, rec.End, rec.Start))
+	}
+
+	// (b) exclusivity, and (e) accumulation, for known resources.
+	n, known := o.nodes[rec.Resource]
+	switch {
+	case !known:
+		o.add("exclusivity", rec.ReqID, fmt.Sprintf("record on unknown resource %q", rec.Resource))
+	case rec.Mask == 0:
+		o.add("exclusivity", rec.ReqID, fmt.Sprintf("record task %d on %s allocates no nodes", rec.TaskID, rec.Resource))
+	default:
+		nodes := o.ivs[rec.Resource]
+		if nodes == nil {
+			nodes = make([][]interval, n)
+			o.ivs[rec.Resource] = nodes
+		}
+		for m := rec.Mask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if i >= n {
+				o.add("exclusivity", rec.ReqID, fmt.Sprintf("record task %d uses node %d of %d on %s", rec.TaskID, i, n, rec.Resource))
+				continue
+			}
+			nodes[i] = o.insertInterval(nodes[i], interval{rec.Start, rec.End, rec.ReqID, rec.TaskID}, rec.Resource, i)
+			o.ivCount++
+		}
+	}
+	if known {
+		o.tasks++
+		o.advance += rec.Deadline - rec.End
+		if rec.Start < o.minStart {
+			o.minStart = rec.Start
+		}
+		if rec.End > o.maxEnd {
+			o.maxEnd = rec.End
+		}
+		busy := o.busy[rec.Resource]
+		if busy == nil {
+			busy = make([]float64, n)
+			o.busy[rec.Resource] = busy
+		}
+		if rec.End > rec.Start {
+			for m := rec.Mask; m != 0; m &= m - 1 {
+				if i := bits.TrailingZeros64(m); i < len(busy) {
+					busy[i] += rec.End - rec.Start
+				}
+			}
+		}
+	}
+
+	if rec.ReqID == 0 {
+		o.add("identity", 0, fmt.Sprintf("execution record task %d on %s carries no request ID", rec.TaskID, rec.Resource))
+		return
+	}
+	if o.isRetired(rec.ReqID) {
+		o.add("conservation", rec.ReqID, fmt.Sprintf("execution record (task %d on %s) after the request terminated", rec.TaskID, rec.Resource))
+		return
+	}
+	s := o.state(rec.ReqID)
+	s.recCount++
+	if s.recCount == 1 {
+		s.rec = rec
+	}
+}
+
+// insertInterval places iv into the node's (start, end)-sorted interval
+// list, flagging overlap with its neighbours. Blame follows the batch
+// auditor's convention: the interval sorting later is reported against
+// the one before it.
+func (o *Observer) insertInterval(ivs []interval, iv interval, resource string, node int) []interval {
+	pos := sort.Search(len(ivs), func(i int) bool {
+		if ivs[i].start != iv.start {
+			return ivs[i].start > iv.start
+		}
+		return ivs[i].end > iv.end
+	})
+	if pos > 0 && iv.start < ivs[pos-1].end {
+		prev := ivs[pos-1]
+		o.add("exclusivity", iv.reqID, fmt.Sprintf(
+			"task %d [%g, %g) overlaps task %d (req %d) [%g, %g) on %s node %d",
+			iv.taskID, iv.start, iv.end, prev.taskID, prev.reqID, prev.start, prev.end, resource, node))
+	}
+	if pos < len(ivs) && ivs[pos].start < iv.end {
+		next := ivs[pos]
+		o.add("exclusivity", next.reqID, fmt.Sprintf(
+			"task %d [%g, %g) overlaps task %d (req %d) [%g, %g) on %s node %d",
+			next.taskID, next.start, next.end, iv.taskID, iv.reqID, iv.start, iv.end, resource, node))
+	}
+	ivs = append(ivs, interval{})
+	copy(ivs[pos+1:], ivs[pos:])
+	ivs[pos] = iv
+	return ivs
+}
+
+// ObserveDispatch folds one dispatch-log entry; it is matched against the
+// request's dispatch events at finalisation.
+func (o *Observer) ObserveDispatch(d agent.Dispatch) {
+	idx := o.dispatchIdx
+	o.dispatchIdx++
+	if d.ReqID == 0 {
+		o.add("identity", 0, fmt.Sprintf("dispatch log entry %d (%s task %d) carries no request ID", idx, d.Resource, d.TaskID))
+		return
+	}
+	if o.isRetired(d.ReqID) {
+		o.add("placement", d.ReqID, fmt.Sprintf("dispatch log entry (%s task %d) after the request terminated", d.Resource, d.TaskID))
+		return
+	}
+	o.state(d.ReqID).logged = append(o.state(d.ReqID).logged, d)
+}
+
+// Advance records the grid's post-advance safe horizon — the caller
+// promises every record observed from here on starts at or after now —
+// and prunes exclusivity intervals that can no longer overlap anything.
+// The sweep walks every node list, so it is amortized: it runs only once
+// the interval population has doubled since the last sweep (with a small
+// floor). Advance is called on every grid event; without the gate the
+// audit would cost O(resources) per event, exactly the scaling wall the
+// due-heap advance removed from the grid itself.
+func (o *Observer) Advance(now float64) {
+	if now > o.horizon {
+		o.horizon = now
+	}
+	if o.ivCount < 2*o.ivFloor+64 {
+		return
+	}
+	o.sweep()
+}
+
+// sweep drops every interval that ended at or before the horizon.
+func (o *Observer) sweep() {
+	for _, nodes := range o.ivs {
+		for i, ivs := range nodes {
+			// Real runs fill each node sequentially, so retired
+			// intervals form a prefix; stop at the first survivor.
+			j := 0
+			for j < len(ivs) && ivs[j].end <= o.horizon {
+				j++
+			}
+			if j == 0 {
+				continue
+			}
+			o.ivCount -= j
+			nodes[i] = append(ivs[:0], ivs[j:]...)
+		}
+	}
+	o.ivFloor = o.ivCount
+}
+
+// finalize runs the end-of-lifecycle checks the batch auditor performs in
+// checkRequest, over the folded state.
+func (o *Observer) finalize(id uint64, s *reqState) {
+	if s.eventCount == 0 {
+		if s.recCount > 0 {
+			o.add("conservation", id, "execution record without any lifecycle events")
+		}
+		if o.anyEvents {
+			for range s.logged {
+				o.add("placement", id, "dispatch log entry has no lifecycle events")
+			}
+		}
+		return
+	}
+
+	// (a) conservation.
+	switch {
+	case s.arrives == 0:
+		o.add("conservation", id, fmt.Sprintf("lifecycle events without an arrival (%d events)", s.eventCount))
+	case s.arrives > 1:
+		o.add("conservation", id, fmt.Sprintf("%d arrivals for one request", s.arrives))
+	}
+	if s.completes+s.fails != 1 {
+		o.add("conservation", id, fmt.Sprintf("request terminated %d times (%d completes, %d fails); want exactly one terminal", s.completes+s.fails, s.completes, s.fails))
+	}
+	if s.starts != s.completes {
+		o.add("conservation", id, fmt.Sprintf("%d starts but %d completes", s.starts, s.completes))
+	}
+	if s.completes == 1 && s.dispatches+s.redisp+s.migRedisp == 0 {
+		o.add("conservation", id, "request executed without any dispatch")
+	}
+	if s.recCount != s.completes {
+		o.add("conservation", id, fmt.Sprintf("%d execution records for %d completions; redispatch chains must net to one execution", s.recCount, s.completes))
+	}
+	if s.migrateSeen && s.pendingWithdraw > 0 {
+		o.add("conservation", id, "migrate-withdraw never re-dispatched: the task vanished")
+	}
+
+	// (c) first recorded event must be the arrival.
+	if s.firstKind != trace.KindArrive && s.arrives > 0 {
+		o.add("timing", id, fmt.Sprintf("first recorded event is %s, not the arrival", s.firstKind))
+	}
+
+	if s.recCount == 1 {
+		// (c) the record must agree with its lifecycle events.
+		for _, at := range s.arriveTimes {
+			if at > s.rec.Arrival {
+				o.add("timing", id, fmt.Sprintf("record arrival t=%g precedes the grid arrival t=%g", s.rec.Arrival, at))
+			}
+		}
+		o.stream = append(o.stream, s.agreement...)
+		// (d) the final placement decision must name the executing resource.
+		if s.hasFinal && (s.finalResource != s.rec.Resource || s.finalTaskID != s.rec.TaskID) {
+			o.add("placement", id, fmt.Sprintf("final %s targeted %s task %d but the execution record is %s task %d",
+				s.finalKind, s.finalResource, s.finalTaskID, s.rec.Resource, s.rec.TaskID))
+		}
+	}
+
+	// (d) each logged dispatch must match a dispatch event.
+	for _, d := range s.logged {
+		matched := false
+		for _, k := range s.dispatchSeen {
+			if k.resource == d.Resource && k.taskID == d.TaskID {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			o.add("placement", id, fmt.Sprintf("dispatch log names %s task %d but no dispatch event agrees", d.Resource, d.TaskID))
+		}
+	}
+}
+
+// InFlight reports the number of live request states — the audit's
+// working-set size, which stays at the in-flight window on real runs.
+func (o *Observer) InFlight() int { return len(o.inflight) }
+
+// PeakInFlight reports the high-water mark of live request states.
+func (o *Observer) PeakInFlight() int { return o.peakStates }
+
+// Finish finalises every request still in flight, recomputes the §3.3
+// totals against the report, and returns the verdict. The observer must
+// not be fed after Finish.
+func (o *Observer) Finish(report metrics.GridReport, dropped uint64) Result {
+	var res Result
+	if dropped > 0 {
+		res.Truncated = true
+		res.Violations = append(res.Violations, Violation{Check: "trace", ReqID: 0,
+			Detail: fmt.Sprintf("event ring dropped %d events; conservation is unprovable (size the recorder to the workload)", dropped)})
+	}
+
+	// Finalise survivors in request order for a deterministic report.
+	live := make([]uint64, 0, len(o.inflight))
+	for _, id := range o.order {
+		if _, ok := o.inflight[id]; ok {
+			live = append(live, id)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	for _, id := range live {
+		o.finalize(id, o.inflight[id])
+		delete(o.inflight, id)
+	}
+
+	o.checkMetrics(report)
+
+	res.Counts = o.counts
+	res.Violations = append(res.Violations, o.stream...)
+	return res
+}
+
+// checkMetrics verifies (e) from the streamed accumulators. The busy
+// sums are unclipped — streaming cannot revisit records once the window
+// is known — so the report window must enclose every record; metrics
+// windows do by construction (metrics.WindowOver spans [0, latest
+// completion]), and a window that does not is reported loudly rather
+// than recomputed wrongly.
+func (o *Observer) checkMetrics(report metrics.GridReport) {
+	w := report.Window
+	t := w.End - w.Start
+	if t <= 0 {
+		o.add("metrics", 0, fmt.Sprintf("report window [%g, %g] is empty", w.Start, w.End))
+		return
+	}
+	if o.tasks > 0 && (w.Start > o.minStart || w.End < o.maxEnd) {
+		o.add("metrics", 0, fmt.Sprintf("window [%g, %g] does not enclose the records (span [%g, %g]); the streaming audit cannot clip busy time after the fact", w.Start, w.End, o.minStart, o.maxEnd))
+		return
+	}
+	var util []float64
+	names := make([]string, 0, len(o.nodes))
+	for name := range o.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		busy := o.busy[name]
+		for i := 0; i < o.nodes[name]; i++ {
+			var b float64
+			if i < len(busy) {
+				b = busy[i]
+			}
+			util = append(util, b/t*100)
+		}
+	}
+	var eps float64
+	if o.tasks > 0 {
+		eps = o.advance / float64(o.tasks)
+	}
+	var ups float64
+	for _, u := range util {
+		ups += u
+	}
+	if len(util) > 0 {
+		ups /= float64(len(util))
+	}
+	var ss float64
+	for _, u := range util {
+		ss += (u - ups) * (u - ups)
+	}
+	var dev float64
+	if len(util) > 0 {
+		dev = math.Sqrt(ss / float64(len(util)))
+	}
+	var beta float64
+	if ups > 0 {
+		beta = (1 - dev/ups) * 100
+		if beta < 0 {
+			beta = 0
+		}
+	}
+
+	const tol = 1e-6
+	total := report.Total
+	if o.tasks != total.Tasks {
+		o.add("metrics", 0, fmt.Sprintf("report counts %d tasks; records hold %d", total.Tasks, o.tasks))
+	}
+	if math.Abs(eps-total.Epsilon) > tol {
+		o.add("metrics", 0, fmt.Sprintf("epsilon recomputes to %.9g; report says %.9g", eps, total.Epsilon))
+	}
+	if math.Abs(ups-total.Upsilon) > tol {
+		o.add("metrics", 0, fmt.Sprintf("upsilon recomputes to %.9g; report says %.9g", ups, total.Upsilon))
+	}
+	if math.Abs(beta-total.Beta) > tol {
+		o.add("metrics", 0, fmt.Sprintf("beta recomputes to %.9g; report says %.9g", beta, total.Beta))
+	}
+}
+
+// bitset is a growable bit set for retired request IDs (minted densely
+// from 1 by the grid).
+type bitset []uint64
+
+func (b *bitset) set(id uint64) {
+	w := id >> 6
+	for uint64(len(*b)) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (id & 63)
+}
+
+func (b bitset) has(id uint64) bool {
+	w := id >> 6
+	if w >= uint64(len(b)) {
+		return false
+	}
+	return b[w]&(1<<(id&63)) != 0
+}

@@ -13,9 +13,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/agent"
+	"repro/internal/audit"
 	"repro/internal/fault"
 	"repro/internal/ga"
 	"repro/internal/metrics"
@@ -101,6 +105,14 @@ type Options struct {
 	// dispatch, execution start, completion).
 	Trace *trace.Recorder
 
+	// Audit, when set, receives the run's full lifecycle stream live —
+	// every trace event, execution record and dispatch as it happens, plus
+	// the post-advance safe horizon — so the internal/audit invariants are
+	// proven in O(in-flight) memory instead of over a retained history.
+	// The observer only watches: results are byte-identical with it on or
+	// off.
+	Audit *audit.Observer
+
 	// FaultPlan schedules deterministic grid-level failures (agent
 	// crashes, link partitions, lossy links) against the run
 	// (Experiment 4). Requires UseAgents: the fault model targets the
@@ -173,6 +185,20 @@ type Grid struct {
 	dispatches []agent.Dispatch
 	errs       []error
 
+	// due indexes which schedulers have a planned start at or before a
+	// given virtual time, so a clock advance touches only the schedulers
+	// with work due instead of all 10k. Entries are lazily deleted;
+	// dueMu guards pushes from the parallel advance workers.
+	due   dueHeap
+	dueMu sync.Mutex
+
+	// execs holds the per-resource lifecycle executors (nil when neither
+	// tracing nor auditing is on). During a parallel advance each executor
+	// buffers its records so the merge can replay them in resource-name
+	// order — the exact stream a sequential advance would have produced.
+	execs       map[string]*tracingExecutor
+	workerCount int
+
 	lastRequestAt float64
 	requests      int
 	nextReqID     uint64 // grid-wide request IDs, minted at SubmitAt
@@ -207,6 +233,13 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		locals: map[string]*scheduler.Local{},
 		simr:   sim.NewSimulator(),
 	}
+	g.workerCount = opts.Workers
+	if g.workerCount <= 0 {
+		g.workerCount = runtime.GOMAXPROCS(0)
+	}
+	if opts.Trace != nil || opts.Audit != nil {
+		g.execs = make(map[string]*tracingExecutor, len(specs))
+	}
 
 	master := sim.NewRNG(opts.Seed)
 	agents := make(map[string]*agent.Agent, len(specs))
@@ -228,8 +261,10 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 			Engine:       engine,
 			Environments: spec.Environments,
 		}
-		if opts.Trace != nil {
-			cfg.Executor = &tracingExecutor{rec: opts.Trace}
+		if g.execs != nil {
+			e := &tracingExecutor{g: g}
+			cfg.Executor = e
+			g.execs[spec.Name] = e
 		}
 		if opts.PredictionError != 0 || opts.PredictionBias != 0 {
 			noise := pace.NoiseModel{Rel: opts.PredictionError, Bias: opts.PredictionBias, Seed: opts.Seed}
@@ -242,6 +277,12 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The shared clock keeps lazily advanced schedulers advertising
+		// the same freetime an eagerly advanced one would; the plan hook
+		// feeds the due index that makes the laziness sound.
+		local.SetClock(g.simr.Now)
+		name := spec.Name
+		local.SetPlanHook(func(at float64) { g.pushDue(at, name) })
 		a, err := agent.New(local, engine)
 		if err != nil {
 			return nil, err
@@ -286,7 +327,14 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 		if !opts.UseAgents {
 			return nil, fmt.Errorf("core: fault injection requires agent-based discovery (UseAgents)")
 		}
-		inj, err := fault.NewInjector(*opts.FaultPlan, hier, opts.Trace)
+		// The injector's events fan through the grid's own event sink so
+		// a streaming audit sees them too; the sink stays an untyped nil
+		// when neither tracing nor auditing is on.
+		var faultSink trace.Sink
+		if opts.Trace != nil || opts.Audit != nil {
+			faultSink = gridSink{g}
+		}
+		inj, err := fault.NewInjector(*opts.FaultPlan, hier, faultSink)
 		if err != nil {
 			return nil, err
 		}
@@ -468,8 +516,7 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 				g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 				return
 			}
-			g.dispatches = append(g.dispatches, d)
-			g.mDispatches.Inc()
+			g.recordDispatch(d)
 			detail := fmt.Sprintf("hops=%d", d.Hops)
 			if d.Fallback {
 				detail += " fallback"
@@ -492,8 +539,7 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 			g.traceEvent(trace.Event{Time: now, Kind: trace.KindFail, ReqID: reqID, Agent: agentName, App: appName, Detail: err.Error()})
 			return
 		}
-		g.dispatches = append(g.dispatches, agent.Dispatch{Resource: agentName, TaskID: id, ReqID: reqID})
-		g.mDispatches.Inc()
+		g.recordDispatch(agent.Dispatch{Resource: agentName, TaskID: id, ReqID: reqID})
 		g.traceEvent(trace.Event{
 			Time: now, Kind: trace.KindDispatch, ReqID: reqID, Agent: agentName,
 			Resource: agentName, TaskID: id, App: appName, Detail: "direct",
@@ -502,11 +548,32 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 	return nil
 }
 
+// traceEvent fans one lifecycle event to the streaming audit and the
+// trace recorder (and through them to any attached sinks).
 func (g *Grid) traceEvent(ev trace.Event) {
+	if g.opts.Audit != nil {
+		g.opts.Audit.Observe(ev)
+	}
 	if g.opts.Trace != nil {
 		g.opts.Trace.Record(ev)
 	}
 }
+
+// recordDispatch commits a discovery decision to the dispatch log, the
+// dispatch counter and the streaming audit.
+func (g *Grid) recordDispatch(d agent.Dispatch) {
+	g.dispatches = append(g.dispatches, d)
+	g.mDispatches.Inc()
+	if g.opts.Audit != nil {
+		g.opts.Audit.ObserveDispatch(d)
+	}
+}
+
+// gridSink adapts the grid's event fan-out to trace.Sink for subsystems
+// (the fault injector) that emit lifecycle events on their own.
+type gridSink struct{ g *Grid }
+
+func (s gridSink) Record(ev trace.Event) { s.g.traceEvent(ev) }
 
 // SubmitWorkload schedules a whole request stream.
 func (g *Grid) SubmitWorkload(reqs []workload.Request) error {
@@ -518,15 +585,180 @@ func (g *Grid) SubmitWorkload(reqs []workload.Request) error {
 	return nil
 }
 
+// pushDue records that the named scheduler may have a planned start at
+// time at. Installed as every scheduler's plan hook; safe to call from
+// the parallel advance workers.
+func (g *Grid) pushDue(at float64, name string) {
+	g.dueMu.Lock()
+	g.due.push(dueEntry{at: at, name: name})
+	g.dueMu.Unlock()
+}
+
+// advanceAll moves every scheduler with work due past the grid clock,
+// then announces now as the safe horizon to the streaming consumers.
+//
+// The old implementation advanced all schedulers on every event —
+// O(resources) per arrival, ruinous at 10k agents. The due heap makes
+// the advance touch only the schedulers whose cached plan horizon
+// (Local.NextPlannedStart) is at or before now: every finite horizon has
+// a heap entry at exactly its value (refreshNextStart pushes one on
+// every replan and promotion), so no promotion can be missed. Stale
+// entries — the plan changed after the push — are harmless: AdvanceTo on
+// a scheduler with nothing due is a constant-time clock bump. Names are
+// sorted before advancing, so promotions happen in the same resource
+// order the full sweep used and the lifecycle stream is byte-identical.
 func (g *Grid) advanceAll(now float64) {
-	names := make([]string, 0, len(g.locals))
-	for n := range g.locals {
-		names = append(names, n)
+	for {
+		g.dueMu.Lock()
+		var names []string
+		seen := map[string]bool{}
+		for len(g.due) > 0 && g.due[0].at <= now {
+			e := g.due.pop()
+			if !seen[e.name] {
+				seen[e.name] = true
+				names = append(names, e.name)
+			}
+		}
+		g.dueMu.Unlock()
+		if len(names) == 0 {
+			break
+		}
+		sort.Strings(names)
+		g.forEachLocal(names, func(l *scheduler.Local) { l.AdvanceTo(now) })
 	}
-	sort.Strings(names)
+	g.afterAdvance(now)
+}
+
+// afterAdvance announces the watermark: every promotion at or before now
+// has been committed, so all future lifecycle events and records carry
+// times >= now. It must run only after the advance loop — announcing
+// earlier would let streaming sinks flush past records still to come.
+func (g *Grid) afterAdvance(now float64) {
+	if g.opts.Audit != nil {
+		g.opts.Audit.Advance(now)
+	}
+	if g.opts.Trace != nil {
+		g.opts.Trace.Advance(now)
+	}
+}
+
+// parallelMinItems gates the worker-pool paths: below this, goroutine
+// startup costs more than the work.
+const parallelMinItems = 8
+
+// forEachLocal applies fn to the named schedulers, fanning across the
+// worker pool when the batch is large enough. Lifecycle records emitted
+// during a parallel batch are buffered per resource and replayed in name
+// order afterwards, so the observable stream is exactly the sequential
+// one no matter the worker count. fn must only touch the one scheduler
+// it is handed (plus atomics and the mutex-guarded due heap).
+func (g *Grid) forEachLocal(names []string, fn func(l *scheduler.Local)) {
+	if g.workerCount > 1 && len(names) >= parallelMinItems {
+		if g.execs != nil {
+			for _, n := range names {
+				g.execs[n].buffering = true
+			}
+		}
+		g.parallelFor(len(names), func(i int) { fn(g.locals[names[i]]) })
+		if g.execs != nil {
+			for _, n := range names {
+				e := g.execs[n]
+				e.buffering = false
+				for _, rec := range e.buf {
+					g.emitRecord(rec)
+				}
+				e.buf = e.buf[:0]
+			}
+		}
+		return
+	}
 	for _, n := range names {
-		g.locals[n].AdvanceTo(now)
+		fn(g.locals[n])
 	}
+}
+
+// parallelFor runs fn(0..n-1) across the grid's worker pool.
+func (g *Grid) parallelFor(n int, fn func(i int)) {
+	w := g.workerCount
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// dueEntry marks that the named scheduler had a planned start at time at
+// when the entry was pushed.
+type dueEntry struct {
+	at   float64
+	name string
+}
+
+// dueHeap is a binary min-heap of dueEntry on at, hand-rolled over a
+// value slice like sim.eventQueue. Ties need no secondary order: the
+// advance loop collects every due name and sorts before advancing.
+type dueHeap []dueEntry
+
+func (q *dueHeap) push(e dueEntry) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i].at >= h[parent].at {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *dueHeap) pop() dueEntry {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = dueEntry{}
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].at < h[smallest].at {
+			smallest = l
+		}
+		if r < n && h[r].at < h[smallest].at {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // Run executes all scheduled requests in virtual time — with periodic
@@ -539,16 +771,47 @@ func (g *Grid) Run() error {
 	}
 	g.ran = true
 	if g.opts.UseAgents {
+		names := g.hier.Names()
+		idx := make(map[string]int, len(names))
+		for i, n := range names {
+			idx[n] = i
+		}
+		base := make([]scheduler.ServiceInfo, len(names))
+		live := make([]bool, len(names))
+		lookup := func(name string) (scheduler.ServiceInfo, bool) {
+			i, ok := idx[name]
+			if !ok || !live[i] {
+				return scheduler.ServiceInfo{}, false
+			}
+			return base[i], true
+		}
 		pull := func(now float64) {
+			// Phase 1: every live publisher computes its base
+			// advertisement once. Scheduler state does not change within
+			// a pull tick, so each puller of the same publisher would
+			// compute an identical advertisement — the batch coalesces
+			// those O(degree) computations into one per publisher, and
+			// being read-only it fans across the worker pool.
+			g.parallelFor(len(names), func(i int) {
+				if g.injector != nil && g.injector.Registry().AgentDown(names[i]) {
+					live[i] = false
+					return
+				}
+				base[i] = g.locals[names[i]].ServiceInfo()
+				live[i] = true
+			})
+			// Phase 2: the exchanges themselves, strictly sequential in
+			// the legacy name order — lossy-gate draws and the live fault
+			// counters stamped on each advert are order-sensitive.
 			// A crashed agent neither pulls nor is pulled; the gate fails
 			// its peers' exchanges, but skipping the crashed agent's own
 			// loop keeps it from racking up failures against live peers.
-			for _, name := range g.hier.Names() {
+			for _, name := range names {
 				if g.injector != nil && g.injector.Registry().AgentDown(name) {
 					continue
 				}
 				a, _ := g.hier.Lookup(name)
-				a.Pull(now)
+				a.PullBatched(now, lookup)
 			}
 		}
 		pull(0)
@@ -584,10 +847,8 @@ func (g *Grid) Run() error {
 			return now < last
 		})
 	}
-	g.simr.RunAll(0)
-	for _, name := range g.hier.Names() {
-		g.locals[name].Drain()
-	}
+	g.simr.RunAll(g.eventBudget())
+	g.forEachLocal(g.hier.Names(), func(l *scheduler.Local) { l.Drain() })
 	if g.sampler != nil {
 		// One final point after the drain, at the completion time of the
 		// last record, so the series ends with the finished grid.
@@ -601,6 +862,44 @@ func (g *Grid) Run() error {
 	}
 	return errors.Join(g.errs...)
 }
+
+// eventBudget derives the RunAll bound from the run's actual shape —
+// one event per submitted request plus the periodic pull, migration and
+// sampling ticks and the fault plan's scheduled events, with slack —
+// instead of relying on the simulator's fixed default. A mega-grid run
+// legitimately exceeds 10M events; a run that exceeds its own derived
+// budget has a runaway event loop, and RunAll fails loudly rather than
+// truncating the simulation silently. The default stays as a floor so
+// the bound never tightens for existing workloads.
+func (g *Grid) eventBudget() int {
+	ticks := func(period float64) int {
+		if period <= 0 {
+			return 0
+		}
+		return int(g.lastRequestAt/period) + 2
+	}
+	budget := g.requests + 1024
+	if g.opts.UseAgents {
+		budget += ticks(g.opts.PullPeriod)
+	}
+	if g.migrator != nil {
+		budget += ticks(g.migrator.pol.CheckPeriod)
+	}
+	if g.sampler != nil {
+		budget += ticks(g.sampler.Period())
+	}
+	if g.opts.FaultPlan != nil {
+		budget += 4*len(g.opts.FaultPlan.Events) + 16
+	}
+	if budget < 10_000_000 {
+		budget = 10_000_000
+	}
+	return budget
+}
+
+// SimEvents reports how many simulator events the run executed — the
+// numerator of the events-per-second throughput figure.
+func (g *Grid) SimEvents() uint64 { return g.simr.Executed() }
 
 // Records returns every execution record across the grid.
 func (g *Grid) Records() []scheduler.Record {
@@ -621,7 +920,12 @@ func (g *Grid) Dispatches() []agent.Dispatch {
 // Metrics computes the §3.3 report over all records. minWindow sets the
 // minimum measurement period (typically the request phase length).
 func (g *Grid) Metrics(minWindow float64) (metrics.GridReport, error) {
-	recs := g.Records()
+	return g.MetricsOver(g.Records(), minWindow)
+}
+
+// MetricsOver is Metrics over a caller-held copy of the grid's records,
+// so a mega-run's history is not copied a second time.
+func (g *Grid) MetricsOver(recs []scheduler.Record, minWindow float64) (metrics.GridReport, error) {
 	return metrics.Compute(recs, g.NodesByResource(), metrics.WindowOver(recs, minWindow))
 }
 
@@ -672,22 +976,42 @@ func fnv64(s string) uint64 {
 	return h
 }
 
-// tracingExecutor records execution starts and (test-mode) completions.
+// tracingExecutor forwards execution records into the grid's lifecycle
+// stream. During a parallel advance it buffers instead (forEachLocal
+// flips buffering around the batch and replays the buffers in name
+// order), so the emitted stream is identical at any worker count.
 type tracingExecutor struct {
-	rec *trace.Recorder
+	g         *Grid
+	buffering bool
+	buf       []scheduler.Record
 }
 
 // Launch implements scheduler.Executor.
 func (e *tracingExecutor) Launch(rec scheduler.Record) {
+	if e.buffering {
+		e.buf = append(e.buf, rec)
+		return
+	}
+	e.g.emitRecord(rec)
+}
+
+// emitRecord feeds one committed execution record to the streaming audit
+// and synthesizes its start/complete lifecycle events — the record
+// first, so a terminal complete event never retires a request before its
+// record is counted.
+func (g *Grid) emitRecord(rec scheduler.Record) {
+	if g.opts.Audit != nil {
+		g.opts.Audit.ObserveRecord(rec)
+	}
 	app := ""
 	if rec.App != nil {
 		app = rec.App.Name
 	}
-	e.rec.Record(trace.Event{
+	g.traceEvent(trace.Event{
 		Time: rec.Start, Kind: trace.KindStart,
 		ReqID: rec.ReqID, Resource: rec.Resource, TaskID: rec.TaskID, App: app,
 	})
-	e.rec.Record(trace.Event{
+	g.traceEvent(trace.Event{
 		Time: rec.End, Kind: trace.KindComplete,
 		ReqID: rec.ReqID, Resource: rec.Resource, TaskID: rec.TaskID, App: app,
 		Detail: fmt.Sprintf("deadline_met=%v", rec.End <= rec.Deadline),

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// wideGrid builds a hierarchy wide enough (12 resources) that the
+// sharded step loop actually goes parallel: forEachLocal only fans out
+// when at least parallelMinItems locals are due at once.
+func wideGrid(t testing.TB, opts Options) *Grid {
+	t.Helper()
+	hardware := []string{"SGIOrigin2000", "SunUltra5", "SunSPARCstation2"}
+	specs := []ResourceSpec{{Name: "r0", Hardware: hardware[0], Nodes: 8}}
+	for i := 1; i < 12; i++ {
+		parent := "r0"
+		if i > 3 {
+			parent = specs[(i-1)/3].Name
+		}
+		specs = append(specs, ResourceSpec{
+			Name:     "r" + string(rune('0'+i/10)) + string(rune('0'+i%10)),
+			Hardware: hardware[i%len(hardware)],
+			Nodes:    4 + 4*(i%2),
+			Parent:   parent,
+		})
+	}
+	g, err := New(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runSharded drives a wide grid with trace and streaming audit attached
+// and returns the run's full lifecycle stream as CSV. Run under -race
+// this exercises the parallel advance/drain merge paths end to end.
+func runSharded(t *testing.T, workers int) (string, *audit.Observer) {
+	t.Helper()
+	rec := trace.NewRecorder(100000)
+	g := wideGrid(t, Options{
+		Policy:    PolicyFIFOFast,
+		UseAgents: true,
+		Seed:      77,
+		Workers:   workers,
+		Trace:     rec,
+	})
+	names := g.hier.Names()
+	obs := audit.NewObserver(g.NodesByResource())
+	g.opts.Audit = obs
+	spec := workload.Spec{
+		Seed: 77, Count: 120, Interval: 0.5,
+		AgentNames: names,
+		Library:    g.Library(),
+	}
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SubmitWorkload(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), obs
+}
+
+// TestShardedStepMergeDeterminism proves the tentpole merge contract at
+// the core layer: the lifecycle stream a parallel step loop emits is
+// byte-identical to the sequential one, and the streaming audit drains
+// to zero in-flight state either way. Run with -race (CI does) it also
+// serves as the data-race probe for the sharded advance.
+func TestShardedStepMergeDeterminism(t *testing.T) {
+	seq, seqObs := runSharded(t, 1)
+	par, parObs := runSharded(t, 4)
+	if seq != par {
+		t.Fatalf("lifecycle stream differs between worker widths 1 and 4:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	for _, obs := range []*audit.Observer{seqObs, parObs} {
+		if got := obs.InFlight(); got != 0 {
+			t.Fatalf("streaming audit retained %d request states after the run drained", got)
+		}
+		if obs.PeakInFlight() == 0 {
+			t.Fatal("streaming audit observed nothing")
+		}
+	}
+}

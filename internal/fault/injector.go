@@ -33,7 +33,7 @@ type Injector struct {
 	plan Plan
 	reg  *Registry
 	hier *agent.Hierarchy
-	rec  *trace.Recorder // optional
+	rec  trace.Sink // optional lifecycle event sink
 
 	// Env is the execution environment re-dispatched requests carry;
 	// the case-study workload uses only "test".
@@ -43,8 +43,9 @@ type Injector struct {
 }
 
 // NewInjector validates the plan against the hierarchy and returns an
-// injector; rec may be nil.
-func NewInjector(plan Plan, hier *agent.Hierarchy, rec *trace.Recorder) (*Injector, error) {
+// injector; rec may be nil (pass an untyped nil, not a nil concrete
+// pointer in a Sink variable).
+func NewInjector(plan Plan, hier *agent.Hierarchy, rec trace.Sink) (*Injector, error) {
 	if hier == nil {
 		return nil, fmt.Errorf("fault: injector needs a hierarchy")
 	}

@@ -20,9 +20,12 @@ type RunOptions struct {
 	// results are bit-identical for any value (PR 2's contract).
 	Workers int
 	// Trace, when set, receives the full request lifecycle (the caller
-	// wants the CSV); otherwise Run keeps a private recorder for the
-	// audit. It must be sized for at least 8×Count+64 events or the
-	// audit will report dropped events.
+	// wants an export). The audit no longer needs it: every run streams
+	// its lifecycle into an audit.Observer directly, so without Trace no
+	// history is retained at all. A retaining recorder must be sized for
+	// at least 8×Count+64 events — Run refuses an undersized ring loudly
+	// rather than exporting a silently truncated trace; stream through a
+	// trace.CSVSink with retention off for unbounded runs.
 	Trace *trace.Recorder
 	// Telemetry instruments the run on a fresh registry and attaches the
 	// final snapshot plus the virtual-time series to Result.Telemetry.
@@ -64,6 +67,7 @@ type Result struct {
 	MigrateRejects int `json:"migrate_rejects,omitempty"`
 
 	WallClock float64 `json:"wall_clock_s"` // host seconds, informational only
+	SimEvents uint64  `json:"sim_events"`   // simulator events executed (throughput numerator)
 
 	AuditOK         bool   `json:"audit_ok"`
 	AuditViolations int    `json:"audit_violations"`
@@ -102,9 +106,22 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		return Result{}, err
 	}
 	rec := opt.Trace
-	if rec == nil {
-		rec = trace.NewRecorder(8*spec.Arrivals.Count + 64)
+	if rec != nil && rec.Retaining() {
+		if need := 8*spec.Arrivals.Count + 64; rec.Capacity() < need {
+			return Result{}, fmt.Errorf(
+				"scenario %q: trace ring capacity %d cannot retain a %d-request run (need %d events); size the ring for the spec or stream with retention off",
+				spec.Name, rec.Capacity(), spec.Arrivals.Count, need)
+		}
 	}
+	// The audit streams: every lifecycle event, execution record and
+	// dispatch feeds the observer as it happens, and the post-advance
+	// watermark lets it retire finished requests — O(in-flight) memory
+	// where the old end-of-run audit.Check retained the whole run.
+	nodes := make(map[string]int, len(resources))
+	for _, r := range resources {
+		nodes[r.Name] = r.Nodes
+	}
+	obs := audit.NewObserver(nodes)
 	copts := core.Options{
 		Policy:    policy,
 		GA:        spec.GAConfig(),
@@ -112,6 +129,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		UseAgents: spec.AgentsEnabled(),
 		Seed:      seed,
 		Trace:     rec,
+		Audit:     obs,
 		FaultPlan: spec.FaultPlan(),
 		Migration: spec.MigrationPolicy(),
 	}
@@ -158,19 +176,16 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	if f, ok := proc.(workload.FixedInterval); ok {
 		minWindow = float64(len(reqs)) * f.Interval
 	}
-	report, err := grid.Metrics(minWindow)
+	recs := grid.Records()
+	disp := grid.Dispatches()
+	report, err := grid.MetricsOver(recs, minWindow)
 	if err != nil {
 		return Result{}, err
 	}
-	recs := grid.Records()
-	res := audit.Check(audit.Run{
-		Events:     rec.Events(),
-		Records:    recs,
-		Dispatches: grid.Dispatches(),
-		Nodes:      grid.NodesByResource(),
-		Report:     report,
-		Dropped:    rec.Dropped(),
-	})
+	// The observer saw the complete stream regardless of any trace-ring
+	// eviction, so the audit is never truncated by the ring; a lossy CSV
+	// export surfaces in the file's own trailer row instead.
+	res := obs.Finish(report, 0)
 
 	out := Result{
 		Name:      spec.Name,
@@ -188,6 +203,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		Throughput: metrics.Throughput(recs, report.Window),
 
 		WallClock: time.Since(start).Seconds(),
+		SimEvents: grid.SimEvents(),
 
 		AuditOK:         res.OK(),
 		AuditViolations: len(res.Violations),
@@ -209,7 +225,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		out.SlackP50, out.SlackP95, out.SlackP99 = ps[0], ps[1], ps[2]
 	}
 	var hops int
-	for _, d := range grid.Dispatches() {
+	for _, d := range disp {
 		hops += d.Hops
 		if d.Hops > out.MaxHops {
 			out.MaxHops = d.Hops
@@ -218,7 +234,7 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 			out.Fallbacks++
 		}
 	}
-	if n := len(grid.Dispatches()); n > 0 {
+	if n := len(disp); n > 0 {
 		out.MeanHops = float64(hops) / float64(n)
 	}
 	ms := grid.MigrationStats()

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestStreamedTraceMatchesBatchExport pins the streaming-sink contract
+// on a real run: a retention-off recorder fanning out to a CSVSink must
+// produce byte-for-byte the CSV that a retaining recorder's end-of-run
+// WriteCSV produces, while holding only the in-flight reorder window.
+func TestStreamedTraceMatchesBatchExport(t *testing.T) {
+	spec := smallSpec()
+
+	// Batch path: retain everything, sort and export at the end.
+	batch := trace.NewRecorder(8*spec.Arrivals.Count + 64)
+	if _, err := Run(spec, RunOptions{Trace: batch}); err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := batch.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming path: retention off, rows flushed at the grid's
+	// advance watermark, drained on Close.
+	var got strings.Builder
+	sink := trace.NewCSVSink(&got)
+	stream := trace.NewRecorder(1)
+	stream.SetRetention(false)
+	stream.AddSink(sink)
+	if _, err := Run(spec, RunOptions{Trace: stream}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(stream.Dropped()); err != nil {
+		t.Fatal(err)
+	}
+
+	if want.String() != got.String() {
+		t.Fatalf("streamed CSV differs from batch export:\nbatch:\n%s\nstream:\n%s", want.String(), got.String())
+	}
+	if sink.PeakBuffered() == 0 {
+		t.Fatal("sink buffered nothing — trace never reached it")
+	}
+	// The reorder buffer must track the in-flight window, not the run:
+	// retaining the whole trace would defeat the point of streaming.
+	if events := 8 * spec.Arrivals.Count; sink.PeakBuffered() >= events/2 {
+		t.Fatalf("peak reorder buffer %d events is not bounded by the in-flight window (run emits ~%d)", sink.PeakBuffered(), events)
+	}
+}

@@ -92,6 +92,21 @@ type Local struct {
 	nextID int
 	now    float64
 
+	// nextStart caches the earliest planned start time (+Inf with no
+	// plan), letting AdvanceTo return without touching the plan when the
+	// clock has not reached it — the grid advances thousands of idle
+	// schedulers per arrival otherwise. planHook, when set, is told the
+	// new horizon after every plan change so the grid can maintain a
+	// due-time index instead of polling every scheduler.
+	nextStart float64
+	planHook  func(at float64)
+
+	// clock, when set, supplies the grid's virtual time. Freetime floors
+	// at it so advertisements stay correct while l.now lags behind under
+	// lazy advancement (an idle scheduler's clock is only moved when work
+	// or a planned start reaches it).
+	clock func() float64
+
 	// slowdown, when set, multiplies the execution duration of every task
 	// by the factor in effect at its start time — how fault-plan
 	// degradation windows reach the scheduler. It stacks on top of any
@@ -125,10 +140,45 @@ func NewLocal(cfg Config) (*Local, error) {
 		cfg.Executor = &TestExecutor{}
 	}
 	return &Local{
-		cfg:      cfg,
-		monitor:  NewMonitor(cfg.NumNodes),
-		nodeBusy: make([]float64, cfg.NumNodes),
+		cfg:       cfg,
+		monitor:   NewMonitor(cfg.NumNodes),
+		nodeBusy:  make([]float64, cfg.NumNodes),
+		nextStart: math.Inf(1),
 	}, nil
+}
+
+// SetClock installs a shared virtual-time source (nil removes it).
+// Freetime — and therefore every advertisement and eq. 10 estimate —
+// floors at the shared clock, so a scheduler whose own clock lags under
+// lazy advancement still reports the same freetime an eagerly advanced
+// one would.
+func (l *Local) SetClock(fn func() float64) { l.clock = fn }
+
+// SetPlanHook installs fn (nil removes it), called with the earliest
+// planned start time whenever a replan or promotion changes the plan and
+// at least one task remains planned. The grid uses it to index which
+// schedulers are due at a given virtual time.
+func (l *Local) SetPlanHook(fn func(at float64)) { l.planHook = fn }
+
+// NextPlannedStart returns the earliest planned start time, or +Inf when
+// nothing is planned.
+func (l *Local) NextPlannedStart() float64 { return l.nextStart }
+
+// refreshNextStart recomputes the cached plan horizon and notifies the
+// plan hook.
+func (l *Local) refreshNextStart() {
+	next := math.Inf(1)
+	if l.plan != nil {
+		for _, it := range l.plan.Items {
+			if it.Start < next {
+				next = it.Start
+			}
+		}
+	}
+	l.nextStart = next
+	if l.planHook != nil && !math.IsInf(next, 1) {
+		l.planHook(next)
+	}
 }
 
 // Name returns the resource identity.
@@ -234,6 +284,7 @@ func (l *Local) Delete(taskID int, now float64) error {
 // replan runs the scheduling policy over the pending queue against the
 // currently available nodes.
 func (l *Local) replan() {
+	defer l.refreshNextStart()
 	up := l.monitor.UpNodes()
 	if len(up) == 0 {
 		l.plan, l.planPhys = nil, nil
@@ -263,6 +314,13 @@ func (l *Local) AdvanceTo(now float64) {
 		panic(fmt.Sprintf("scheduler: %q: clock moved backwards %v -> %v", l.cfg.Name, l.now, now))
 	}
 	l.now = now
+	// Nothing is due strictly before the cached plan horizon; skip the
+	// promotion scan (it copies and sorts the plan). now == nextStart must
+	// fall through: a replan can place a start exactly at the current
+	// instant and the next advance to that same instant promotes it.
+	if now < l.nextStart {
+		return
+	}
 	l.promote(func(p schedule.Placed) bool { return p.Start <= now })
 }
 
@@ -351,6 +409,7 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 	if len(promoted) == 0 {
 		return
 	}
+	defer l.refreshNextStart()
 	l.metrics.TasksStarted.Add(uint64(len(promoted)))
 	defer l.updateGauges()
 
@@ -483,6 +542,11 @@ func (l *Local) Planned() []Record {
 // only the makespan would promise optimistic freetime.
 func (l *Local) Freetime() float64 {
 	ft := l.now
+	if l.clock != nil {
+		if c := l.clock(); c > ft {
+			ft = c
+		}
+	}
 	for _, b := range l.nodeBusy {
 		if b > ft {
 			ft = b

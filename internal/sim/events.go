@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -15,24 +14,60 @@ type Event struct {
 	Run func(now float64)
 }
 
-type eventHeap []*Event
+// eventQueue is a binary min-heap of Event values ordered by (At, seq).
+// It is hand-rolled rather than container/heap so Push/Pop move values in
+// a flat slice instead of boxing each event behind an interface — at 10⁷+
+// events the per-event pointer allocation and the interface conversions
+// dominate the dispatch hot path.
+type eventQueue []Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+func (q eventQueue) less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e Event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() Event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = Event{} // release the Run closure for GC
+	h = h[:n]
+	*q = h
+	// Sift the moved element down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top
 }
 
 // Simulator couples a virtual clock with an event queue. It is the driver
@@ -43,9 +78,10 @@ func (h *eventHeap) Pop() interface{} {
 // discrete-event simulation (the paper's agents are concurrent processes,
 // but under test mode their interleaving is fixed by the event order).
 type Simulator struct {
-	clock Clock
-	queue eventHeap
-	seq   uint64
+	clock    Clock
+	queue    eventQueue
+	seq      uint64
+	executed uint64
 }
 
 // NewSimulator returns an empty simulator at virtual time 0.
@@ -61,7 +97,7 @@ func (s *Simulator) At(t float64, fn func(now float64)) {
 		panic(fmt.Sprintf("sim: event scheduled in the past: at=%v now=%v", t, s.clock.Now()))
 	}
 	s.seq++
-	heap.Push(&s.queue, &Event{At: t, seq: s.seq, Run: fn})
+	s.queue.push(Event{At: t, seq: s.seq, Run: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -89,14 +125,19 @@ func (s *Simulator) Every(d float64, fn func(now float64) bool) {
 // Pending reports the number of queued events.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
+// Executed reports the number of events run so far — the numerator of a
+// simulated-events-per-second throughput figure.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
 // Step runs the earliest pending event, advancing the clock to its time.
 // It reports whether an event was run.
 func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.queue.pop()
 	s.clock.Advance(e.At)
+	s.executed++
 	e.Run(e.At)
 	return true
 }
@@ -112,7 +153,9 @@ func (s *Simulator) RunUntil(t float64) {
 
 // RunAll drains the event queue. maxEvents bounds the number of events to
 // protect against runaway self-rescheduling loops; pass 0 for the default
-// of 10 million.
+// of 10 million. Callers whose workloads legitimately exceed the default
+// (mega-grid scenarios) must derive and pass an explicit bound — see
+// core.Run — rather than rely on the default and truncate silently.
 func (s *Simulator) RunAll(maxEvents int) {
 	if maxEvents <= 0 {
 		maxEvents = 10_000_000
@@ -122,7 +165,7 @@ func (s *Simulator) RunAll(maxEvents int) {
 			return
 		}
 	}
-	panic("sim: RunAll exceeded event budget; runaway event loop?")
+	panic(fmt.Sprintf("sim: RunAll exceeded event budget of %d; runaway event loop?", maxEvents))
 }
 
 // NextEventAt returns the time of the earliest pending event, or +Inf when

@@ -99,6 +99,24 @@ func (e Event) String() string {
 	return s
 }
 
+// Sink consumes lifecycle events as they are recorded. The recorder feeds
+// its sinks inline, under its lock, with the sequence number already
+// assigned — a sink sees exactly the stream a later Events() call would
+// return, but one event at a time, so a 1M-request trace can stream to
+// disk without retaining the history.
+type Sink interface {
+	Record(ev Event)
+}
+
+// Advancer is implemented by sinks that buffer out-of-order events (record
+// order is not virtual-time order — completions carry future end times).
+// Advance(now) promises that every event recorded from here on has
+// Time >= now, letting the sink flush everything earlier. The grid calls
+// it after each clock advance; see core.advanceAll.
+type Advancer interface {
+	Advance(now float64)
+}
+
 // DefaultCapacity bounds the ring when none is given.
 const DefaultCapacity = 65536
 
@@ -111,6 +129,8 @@ type Recorder struct {
 	cap     int
 	seq     uint64
 	dropped uint64
+	retain  bool
+	sinks   []Sink
 }
 
 // NewRecorder returns a recorder holding up to capacity events; capacity
@@ -119,7 +139,53 @@ func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Recorder{cap: capacity}
+	return &Recorder{cap: capacity, retain: true}
+}
+
+// AddSink attaches a sink; every subsequent Record feeds it (with Seq
+// assigned) before the ring is touched.
+func (r *Recorder) AddSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sinks = append(r.sinks, s)
+}
+
+// SetRetention toggles the ring. With retention off the recorder still
+// assigns sequence numbers and feeds its sinks, but retains nothing —
+// the mode for mega-grid runs where the history streams straight to a
+// CSVSink and holding it would defeat bounded memory. Events() is empty
+// and Dropped() zero in this mode: nothing retained, nothing evicted.
+func (r *Recorder) SetRetention(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retain = on
+}
+
+// Retaining reports whether the ring currently retains events (see
+// SetRetention).
+func (r *Recorder) Retaining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retain
+}
+
+// Capacity returns the ring capacity.
+func (r *Recorder) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cap
+}
+
+// Advance forwards a virtual-time watermark to every attached sink that
+// buffers on time order (see Advancer).
+func (r *Recorder) Advance(now float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sinks {
+		if a, ok := s.(Advancer); ok {
+			a.Advance(now)
+		}
+	}
 }
 
 // Record appends an event, evicting the oldest when the ring is full.
@@ -128,6 +194,12 @@ func (r *Recorder) Record(ev Event) {
 	defer r.mu.Unlock()
 	r.seq++
 	ev.Seq = r.seq
+	for _, s := range r.sinks {
+		s.Record(ev)
+	}
+	if !r.retain {
+		return
+	}
 	if !r.full {
 		r.events = append(r.events, ev)
 		if len(r.events) == r.cap {

@@ -10,8 +10,110 @@
 # claims are reproducible from a checkout.
 #
 # Usage:  scripts/bench.sh [output.json]        (default: BENCH_PR2.json)
+#         scripts/bench.sh pr7 [output.json]    (default: BENCH_PR7.json)
+#
+# The pr7 mode is the mega-grid throughput evidence: it runs the
+# examples/scenarios/mega-smoke.json scenario (1k agents, 50k Poisson
+# requests) through the sharded step loop with the streaming audit on,
+# and records events/sec and requests/sec at worker widths 1 and 4 from
+# gridexp's machine-readable -out export. Set MEGA_SPEC to
+# examples/scenarios/mega.json to measure the full 10k-agent/1M-request
+# grid instead (minutes, not seconds).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "pr7" ]]; then
+  out="${2:-BENCH_PR7.json}"
+  spec="${MEGA_SPEC:-examples/scenarios/mega-smoke.json}"
+  bin="$(mktemp)"
+  w1="$(mktemp)"
+  w4="$(mktemp)"
+  t3="$(mktemp)"
+  trap 'rm -f "$bin" "$w1" "$w4" "$t3"' EXIT
+
+  echo "== build gridexp ==" >&2
+  go build -o "$bin" ./cmd/gridexp
+
+  echo "== mega run ($spec, workers=1) ==" >&2
+  "$bin" -scenario "$spec" -workers 1 -out "$w1" >&2
+  echo "== mega run ($spec, workers=4) ==" >&2
+  "$bin" -scenario "$spec" -workers 4 -out "$w4" >&2
+  echo "== Table 3 metrics (regression guard) ==" >&2
+  "$bin" -table3 -out "$t3" >&2
+
+  # MEGA_FULL_RESULT may name a gridexp -out export of the full
+  # examples/scenarios/mega.json run (minutes of wall clock); when set,
+  # its numbers land in the JSON under "mega_full".
+  python3 - "$spec" "$w1" "$w4" "$t3" "$out" "${MEGA_FULL_RESULT:-}" <<'PY'
+import json, os, sys
+
+spec_path, w1_path, w4_path, t3_path, out_path, full_path = sys.argv[1:7]
+
+def point(path, workers):
+    res = json.load(open(path))['scenario']
+    wall = res['wall_clock_s']
+    return {
+        'workers': workers,
+        'wall_clock_s': round(wall, 3),
+        'sim_events': res['sim_events'],
+        'requests': res['requests'],
+        'completed': res['completed'],
+        'audit_ok': res['audit_ok'],
+        'events_per_s': round(res['sim_events'] / wall, 1),
+        'requests_per_s': round(res['requests'] / wall, 1),
+    }
+
+p1, p4 = point(w1_path, 1), point(w4_path, 4)
+table3 = [
+    {k: e[k] for k in ('id', 'label', 'policy', 'eps_s', 'ups_pct', 'beta_pct')}
+    for e in json.load(open(t3_path)).get('experiments', [])
+]
+doc = {
+    'spec': spec_path,
+    'runs': [p1, p4],
+    'table3': table3,
+    'mega_full': None,
+    'summary': {
+        'host_cpus': os.cpu_count(),
+        'speedup_workers4': round(p1['wall_clock_s'] / p4['wall_clock_s'], 2),
+        'note': ('Throughput of the sharded event loop with batched advert '
+                 'exchanges and the streaming audit attached. events_per_s '
+                 'counts executed simulator events; requests_per_s counts '
+                 'submitted grid requests. Both runs must stay audit_ok and '
+                 'bit-identical in scheduling results (the test suite pins '
+                 'that); this file records only the speed. Worker speedup '
+                 'needs cores: on a single-CPU host the parallel merge is '
+                 'pure bookkeeping overhead, so expect ~1.0 there and gains '
+                 'only when host_cpus > 1.'),
+    },
+}
+if full_path:
+    full = json.load(open(full_path))['scenario']
+    doc['mega_full'] = {
+        'spec': 'examples/scenarios/mega.json',
+        'agents': full['agents'],
+        'requests': full['requests'],
+        'completed': full['completed'],
+        'audit_ok': full['audit_ok'],
+        'wall_clock_s': round(full['wall_clock_s'], 1),
+        'sim_events': full['sim_events'],
+        'events_per_s': round(full['sim_events'] / full['wall_clock_s'], 1),
+        'requests_per_s': round(full['requests'] / full['wall_clock_s'], 1),
+    }
+    # Peak RSS is measured outside the process (e.g. polling VmHWM in
+    # /proc/<pid>/status); pass it in when you have it.
+    if os.environ.get('MEGA_FULL_PEAK_RSS_KB'):
+        doc['mega_full']['peak_rss_kb'] = int(os.environ['MEGA_FULL_PEAK_RSS_KB'])
+for p in (p1, p4):
+    if not p['audit_ok']:
+        sys.exit(f'audit failed at workers={p["workers"]}')
+json.dump(doc, open(out_path, 'w'), indent=1)
+open(out_path, 'a').write('\n')
+print(f'wrote {out_path}', file=sys.stderr)
+print(json.dumps(doc['summary'], indent=1), file=sys.stderr)
+PY
+  exit 0
+fi
 
 out="${1:-BENCH_PR2.json}"
 micro="$(mktemp)"
