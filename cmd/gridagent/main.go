@@ -47,6 +47,9 @@ func main() {
 		metrics = flag.String("metrics", "", "serve GET /metrics (Prometheus text, ?format=json) and /healthz on this address; empty (the default) disables telemetry")
 		listHW  = flag.Bool("list-hw", false, "list hardware models and exit")
 		service = flag.Bool("print-service", false, "print this agent's Fig. 5 service information and exit")
+
+		admission = flag.Int("admission", 0, "admission gate: max executing requests before shedding with a busy reply; 0 disables")
+		binary    = flag.Bool("binary", false, "allow peers to negotiate the compact binary codec (XML stays the wire default)")
 	)
 	flag.Parse()
 
@@ -93,6 +96,7 @@ func main() {
 	node, err := transport.NewNode(a, lib)
 	fail(err)
 	node.SetPushEnabled(*push)
+	node.SetServerConfig(transport.ServerConfig{MaxInflight: *admission, AllowBinary: *binary})
 
 	if *upper != "" {
 		p, err := parsePeer(*upper, lib)

@@ -29,6 +29,13 @@ func main() {
 		pull    = flag.Float64("pull", 10, "advertisement pull period in seconds")
 		push    = flag.Bool("push", false, "event-triggered advertisement pushes")
 		metrics = flag.String("metrics", "127.0.0.1:7190", "serve GET /metrics (Prometheus text, ?format=json) and /healthz on this address; empty disables telemetry")
+
+		poolSize  = flag.Int("pool-size", transport.DefaultPoolSize, "keep-alive connections per peer")
+		window    = flag.Int("window", transport.DefaultWindow, "max in-flight exchanges per peer")
+		shed      = flag.Bool("shed", false, "fail over-window exchanges immediately instead of blocking")
+		binary    = flag.Bool("binary", false, "negotiate the compact binary codec between farm nodes (XML stays the wire default)")
+		admission = flag.Int("admission", 0, "per-node admission gate: max executing requests before shedding with a busy reply; 0 disables")
+		nopool    = flag.Bool("no-pool", false, "legacy dial-per-exchange transport (comparison mode)")
 	)
 	flag.Parse()
 
@@ -45,6 +52,9 @@ func main() {
 		PullPeriod: *pull,
 		Push:       *push,
 		Telemetry:  reg,
+		Pool:       transport.PoolConfig{Size: *poolSize, Window: *window, Shed: *shed, Binary: *binary},
+		NoPool:     *nopool,
+		Server:     transport.ServerConfig{MaxInflight: *admission, AllowBinary: *binary},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gridfarm:", err)

@@ -39,8 +39,16 @@ func main() {
 		count    = flag.Int("count", 1, "submit a batch: random apps/deadlines drawn from the Table 1 domains")
 		interval = flag.Duration("interval", time.Second, "batch pacing between submissions")
 		seed     = flag.Uint64("seed", 1, "batch randomness seed")
+
+		pool       = flag.Bool("pool", true, "ride pooled multiplexed connections; false dials per exchange (legacy)")
+		wireBinary = flag.Bool("wire-binary", false, "offer the compact binary wire codec (the server must allow it; XML stays the default and the request document is unchanged)")
 	)
 	flag.Parse()
+
+	client := transport.NewClient()
+	if *pool {
+		client = transport.NewPooledClient(transport.PoolConfig{Binary: *wireBinary})
+	}
 
 	lib := pace.CaseStudyLibrary()
 	if *listApps {
@@ -50,7 +58,7 @@ func main() {
 		return
 	}
 	if *query {
-		reply, kind, err := transport.Call(*to, xmlmsg.NewServiceQuery())
+		reply, kind, err := client.Call(*to, xmlmsg.NewServiceQuery())
 		fail(err)
 		if kind != xmlmsg.KindService {
 			fail(fmt.Errorf("unexpected reply kind %q", kind))
@@ -63,7 +71,7 @@ func main() {
 		return
 	}
 	if *results {
-		reply, kind, err := transport.Call(*to, xmlmsg.NewResultsQuery(*email))
+		reply, kind, err := client.Call(*to, xmlmsg.NewResultsQuery(*email))
 		fail(err)
 		if kind != xmlmsg.KindResults {
 			fail(fmt.Errorf("unexpected reply kind %q", kind))
@@ -90,7 +98,7 @@ func main() {
 		fail(fmt.Errorf("unknown application %q (try -list-apps)", *app))
 	}
 	if *count > 1 {
-		submitBatch(lib, *to, *env, *email, *count, *interval, *seed)
+		submitBatch(client, lib, *to, *env, *email, *count, *interval, *seed)
 		return
 	}
 
@@ -117,7 +125,7 @@ func main() {
 		return
 	}
 
-	reply, kind, err := transport.Call(*to, req)
+	reply, kind, err := client.Call(*to, req)
 	fail(err)
 	if kind != xmlmsg.KindDispatch {
 		fail(fmt.Errorf("unexpected reply kind %q", kind))
@@ -133,7 +141,7 @@ func main() {
 // submitBatch replays a §4.1-style workload against a live daemon:
 // random applications with deadlines drawn from their Table 1 domains,
 // paced at the given interval, reporting where everything landed.
-func submitBatch(lib *pace.Library, to, env, email string, count int, interval time.Duration, seed uint64) {
+func submitBatch(client *transport.Client, lib *pace.Library, to, env, email string, count int, interval time.Duration, seed uint64) {
 	rng := sim.NewRNG(seed)
 	models := lib.Models()
 	byResource := map[string]int{}
@@ -144,7 +152,7 @@ func submitBatch(lib *pace.Library, to, env, email string, count int, interval t
 		deadlineSec := time.Since(transport.MidnightOrigin()).Seconds() + rel
 		req := xmlmsg.NewRequest(m.Name, "", m.Name, env, deadlineSec, email)
 		req.ReqID = uint64(time.Now().UnixNano())
-		reply, kind, err := transport.Call(to, req)
+		reply, kind, err := client.Call(to, req)
 		fail(err)
 		if kind != xmlmsg.KindDispatch {
 			fail(fmt.Errorf("unexpected reply kind %q", kind))

@@ -25,10 +25,18 @@ const (
 // ExchangeError is the typed failure of a client exchange: which peer,
 // how many attempts were spent, and at which stage of the exchange the
 // last attempt died.
+//
+// Op taxonomy: "dial", "write" and "read" are transport-stage failures
+// and are retried. "reply" is an application-level ErrorReply — the
+// exchange itself succeeded, so it is never retried. "busy" is the
+// server's admission gate shedding load; it is retried with backoff
+// (the peer is alive, just saturated). "shed" and "window" are local
+// backpressure at the client's own send window and fail fast — retrying
+// immediately would only pile onto the same full window.
 type ExchangeError struct {
 	Addr     string // peer address dialled
 	Attempts int    // attempts made before giving up
-	Op       string // "dial", "write", "read" or "reply"
+	Op       string // "dial", "write", "read", "reply", "busy", "shed" or "window"
 	Err      error  // the last underlying error
 }
 
@@ -67,6 +75,12 @@ type Client struct {
 	// Metrics instruments this client's exchanges; the zero value (all
 	// nil, the default) adds one branch per call and nothing else.
 	Metrics ClientMetrics
+
+	// Pool, when set, routes exchanges through pooled multiplexed
+	// connections instead of dialling per attempt. Retry policy, backoff
+	// and metrics are unchanged — the pool only replaces the transport
+	// underneath an attempt. Nil keeps the legacy dial-per-exchange path.
+	Pool *Pool
 }
 
 // ClientMetrics is the set of instruments a Client updates per Call:
@@ -74,11 +88,19 @@ type Client struct {
 // backoff), retry attempts, and exchanges that failed outright. The
 // exchange counter is sharded because node pull/tick/serve goroutines
 // call concurrently.
+//
+// Failures counts transport-level failures only (dial/write/read
+// exhausted, windows, busy peers). An application-level ErrorReply means
+// the transport worked — the peer answered — so it counts under
+// PeerErrors instead; lumping the two together made a healthy wire with
+// an unhappy application look like a broken wire.
 type ClientMetrics struct {
-	Exchanges *telemetry.ShardedCounter // Calls made
-	Retries   *telemetry.Counter        // extra attempts after the first
-	Failures  *telemetry.Counter        // Calls that returned an error
-	Latency   *telemetry.Histogram      // wall-clock seconds per Call
+	Exchanges  *telemetry.ShardedCounter // Calls made
+	Retries    *telemetry.Counter        // extra attempts after the first
+	Failures   *telemetry.Counter        // Calls lost to transport failures
+	PeerErrors *telemetry.Counter        // Calls answered with an ErrorReply
+	Busy       *telemetry.Counter        // busy (admission-shed) replies seen
+	Latency    *telemetry.Histogram      // wall-clock seconds per Call
 }
 
 // NewClientMetrics builds client instruments on reg; kv are optional
@@ -90,14 +112,19 @@ func NewClientMetrics(reg *telemetry.Registry, kv ...string) ClientMetrics {
 	}
 	l := func(name string) string { return telemetry.Label(name, kv...) }
 	return ClientMetrics{
-		Exchanges: reg.ShardedCounter(l("transport_exchanges_total")),
-		Retries:   reg.Counter(l("transport_retries_total")),
-		Failures:  reg.Counter(l("transport_failures_total")),
-		Latency:   reg.Histogram(l("transport_exchange_latency_s")),
+		Exchanges:  reg.ShardedCounter(l("transport_exchanges_total")),
+		Retries:    reg.Counter(l("transport_retries_total")),
+		Failures:   reg.Counter(l("transport_failures_total")),
+		PeerErrors: reg.Counter(l("transport_peer_errors_total")),
+		Busy:       reg.Counter(l("transport_busy_total")),
+		Latency:    reg.Histogram(l("transport_exchange_latency_s")),
 	}
 }
 
-// NewClient returns a client with the package defaults.
+// NewClient returns a client with the package defaults, using the
+// legacy dial-per-exchange transport. Production paths should prefer
+// NewPooledClient; this constructor keeps the one-connection-per-frame
+// behaviour for tools and tests that depend on it.
 func NewClient() *Client {
 	return &Client{
 		DialTimeout:     DialTimeout,
@@ -108,8 +135,18 @@ func NewClient() *Client {
 	}
 }
 
-// defaultClient backs the package-level Call.
-var defaultClient = NewClient()
+// NewPooledClient returns a client with the package defaults whose
+// exchanges ride pooled, multiplexed keep-alive connections.
+func NewPooledClient(cfg PoolConfig) *Client {
+	c := NewClient()
+	c.Pool = NewPool(cfg)
+	return c
+}
+
+// defaultClient backs the package-level Call. It pools: package-level
+// callers (nodes talking to farm peers) are exactly the hot paths that
+// pay for a dial per exchange.
+var defaultClient = NewPooledClient(PoolConfig{})
 
 // Backoff returns the delay inserted after the given failed attempt
 // (1-based): exponential doubling from BackoffBase capped at BackoffMax,
@@ -164,12 +201,20 @@ func (c *Client) Call(addr string, msg interface{}) (interface{}, xmlmsg.Kind, e
 		c.Metrics.Latency.Observe(time.Since(start).Seconds())
 	}
 	if err != nil {
-		c.Metrics.Failures.Inc()
+		// An ErrorReply reached us over a working transport: that is a
+		// peer error, not a transport failure.
+		if xe, ok := err.(*ExchangeError); ok && xe.Op == "reply" {
+			c.Metrics.PeerErrors.Inc()
+		} else {
+			c.Metrics.Failures.Inc()
+		}
 	}
 	return reply, kind, err
 }
 
-// call is the retry loop behind Call.
+// call is the retry loop behind Call. Transport stages (dial, write,
+// read) and busy peers are retried; application replies and local
+// window backpressure return immediately.
 func (c *Client) call(addr string, msg interface{}, attempts int, sleep func(time.Duration)) (interface{}, xmlmsg.Kind, error) {
 	var last *ExchangeError
 	for attempt := 1; attempt <= attempts; attempt++ {
@@ -182,8 +227,13 @@ func (c *Client) call(addr string, msg interface{}, attempts int, sleep func(tim
 			return reply, kind, nil
 		}
 		xerr.Attempts = attempt
-		if xerr.Op == "reply" {
+		switch xerr.Op {
+		case "reply":
 			return nil, kind, xerr
+		case "busy":
+			c.Metrics.Busy.Inc()
+		case "shed", "window":
+			return nil, "", xerr
 		}
 		last = xerr
 	}
@@ -191,7 +241,9 @@ func (c *Client) call(addr string, msg interface{}, attempts int, sleep func(tim
 }
 
 // once runs a single exchange attempt; a non-nil *ExchangeError has its
-// Op set but Attempts left for the caller.
+// Op set but Attempts left for the caller. With a Pool configured the
+// attempt rides a pooled multiplexed connection; otherwise it dials,
+// exchanges one legacy frame and hangs up, as the original client did.
 func (c *Client) once(addr string, msg interface{}) (interface{}, xmlmsg.Kind, *ExchangeError) {
 	dialTO := c.DialTimeout
 	if dialTO <= 0 {
@@ -200,6 +252,9 @@ func (c *Client) once(addr string, msg interface{}) (interface{}, xmlmsg.Kind, *
 	exchTO := c.ExchangeTimeout
 	if exchTO <= 0 {
 		exchTO = ExchangeTimeout
+	}
+	if c.Pool != nil {
+		return c.Pool.Exchange(addr, msg, dialTO, exchTO)
 	}
 	conn, err := net.DialTimeout("tcp", addr, dialTO)
 	if err != nil {
@@ -213,6 +268,10 @@ func (c *Client) once(addr string, msg interface{}) (interface{}, xmlmsg.Kind, *
 	reply, kind, err := xmlmsg.ReadMessage(bufio.NewReader(conn))
 	if err != nil {
 		return nil, "", &ExchangeError{Addr: addr, Op: "read", Err: err}
+	}
+	if b, ok := reply.(*xmlmsg.Busy); ok {
+		return nil, kind, &ExchangeError{Addr: addr, Op: "busy",
+			Err: fmt.Errorf("transport: peer shedding load (%d in flight, limit %d)", b.Depth, b.Limit)}
 	}
 	if er, ok := reply.(*xmlmsg.ErrorReply); ok {
 		return nil, kind, &ExchangeError{Addr: addr, Op: "reply", Err: er.Err()}

@@ -20,10 +20,11 @@ import (
 // core.ResourceSpec set) into a live deployment that gridsubmit can talk
 // to.
 type Farm struct {
-	nodes map[string]*Node
-	order []string
-	lib   *pace.Library
-	reg   *telemetry.Registry
+	nodes   map[string]*Node
+	order   []string
+	lib     *pace.Library
+	reg     *telemetry.Registry
+	clients []*Client
 }
 
 // FarmConfig configures StartFarm.
@@ -38,9 +39,23 @@ type FarmConfig struct {
 	Library    *pace.Library
 
 	// Telemetry, when set, instruments every node (agent, scheduler, GA,
-	// engine, outbound exchanges) on one shared registry — the registry a
-	// daemon serves at /metrics. Nil runs the farm uninstrumented.
+	// engine, outbound exchanges, connection pools) on one shared
+	// registry — the registry a daemon serves at /metrics. Nil runs the
+	// farm uninstrumented.
 	Telemetry *telemetry.Registry
+
+	// Pool tunes each node's outbound connection pool (size, in-flight
+	// window, shed-vs-block, binary codec offer). The zero value takes
+	// the pool defaults.
+	Pool PoolConfig
+
+	// NoPool reverts outbound exchanges to the legacy dial-per-exchange
+	// transport — a comparison/escape hatch, not a production mode.
+	NoPool bool
+
+	// Server is applied to every node's listener: admission gate,
+	// binary-codec permission and dedup window.
+	Server ServerConfig
 }
 
 // StartFarm brings up one TCP node per resource spec, wires the hierarchy
@@ -103,6 +118,7 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 		}
 		node.SetPushEnabled(cfg.Push)
 		node.SetTelemetry(cfg.Telemetry)
+		node.SetServerConfig(cfg.Server)
 		addr := fmt.Sprintf("%s:0", cfg.Host)
 		if cfg.BasePort > 0 {
 			addr = fmt.Sprintf("%s:%d", cfg.Host, cfg.BasePort+i)
@@ -114,20 +130,24 @@ func StartFarm(cfg FarmConfig) (*Farm, error) {
 		f.nodes[spec.Name] = node
 		f.order = append(f.order, spec.Name)
 	}
-	// Wire the hierarchy over the wire protocol. With telemetry on, each
-	// node's outbound exchanges go through one instrumented client
-	// labelled with the *calling* node's name, so retry storms are
-	// attributable to the node experiencing them.
+	// Wire the hierarchy over the wire protocol. Each node's outbound
+	// exchanges go through one client — pooled unless NoPool — labelled
+	// (when instrumented) with the *calling* node's name, so retry storms
+	// and pool churn are attributable to the node experiencing them.
 	clients := map[string]*Client{}
 	clientFor := func(name string) *Client {
-		if cfg.Telemetry == nil {
-			return nil // RemotePeer falls back to the package default
-		}
 		c, ok := clients[name]
 		if !ok {
-			c = NewClient()
+			if cfg.NoPool {
+				c = NewClient()
+			} else {
+				pool := cfg.Pool
+				pool.Metrics = NewPoolMetrics(cfg.Telemetry, "resource", name)
+				c = NewPooledClient(pool)
+			}
 			c.Metrics = NewClientMetrics(cfg.Telemetry, "resource", name)
 			clients[name] = c
+			f.clients = append(f.clients, c)
 		}
 		return c
 	}
@@ -177,9 +197,18 @@ func (f *Farm) closeAll() {
 	for _, n := range f.nodes {
 		_ = n.Close()
 	}
+	f.closeClients()
 }
 
-// Close shuts every node down.
+func (f *Farm) closeClients() {
+	for _, c := range f.clients {
+		if c.Pool != nil {
+			c.Pool.Close()
+		}
+	}
+}
+
+// Close shuts every node down and retires the pooled connections.
 func (f *Farm) Close() error {
 	var first error
 	for _, name := range f.order {
@@ -187,6 +216,7 @@ func (f *Farm) Close() error {
 			first = err
 		}
 	}
+	f.closeClients()
 	return first
 }
 

@@ -119,6 +119,7 @@ type Node struct {
 	wg          sync.WaitGroup
 	emails      map[int]string // task ID -> submitting email, for result delivery
 	tick        time.Duration
+	srvCfg      ServerConfig
 }
 
 // NewNode creates a node for the agent; Start brings up the server. The
@@ -221,10 +222,14 @@ const DefaultTickPeriod = 250 * time.Millisecond
 // then only occur when messages arrive). Call before Start.
 func (n *Node) SetTickPeriod(d time.Duration) { n.tick = d }
 
+// SetServerConfig sets the node server's admission gate, codec policy
+// and dedup window. Call before Start.
+func (n *Node) SetServerConfig(cfg ServerConfig) { n.srvCfg = cfg }
+
 // Start listens on addr and begins the periodic advertisement pull loop
 // and the scheduler clock tick.
 func (n *Node) Start(addr string) error {
-	srv, err := Serve(addr, n.handle)
+	srv, err := ServeWith(addr, n.handle, n.srvCfg)
 	if err != nil {
 		return err
 	}
@@ -331,10 +336,13 @@ func (n *Node) pullOnce() {
 // recordPeer feeds the agent's per-peer circuit breaker after a remote
 // exchange. Only transport-level failures count against a peer: an
 // ErrorReply (ExchangeError with Op "reply") means the peer is alive and
-// answering, just unable to take this request.
+// answering, just unable to take this request — and a Busy reply (Op
+// "busy") likewise proves a live peer, one shedding load that will
+// drain; tripping the breaker on it would turn brief saturation into
+// minutes of exile.
 func (n *Node) recordPeer(name string, err error) {
 	var xe *ExchangeError
-	if err != nil && errors.As(err, &xe) && xe.Op == "reply" {
+	if err != nil && errors.As(err, &xe) && (xe.Op == "reply" || xe.Op == "busy") {
 		err = nil
 	}
 	n.mu.Lock()

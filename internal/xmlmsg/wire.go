@@ -138,6 +138,9 @@ func NewWireRequest(reqID uint64, appName, env string, deadlineSec float64, emai
 // decodeExtended handles the wire-plumbing kinds; the switch in codec.go
 // handles the Fig. 5/6 kinds.
 func decodeExtended(env envelope, data []byte) (interface{}, Kind, error) {
+	if m, kind, ok, err := decodeFrameKinds(env, data); ok || err != nil {
+		return m, kind, err
+	}
 	switch Kind(env.Type) {
 	case KindQuery:
 		var m Query
