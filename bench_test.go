@@ -672,3 +672,39 @@ func BenchmarkDiscovery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkReservationQuote measures the reservation shopping hot path:
+// the earliest-window search a resource answers a quote flood with, on an
+// empty book and on one carrying 32 staggered active holds.
+func BenchmarkReservationQuote(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		bookings int
+	}{{"empty-book", 0}, {"booked32", 32}} {
+		b.Run(bc.name, func(b *testing.B) {
+			l, err := scheduler.NewLocal(scheduler.Config{
+				Name: "S1", HW: pace.SGIOrigin2000, NumNodes: 16,
+				Policy: scheduler.NewFIFOPolicy(), Engine: pace.NewEngine(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < bc.bookings; i++ {
+				// Pairs of nodes, staggered windows: reuse of a node pair
+				// lands 500 s later, so every hold admits.
+				mask := uint64(0b11) << uint((i%8)*2)
+				start := 100 + float64(i/8)*500
+				if err := l.HoldReservation(uint64(i+1), "bench", mask, start, start+300, 0, 1e9); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.QuoteReservation(4, 50, 120, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -20,11 +20,12 @@ type exportDoc struct {
 	Seed     uint64 `json:"seed"`
 	Requests int    `json:"requests"`
 
-	Experiments []expSummary   `json:"experiments,omitempty"` // Table 2 runs 1–3
-	Accuracy    []accuracyRow  `json:"accuracy,omitempty"`    // §5 prediction-noise study
-	Resilience  *resilienceRow `json:"resilience,omitempty"`  // experiment 4
-	Migration   *migrationRow  `json:"migration,omitempty"`   // experiment 5
-	Scale       []scaleRow     `json:"scale,omitempty"`       // §5 scalability study
+	Experiments []expSummary     `json:"experiments,omitempty"` // Table 2 runs 1–3
+	Accuracy    []accuracyRow    `json:"accuracy,omitempty"`    // §5 prediction-noise study
+	Resilience  *resilienceRow   `json:"resilience,omitempty"`  // experiment 4
+	Migration   *migrationRow    `json:"migration,omitempty"`   // experiment 5
+	Reservation []reservationRow `json:"reservation,omitempty"` // experiment 6
+	Scale       []scaleRow       `json:"scale,omitempty"`       // §5 scalability study
 
 	Scenario   *scenario.Result           `json:"scenario,omitempty"`
 	Sweep      *scenario.SweepReport      `json:"sweep,omitempty"`
@@ -80,6 +81,44 @@ type migrationRow struct {
 	Offers   int        `json:"migrate_offers"`
 	Accepts  int        `json:"migrate_accepts"`
 	Rejects  int        `json:"migrate_rejects"`
+}
+
+// reservationRow is one experiment-6 admission-study share: what the
+// reserved class got (guarantee hit rate) against what the best-effort
+// class paid (its own ε next to the grid total).
+type reservationRow struct {
+	Share            float64 `json:"share"`
+	Requested        int     `json:"resv_requested"`
+	Confirmed        int     `json:"resv_confirmed"`
+	Rejected         int     `json:"resv_rejected"`
+	Expired          int     `json:"resv_expired"`
+	Parts            int     `json:"resv_parts"`
+	GuaranteeHitRate float64 `json:"guarantee_hit_rate"`
+	EpsS             float64 `json:"eps_s"`
+	BestEffortEpsS   float64 `json:"be_eps_s"`
+	HitRate          float64 `json:"hit_rate"`
+	AuditOK          bool    `json:"audit_ok"`
+}
+
+func summariseReservation(p experiment.ReservationPoint) reservationRow {
+	r := p.Result
+	beEps := r.BestEffortEpsilon
+	if r.ResvConfirmed == 0 {
+		beEps = r.Epsilon
+	}
+	return reservationRow{
+		Share:            p.Share,
+		Requested:        r.ResvRequested,
+		Confirmed:        r.ResvConfirmed,
+		Rejected:         r.ResvRejected,
+		Expired:          r.ResvExpired,
+		Parts:            r.ResvParts,
+		GuaranteeHitRate: r.GuaranteeHitRate,
+		EpsS:             r.Epsilon,
+		BestEffortEpsS:   beEps,
+		HitRate:          r.HitRate,
+		AuditOK:          r.AuditOK,
+	}
 }
 
 type scaleRow struct {

@@ -52,6 +52,7 @@ func main() {
 		scale    = flag.Bool("scale", false, "run the §5 scalability study on synthetic hierarchies")
 		exp4     = flag.Bool("exp4", false, "run Experiment 4: the resilience study under agent crashes")
 		exp5     = flag.Bool("exp5", false, "run Experiment 5: drift-driven migration off a degraded node, off vs on")
+		exp6     = flag.Bool("exp6", false, "run Experiment 6: the advance-reservation admission study over reserved-traffic shares")
 		auditRun = flag.Bool("audit", false, "run the lifecycle auditor over every experiment and exit non-zero on violations")
 		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
@@ -81,7 +82,7 @@ func main() {
 		fail(fmt.Errorf("-migrate needs a -scenario spec (use -exp5 for the canned migration study)"))
 	}
 
-	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4 || *exp5)
+	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4 || *exp5 || *exp6)
 	doc := exportDoc{Seed: *seed, Requests: *requests}
 
 	if all || *table1 {
@@ -190,9 +191,26 @@ func main() {
 		verdict("[exp5 degraded]", r.Degraded.Audit)
 		verdict("[exp5 migrated]", r.Migrated.Audit)
 	}
+	if *exp6 {
+		shares := experiment.DefaultReservationShares()
+		fmt.Printf("Running experiment 6 (reservations): %d requests, seed %d, shares %v\n",
+			params.Requests, params.Seed, shares)
+		start := time.Now()
+		pts, err := experiment.RunReservationStudy(params, shares)
+		fail(err)
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.FormatReservation(pts))
+		for _, p := range pts {
+			doc.Reservation = append(doc.Reservation, summariseReservation(p))
+			verdict(fmt.Sprintf("[exp6 share=%g]", p.Share), p.Result.Audit)
+			if p.Result.Telemetry != nil {
+				telemetryExports[fmt.Sprintf("exp6_share_%g", p.Share)] = p.Result.Telemetry
+			}
+		}
+	}
 
 	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""
-	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4 || *exp5) {
+	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4 || *exp5 || *exp6) {
 		// `gridexp -audit` alone still means "audit the experiments".
 		needRuns = true
 	}

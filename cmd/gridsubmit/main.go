@@ -9,6 +9,7 @@
 //	gridsubmit -to 127.0.0.1:7001 -count 50 -seed 7    # §4.1-style batch replay
 //	gridsubmit -to 127.0.0.1:7001 -query               # Fig. 5 service info
 //	gridsubmit -to 127.0.0.1:7001 -results -email u@g  # poll task results
+//	gridsubmit -to 127.0.0.1:7001 -reserve 300,120,2   # book 2 nodes for 120s, 300s out
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		listApps = flag.Bool("list-apps", false, "list application models and exit")
 		query    = flag.Bool("query", false, "query the target's Fig. 5 service information and exit")
 		results  = flag.Bool("results", false, "fetch task execution results from the target and exit")
+		reserve  = flag.String("reserve", "", "advance reservation start,duration,nodes (seconds,seconds,count): shop the grid for quotes, hold the earliest window and confirm it into a guaranteed-start task")
 		count    = flag.Int("count", 1, "submit a batch: random apps/deadlines drawn from the Table 1 domains")
 		interval = flag.Duration("interval", time.Second, "batch pacing between submissions")
 		seed     = flag.Uint64("seed", 1, "batch randomness seed")
@@ -97,6 +99,10 @@ func main() {
 	if _, ok := lib.Lookup(*app); !ok {
 		fail(fmt.Errorf("unknown application %q (try -list-apps)", *app))
 	}
+	if *reserve != "" {
+		submitReservation(client, *to, *app, *email, *reserve)
+		return
+	}
 	if *count > 1 {
 		submitBatch(client, lib, *to, *env, *email, *count, *interval, *seed)
 		return
@@ -136,6 +142,86 @@ func main() {
 		fmt.Printf(", best-effort: no resource met the deadline")
 	}
 	fmt.Println(")")
+}
+
+// submitReservation runs the two-phase reservation protocol against a
+// live daemon: flood-quote the hierarchy for a window of the requested
+// shape, print every offer, hold the earliest one and confirm it into a
+// guaranteed-start task. A confirm failure releases the hold so nothing
+// stays booked.
+func submitReservation(client *transport.Client, to, app, email, spec string) {
+	var startRel, duration float64
+	var nodes int
+	if _, err := fmt.Sscanf(spec, "%g,%g,%d", &startRel, &duration, &nodes); err != nil {
+		fail(fmt.Errorf("bad -reserve %q, want start,duration,nodes (e.g. 300,120,2): %v", spec, err))
+	}
+	if startRel < 0 || duration <= 0 || nodes < 1 {
+		fail(fmt.Errorf("bad -reserve %q: start must be >= 0, duration and nodes positive", spec))
+	}
+	// The daemon measures virtual time as seconds since its start; the
+	// portal anchors the window the same way submissions anchor deadlines.
+	now := time.Since(transport.MidnightOrigin()).Seconds()
+	earliest := now + startRel
+
+	quote := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionQuote,
+		Nodes: nodes, Earliest: xmlmsg.FormatSeconds(earliest), Duration: xmlmsg.FormatSeconds(duration),
+	}
+	reply, kind, err := client.Call(to, quote)
+	fail(err)
+	if kind != xmlmsg.KindReserveAck {
+		fail(fmt.Errorf("unexpected reply kind %q to a reserve quote", kind))
+	}
+	ack := reply.(*xmlmsg.ReserveAck)
+	if len(ack.Quotes) == 0 {
+		fail(fmt.Errorf("no resource quoted %d nodes for %gs starting +%gs", nodes, duration, startRel))
+	}
+	fmt.Printf("quotes for %d nodes, %gs window, earliest +%gs:\n", nodes, duration, startRel)
+	for _, q := range ack.Quotes {
+		s, err := xmlmsg.ParseSeconds(q.Start)
+		fail(err)
+		fmt.Printf("  %-8s mask %-4s start +%.0fs\n", q.Resource, q.Mask, s-now)
+	}
+
+	// The daemons answer quotes sorted by start, then resource: the first
+	// offer is the earliest window the grid can guarantee.
+	best := ack.Quotes[0]
+	resvID := uint64(time.Now().UnixNano())
+	hold := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionHold,
+		ResvID: resvID, Resource: best.Resource, Holder: email,
+		Mask: best.Mask, Start: best.Start, End: best.End,
+		TTL: xmlmsg.FormatSeconds(120),
+	}
+	_, _, err = client.Call(to, hold)
+	fail(err)
+
+	confirm := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionConfirm,
+		ResvID: resvID, Resource: best.Resource, ReqID: uint64(time.Now().UnixNano()), Model: app,
+	}
+	creply, _, err := client.Call(to, confirm)
+	if err != nil {
+		// Never leave the window blocked behind a failed confirm.
+		release := xmlmsg.Reserve{
+			Type: "reserve", Action: xmlmsg.ReserveActionRelease,
+			ResvID: resvID, Resource: best.Resource,
+		}
+		if _, _, rerr := client.Call(to, release); rerr != nil {
+			fmt.Fprintf(os.Stderr, "gridsubmit: release after failed confirm: %v\n", rerr)
+		}
+		fail(fmt.Errorf("confirm on %s: %v (hold released)", best.Resource, err))
+	}
+	cack, ok := creply.(*xmlmsg.ReserveAck)
+	if !ok {
+		fail(fmt.Errorf("unexpected reply %T to a reserve confirm", creply))
+	}
+	start, err := xmlmsg.ParseSeconds(best.Start)
+	fail(err)
+	end, err := xmlmsg.ParseSeconds(best.End)
+	fail(err)
+	fmt.Printf("confirmed resv %d on %s: %s task %d guaranteed [%.0f,%.0f) (starts in %.0fs)\n",
+		resvID, best.Resource, app, cack.TaskID, start, end, start-now)
 }
 
 // submitBatch replays a §4.1-style workload against a live daemon:

@@ -1,0 +1,414 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+)
+
+// ReserveAction selects which phase of the reservation protocol a
+// ReserveOp carries.
+type ReserveAction int
+
+// Reservation protocol phases.
+const (
+	// ReserveQuoteOp asks for the earliest window a resource (or, with no
+	// target resource, every resource reachable through the hierarchy)
+	// can guarantee. Quoting changes no state.
+	ReserveQuoteOp ReserveAction = iota
+	// ReserveHoldOp places phase one of the two-phase commit on the
+	// target resource: the window is blocked under a TTL.
+	ReserveHoldOp
+	// ReserveConfirmOp settles a hold as a confirmed, guaranteed-start
+	// task on the target resource.
+	ReserveConfirmOp
+	// ReserveReleaseOp cancels a held or confirmed booking.
+	ReserveReleaseOp
+)
+
+// String implements fmt.Stringer.
+func (ra ReserveAction) String() string {
+	switch ra {
+	case ReserveQuoteOp:
+		return "quote"
+	case ReserveHoldOp:
+		return "hold"
+	case ReserveConfirmOp:
+		return "confirm"
+	case ReserveReleaseOp:
+		return "release"
+	}
+	return fmt.Sprintf("action(%d)", int(ra))
+}
+
+// ReserveOp is a reservation protocol message travelling through the
+// hierarchy — the reservation analogue of Request. Ops addressed to a
+// named Resource are routed through the agent graph like discovery
+// traffic; a quote op with no target floods the reachable hierarchy and
+// aggregates every resource's offer.
+type ReserveOp struct {
+	Action   ReserveAction
+	ResvID   uint64 // grid-wide reservation identity (the booking ID on every part)
+	Holder   string // requester identity (contact email)
+	Resource string // routing target; empty on a flood quote
+
+	// Quote parameters.
+	Nodes    int
+	Earliest float64
+	Duration float64
+
+	// Hold parameters (the window being committed).
+	Mask  uint64
+	Start float64
+	End   float64
+	TTL   float64
+
+	// Confirm parameters.
+	ReqID uint64
+	App   *pace.AppModel
+
+	Visited []string
+}
+
+func (op *ReserveOp) visited(name string) bool {
+	for _, v := range op.Visited {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReserveReply answers a ReserveOp: the aggregated quotes for a quote
+// op, the scheduler-local task ID for a confirm.
+type ReserveReply struct {
+	Quotes []scheduler.ReserveQuote
+	TaskID int
+}
+
+// ReservePeer is implemented by peers that speak the reservation
+// protocol. In-process agents implement it directly; remote peers carry
+// the op as a reserve message over the wire. Peers that do not implement
+// it are simply not shopped — mixed deployments degrade to the
+// reservation-capable subset.
+type ReservePeer interface {
+	HandleReserve(op ReserveOp, now float64) (ReserveReply, error)
+}
+
+// errNotRoutableText is matched by IsNotRoutable across the wire, where
+// error identity is lost to serialisation.
+const errNotRoutableText = "reservation target not reachable"
+
+// ErrNotRoutable reports that a targeted reservation op found no path to
+// its resource: every reachable direction was searched without finding
+// it. The target refusing the op is a different (and propagated) error.
+var ErrNotRoutable = errors.New("agent: " + errNotRoutableText)
+
+// IsNotRoutable reports whether err is a routing miss, surviving the
+// round-trip through wire serialisation (which flattens errors to text).
+func IsNotRoutable(err error) bool {
+	return err != nil && (errors.Is(err, ErrNotRoutable) || strings.Contains(err.Error(), errNotRoutableText))
+}
+
+// HandleReserve implements ReservePeer: execute the op locally if this
+// agent is the target, otherwise route it through the hierarchy. A
+// flood quote aggregates the local quote with every reachable
+// neighbour's, deduplicated by resource and sorted by (start, resource)
+// — price-ordered for the shopper, earliest guaranteed start first.
+func (a *Agent) HandleReserve(op ReserveOp, now float64) (ReserveReply, error) {
+	visited := make([]string, 0, len(op.Visited)+1)
+	visited = append(visited, op.Visited...)
+	visited = append(visited, a.name)
+	op.Visited = visited
+
+	if op.Action == ReserveQuoteOp && op.Resource == "" {
+		return a.floodQuote(op, now), nil
+	}
+	if op.Resource == a.name || op.Resource == "" {
+		return a.applyReserve(op, now)
+	}
+	for _, n := range a.neighbours() {
+		rp, ok := n.(ReservePeer)
+		if !ok || op.visited(n.PeerName()) || a.PeerTripped(n.PeerName()) {
+			continue
+		}
+		if err := a.gateErr(n.PeerName(), now); err != nil {
+			a.RecordPeerFailure(n.PeerName())
+			continue
+		}
+		r, err := rp.HandleReserve(op, now)
+		if err == nil {
+			a.RecordPeerSuccess(n.PeerName())
+			return r, nil
+		}
+		if IsNotRoutable(err) {
+			// The peer answered — the target just isn't in that direction.
+			a.RecordPeerSuccess(n.PeerName())
+			continue
+		}
+		// The op reached its target and was refused (overlap, expired
+		// hold, …): that is the protocol answer, not a routing failure.
+		return ReserveReply{}, err
+	}
+	return ReserveReply{}, fmt.Errorf("%w: no path from %s to %s for %s %d",
+		ErrNotRoutable, a.name, op.Resource, op.Action, op.ResvID)
+}
+
+// floodQuote gathers this resource's quote and every reachable
+// neighbour's, the reservation analogue of discovery's advertisement
+// walk. Resources that cannot satisfy the request (too few nodes up)
+// simply contribute no quote.
+func (a *Agent) floodQuote(op ReserveOp, now float64) ReserveReply {
+	var reply ReserveReply
+	if q, err := a.local.QuoteReservation(op.Nodes, op.Earliest, op.Duration, now); err == nil {
+		reply.Quotes = append(reply.Quotes, q)
+	}
+	for _, n := range a.neighbours() {
+		rp, ok := n.(ReservePeer)
+		if !ok || op.visited(n.PeerName()) || a.PeerTripped(n.PeerName()) {
+			continue
+		}
+		if err := a.gateErr(n.PeerName(), now); err != nil {
+			a.RecordPeerFailure(n.PeerName())
+			continue
+		}
+		r, err := rp.HandleReserve(op, now)
+		if err != nil {
+			a.RecordPeerFailure(n.PeerName())
+			continue
+		}
+		a.RecordPeerSuccess(n.PeerName())
+		reply.Quotes = append(reply.Quotes, r.Quotes...)
+	}
+	seen := map[string]bool{}
+	uniq := reply.Quotes[:0]
+	for _, q := range reply.Quotes {
+		if !seen[q.Resource] {
+			seen[q.Resource] = true
+			uniq = append(uniq, q)
+		}
+	}
+	reply.Quotes = uniq
+	sort.Slice(reply.Quotes, func(i, j int) bool {
+		if reply.Quotes[i].Start != reply.Quotes[j].Start {
+			return reply.Quotes[i].Start < reply.Quotes[j].Start
+		}
+		return reply.Quotes[i].Resource < reply.Quotes[j].Resource
+	})
+	return reply
+}
+
+// ApplyReserve executes the op against this agent's own scheduler with
+// no routing — the networked node drives routing itself (remote calls
+// must happen outside its lock) and applies the local share through
+// here.
+func (a *Agent) ApplyReserve(op ReserveOp, now float64) (ReserveReply, error) {
+	return a.applyReserve(op, now)
+}
+
+// applyReserve executes the op against this agent's own scheduler.
+func (a *Agent) applyReserve(op ReserveOp, now float64) (ReserveReply, error) {
+	switch op.Action {
+	case ReserveQuoteOp:
+		q, err := a.local.QuoteReservation(op.Nodes, op.Earliest, op.Duration, now)
+		if err != nil {
+			return ReserveReply{}, err
+		}
+		return ReserveReply{Quotes: []scheduler.ReserveQuote{q}}, nil
+	case ReserveHoldOp:
+		return ReserveReply{}, a.local.HoldReservation(op.ResvID, op.Holder, op.Mask, op.Start, op.End, now, op.TTL)
+	case ReserveConfirmOp:
+		id, err := a.local.ConfirmReservation(op.ResvID, op.ReqID, op.App, now)
+		if err != nil {
+			return ReserveReply{}, err
+		}
+		return ReserveReply{TaskID: id}, nil
+	case ReserveReleaseOp:
+		return ReserveReply{}, a.local.ReleaseReservation(op.ResvID, now)
+	}
+	return ReserveReply{}, fmt.Errorf("agent: %s: unknown reserve action %d", a.name, int(op.Action))
+}
+
+// ReservationSpec is what a client asks to reserve: Parts node sets of
+// Nodes nodes each, on distinct resources, all over one common window of
+// Duration seconds starting no earlier than Earliest. Parts == 1 (or 0)
+// is a plain single-resource reservation; Parts > 1 is co-allocation.
+// MaxSlip bounds how far past Earliest the quoted common start may slip
+// before the request is rejected instead (negative means unbounded).
+type ReservationSpec struct {
+	ResvID   uint64
+	Holder   string
+	Nodes    int
+	Parts    int
+	Earliest float64
+	Duration float64
+	TTL      float64
+	MaxSlip  float64
+}
+
+// HeldPart is one resource's share of a held reservation.
+type HeldPart struct {
+	Resource string
+	Mask     uint64
+}
+
+// HeldReservation is the outcome of successful shopping: every part is
+// held (phase one) on its resource for the same window, awaiting
+// confirm or release. The booking ID on each resource is the
+// reservation's ResvID.
+type HeldReservation struct {
+	ID     uint64
+	Holder string
+	Start  float64
+	End    float64
+	Parts  []HeldPart
+}
+
+// maxCoallocRounds bounds the co-allocation fixed point. The common
+// start only ever increases and each round is driven by a concrete
+// quote, so rounds ~ distinct contention edges; 32 is far beyond any
+// realistic chain.
+const maxCoallocRounds = 32
+
+// ShopReservation runs the full shopping protocol from this agent:
+// flood-quote the hierarchy, choose the cheapest (earliest-starting)
+// Parts resources, iterate targeted re-quotes to a common window all
+// parts can guarantee, then hold every part. Either every part ends
+// held — the returned reservation is ready to confirm — or nothing is
+// held and an error explains why (no capacity, or the common start
+// slipped past MaxSlip). Holding is atomic across parts: any hold
+// failure releases the parts already held before returning.
+func (a *Agent) ShopReservation(spec ReservationSpec, now float64) (HeldReservation, error) {
+	parts := spec.Parts
+	if parts < 1 {
+		parts = 1
+	}
+	rep, err := a.HandleReserve(ReserveOp{
+		Action:   ReserveQuoteOp,
+		Nodes:    spec.Nodes,
+		Earliest: spec.Earliest,
+		Duration: spec.Duration,
+	}, now)
+	if err != nil {
+		return HeldReservation{}, err
+	}
+	if len(rep.Quotes) < parts {
+		return HeldReservation{}, fmt.Errorf("agent: %s: %d of %d co-allocation parts quotable for %d×%d nodes",
+			a.name, len(rep.Quotes), parts, parts, spec.Nodes)
+	}
+	resources := make([]string, 0, len(rep.Quotes))
+	for _, q := range rep.Quotes {
+		resources = append(resources, q.Resource)
+	}
+
+	// Fixed point on the common start: quote every candidate resource at
+	// earliest=T, take the Parts earliest offers, and raise T to the
+	// latest of them; stable when all chosen parts quote exactly T. With
+	// one part this converges immediately (the first quote is feasible).
+	chosen := rep.Quotes[:parts]
+	T := commonStart(chosen)
+	for round := 0; ; round++ {
+		if round >= maxCoallocRounds {
+			return HeldReservation{}, fmt.Errorf("agent: %s: co-allocation for reservation %d did not converge in %d rounds",
+				a.name, spec.ResvID, maxCoallocRounds)
+		}
+		requotes := make([]scheduler.ReserveQuote, 0, len(resources))
+		for _, r := range resources {
+			qr, err := a.HandleReserve(ReserveOp{
+				Action:   ReserveQuoteOp,
+				Resource: r,
+				Nodes:    spec.Nodes,
+				Earliest: T,
+				Duration: spec.Duration,
+			}, now)
+			if err != nil || len(qr.Quotes) != 1 {
+				continue
+			}
+			requotes = append(requotes, qr.Quotes[0])
+		}
+		if len(requotes) < parts {
+			return HeldReservation{}, fmt.Errorf("agent: %s: only %d of %d co-allocation parts still quotable at %g",
+				a.name, len(requotes), parts, T)
+		}
+		sort.Slice(requotes, func(i, j int) bool {
+			if requotes[i].Start != requotes[j].Start {
+				return requotes[i].Start < requotes[j].Start
+			}
+			return requotes[i].Resource < requotes[j].Resource
+		})
+		chosen = requotes[:parts]
+		if latest := commonStart(chosen); latest > T {
+			T = latest
+			continue
+		}
+		break
+	}
+	if spec.MaxSlip >= 0 && T > spec.Earliest+spec.MaxSlip {
+		return HeldReservation{}, fmt.Errorf("agent: %s: reservation %d start %g slips %g past requested %g (max slip %g)",
+			a.name, spec.ResvID, T, T-spec.Earliest, spec.Earliest, spec.MaxSlip)
+	}
+
+	held := HeldReservation{ID: spec.ResvID, Holder: spec.Holder, Start: T, End: T + spec.Duration}
+	for _, q := range chosen {
+		_, err := a.HandleReserve(ReserveOp{
+			Action:   ReserveHoldOp,
+			ResvID:   spec.ResvID,
+			Holder:   spec.Holder,
+			Resource: q.Resource,
+			Mask:     q.Mask,
+			Start:    T,
+			End:      T + spec.Duration,
+			TTL:      spec.TTL,
+		}, now)
+		if err != nil {
+			// All-or-nothing: a part that cannot be held voids the others.
+			for _, h := range held.Parts {
+				_ = a.ReleasePart(h.Resource, spec.ResvID, now)
+			}
+			return HeldReservation{}, fmt.Errorf("agent: %s: hold of reservation %d part on %s: %w",
+				a.name, spec.ResvID, q.Resource, err)
+		}
+		held.Parts = append(held.Parts, HeldPart{Resource: q.Resource, Mask: q.Mask})
+	}
+	return held, nil
+}
+
+func commonStart(quotes []scheduler.ReserveQuote) float64 {
+	t := 0.0
+	for i, q := range quotes {
+		if i == 0 || q.Start > t {
+			t = q.Start
+		}
+	}
+	return t
+}
+
+// ConfirmPart settles one held part as a confirmed, guaranteed-start
+// task, returning the scheduler-local task ID on the part's resource.
+func (a *Agent) ConfirmPart(resource string, resvID, reqID uint64, app *pace.AppModel, now float64) (int, error) {
+	rep, err := a.HandleReserve(ReserveOp{
+		Action:   ReserveConfirmOp,
+		ResvID:   resvID,
+		Resource: resource,
+		ReqID:    reqID,
+		App:      app,
+	}, now)
+	if err != nil {
+		return 0, err
+	}
+	return rep.TaskID, nil
+}
+
+// ReleasePart cancels one held or confirmed part.
+func (a *Agent) ReleasePart(resource string, resvID uint64, now float64) error {
+	_, err := a.HandleReserve(ReserveOp{
+		Action:   ReserveReleaseOp,
+		ResvID:   resvID,
+		Resource: resource,
+	}, now)
+	return err
+}

@@ -1,0 +1,167 @@
+package agent
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+
+	"repro/internal/pace"
+	"repro/internal/reserve"
+)
+
+// trio builds a three-agent chain head -> mid -> leaf so routed ops must
+// traverse an intermediate hop.
+func resvTrio(t *testing.T, engine *pace.Engine) (head, mid, leaf *Agent) {
+	t.Helper()
+	head = newAgent(t, "head", pace.SGIOrigin2000, 4, engine)
+	mid = newAgent(t, "mid", pace.SGIOrigin2000, 4, engine)
+	leaf = newAgent(t, "leaf", pace.SGIOrigin2000, 4, engine)
+	if err := Link(head, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := Link(mid, leaf); err != nil {
+		t.Fatal(err)
+	}
+	return head, mid, leaf
+}
+
+func TestFloodQuoteCoversHierarchy(t *testing.T) {
+	e := pace.NewEngine()
+	head, _, _ := resvTrio(t, e)
+	rep, err := head.HandleReserve(ReserveOp{Action: ReserveQuoteOp, Nodes: 2, Earliest: 50, Duration: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quotes) != 3 {
+		t.Fatalf("quotes = %+v, want one per resource", rep.Quotes)
+	}
+	for _, q := range rep.Quotes {
+		if q.Start != 50 || q.End != 150 || bits.OnesCount64(q.Mask) != 2 {
+			t.Fatalf("idle-grid quote %+v, want [50,150) on 2 nodes", q)
+		}
+	}
+}
+
+func TestRoutedOpsReachLeaf(t *testing.T) {
+	e := pace.NewEngine()
+	head, _, leaf := resvTrio(t, e)
+	op := ReserveOp{
+		Action: ReserveHoldOp, ResvID: 7, Holder: "u@g", Resource: "leaf",
+		Mask: 0b0011, Start: 100, End: 200, TTL: 30,
+	}
+	if _, err := head.HandleReserve(op, 0); err != nil {
+		t.Fatalf("routed hold: %v", err)
+	}
+	b, ok := leaf.Local().Book().Get(7)
+	if !ok || b.State != reserve.Held {
+		t.Fatalf("leaf booking = %+v ok=%v, want held", b, ok)
+	}
+	id, err := head.ConfirmPart("leaf", 7, 77, appOf(t, "fft"), 1)
+	if err != nil || id == 0 {
+		t.Fatalf("routed confirm: id=%d err=%v", id, err)
+	}
+	if err := head.ReleasePart("leaf", 7, 2); err != nil {
+		t.Fatalf("routed release: %v", err)
+	}
+	if b, _ := leaf.Local().Book().Get(7); b.State != reserve.Released {
+		t.Fatalf("state after release = %s", b.State)
+	}
+	// An op for a resource that does not exist is a routing miss, not an
+	// application error.
+	if _, err := head.HandleReserve(ReserveOp{Action: ReserveReleaseOp, ResvID: 7, Resource: "ghost"}, 3); !IsNotRoutable(err) {
+		t.Fatalf("ghost target error = %v, want routing miss", err)
+	}
+}
+
+func TestShopSingleResource(t *testing.T) {
+	e := pace.NewEngine()
+	head, mid, _ := resvTrio(t, e)
+	// Book the whole head and mid resources over the requested window so
+	// shopping must settle on the leaf.
+	for _, a := range []*Agent{head, mid} {
+		if err := a.Local().HoldReservation(99, "x@g", 0b1111, 0, 1e6, 0, 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held, err := head.ShopReservation(ReservationSpec{
+		ResvID: 1, Holder: "u@g", Nodes: 2, Parts: 1,
+		Earliest: 100, Duration: 50, TTL: 30, MaxSlip: -1,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(held.Parts) != 1 || held.Parts[0].Resource != "leaf" || held.Start != 100 || held.End != 150 {
+		t.Fatalf("held = %+v, want leaf at [100,150)", held)
+	}
+}
+
+func TestShopCoAllocationCommonWindow(t *testing.T) {
+	e := pace.NewEngine()
+	head, mid, leaf := resvTrio(t, e)
+	// Stagger availability: mid is booked until 300, leaf until 500, so a
+	// three-part co-allocation's common window cannot start before 500.
+	if err := mid.Local().HoldReservation(90, "x@g", 0b1111, 0, 300, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaf.Local().HoldReservation(91, "x@g", 0b1111, 0, 500, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	held, err := head.ShopReservation(ReservationSpec{
+		ResvID: 2, Holder: "u@g", Nodes: 2, Parts: 3,
+		Earliest: 0, Duration: 50, TTL: 30, MaxSlip: -1,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.Start != 500 || held.End != 550 || len(held.Parts) != 3 {
+		t.Fatalf("held = %+v, want 3 parts at [500,550)", held)
+	}
+	seen := map[string]bool{}
+	for _, p := range held.Parts {
+		seen[p.Resource] = true
+	}
+	if !seen["head"] || !seen["mid"] || !seen["leaf"] {
+		t.Fatalf("parts = %+v, want all three resources", held.Parts)
+	}
+	// Every part is held on its book for the common window.
+	for _, a := range []*Agent{head, mid, leaf} {
+		b, ok := a.Local().Book().Get(2)
+		if !ok || b.State != reserve.Held || b.Start != 500 || b.End != 550 {
+			t.Fatalf("%s booking = %+v ok=%v", a.Name(), b, ok)
+		}
+	}
+}
+
+func TestShopMaxSlipRejectsAndHoldsNothing(t *testing.T) {
+	e := pace.NewEngine()
+	head, mid, leaf := resvTrio(t, e)
+	if err := leaf.Local().HoldReservation(91, "x@g", 0b1111, 0, 500, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	_, err := head.ShopReservation(ReservationSpec{
+		ResvID: 3, Holder: "u@g", Nodes: 2, Parts: 3,
+		Earliest: 0, Duration: 50, TTL: 30, MaxSlip: 100,
+	}, 0)
+	if err == nil || !strings.Contains(err.Error(), "slip") {
+		t.Fatalf("err = %v, want slip rejection", err)
+	}
+	for _, a := range []*Agent{head, mid} {
+		if bk := a.Local().Book(); bk != nil {
+			if _, ok := bk.Get(3); ok {
+				t.Fatalf("%s holds a booking after a rejected shop", a.Name())
+			}
+		}
+	}
+}
+
+func TestShopTooFewResourcesForParts(t *testing.T) {
+	e := pace.NewEngine()
+	head, _, _ := resvTrio(t, e)
+	_, err := head.ShopReservation(ReservationSpec{
+		ResvID: 4, Holder: "u@g", Nodes: 2, Parts: 4,
+		Earliest: 0, Duration: 50, TTL: 30, MaxSlip: -1,
+	}, 0)
+	if err == nil {
+		t.Fatal("4-part co-allocation on a 3-resource grid succeeded")
+	}
+}

@@ -76,6 +76,13 @@ type Counts struct {
 	MigrateOffers       int
 	MigrateWithdraws    int
 	MigrateRedispatches int
+
+	// Reservation-booking events (core.SubmitReservationAt / the expiry
+	// sweep): two-phase commit stages per booking per resource.
+	ReserveHolds    int
+	ReserveConfirms int
+	ReserveReleases int
+	ReserveExpires  int
 }
 
 // Result is the auditor's verdict over one run.
@@ -114,6 +121,10 @@ func (r Result) Summary() string {
 		c.Requests, c.Arrives, c.Completes, c.Fails, c.Redispatches, c.Records)
 	if c.MigrateOffers > 0 {
 		s += fmt.Sprintf(", %d migrate offers (%d accepted)", c.MigrateOffers, c.MigrateWithdraws)
+	}
+	if c.ReserveHolds > 0 {
+		s += fmt.Sprintf(", %d reservation holds (%d confirmed, %d released, %d expired)",
+			c.ReserveHolds, c.ReserveConfirms, c.ReserveReleases, c.ReserveExpires)
 	}
 	if r.Truncated {
 		s += ", trace truncated"

@@ -68,6 +68,11 @@ type Observer struct {
 
 	dispatchIdx int // running index into the dispatch log (for identity messages)
 	peakStates  int
+
+	// reservation bookings by resource and reservation ID, plus their
+	// observation order for a deterministic Finish (see reserve.go).
+	resv      map[string]map[uint64]*resvBooking
+	resvOrder []*resvBooking
 }
 
 type interval struct {
@@ -120,6 +125,10 @@ type reqState struct {
 	logged       []agent.Dispatch
 	dispatchSeen []dispatchKey
 	agreement    []Violation // record-agreement violations, valid only if recCount stays 1
+
+	// confirmed-reservation window bound to this request (audit (f2)).
+	hasResv            bool
+	resvStart, resvEnd float64
 }
 
 // NewObserver returns a streaming auditor for a grid with the given node
@@ -180,6 +189,11 @@ func (o *Observer) Record(ev trace.Event) { o.Observe(ev) }
 // Observe folds one lifecycle event into the audit.
 func (o *Observer) Observe(ev trace.Event) {
 	o.anyEvents = true
+	switch ev.Kind {
+	case trace.KindReserveHold, trace.KindReserveConfirm, trace.KindReserveRelease, trace.KindReserveExpire:
+		o.observeReserve(ev)
+		return
+	}
 	if !ev.Kind.TaskBearing() {
 		return
 	}
@@ -517,6 +531,14 @@ func (o *Observer) finalize(id uint64, s *reqState) {
 		o.add("timing", id, fmt.Sprintf("first recorded event is %s, not the arrival", s.firstKind))
 	}
 
+	if s.recCount == 1 && s.hasResv {
+		// (f2) a confirmed reservation executes within its booked window.
+		if s.rec.Start < s.resvStart || s.rec.Start >= s.resvEnd {
+			o.add("reservation", id, fmt.Sprintf("reserved task %d on %s started at t=%g, outside its booked window [%g,%g)",
+				s.rec.TaskID, s.rec.Resource, s.rec.Start, s.resvStart, s.resvEnd))
+		}
+	}
+
 	if s.recCount == 1 {
 		// (c) the record must agree with its lifecycle events.
 		for _, at := range s.arriveTimes {
@@ -578,6 +600,7 @@ func (o *Observer) Finish(report metrics.GridReport, dropped uint64) Result {
 		delete(o.inflight, id)
 	}
 
+	o.finishReserve()
 	o.checkMetrics(report)
 
 	res.Counts = o.counts

@@ -1,0 +1,220 @@
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Reservation invariants (f), layered on (a)–(e):
+//
+//	(f1) no double-booking — two active bookings on one resource never
+//	     overlap in both window and node mask.
+//	(f2) guaranteed start — a request bound to a confirmed reservation
+//	     executes within the booked window.
+//	(f3) bounded holds — every hold resolves to exactly one of confirm,
+//	     release or expire; a confirm never lands after the hold's TTL,
+//	     an expiry never lands before it, and no hold is left dangling
+//	     at the end of the run.
+//
+// Reservation events are booking-scoped, not request-scoped, so they are
+// joined on the resv= key carried in Event.Detail rather than on ReqID.
+
+// resvPhase is a booking's position in the two-phase commit.
+type resvPhase int
+
+const (
+	resvHeld resvPhase = iota
+	resvConfirmed
+	resvReleased
+	resvExpired
+)
+
+func (p resvPhase) String() string {
+	switch p {
+	case resvHeld:
+		return "held"
+	case resvConfirmed:
+		return "confirmed"
+	case resvReleased:
+		return "released"
+	case resvExpired:
+		return "expired"
+	}
+	return "?"
+}
+
+// resvBooking is one booking's folded state.
+type resvBooking struct {
+	resource   string
+	id         uint64
+	mask       uint64
+	start, end float64
+	expiresAt  float64
+	phase      resvPhase
+}
+
+// resvDetail is the parsed form of a reservation event's Detail.
+type resvDetail struct {
+	id         uint64
+	mask       uint64
+	start, end float64
+	expiresAt  float64
+	hasID      bool
+	hasMask    bool
+	hasWin     bool
+	hasExp     bool
+}
+
+// parseResvDetail reads the space-separated key=value fields the grid
+// stamps on reservation events: resv=7 mask=3 win=[100,160) exp=130.
+func parseResvDetail(s string) resvDetail {
+	var d resvDetail
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "resv":
+			if id, err := strconv.ParseUint(v, 10, 64); err == nil {
+				d.id, d.hasID = id, true
+			}
+		case "mask":
+			if m, err := strconv.ParseUint(v, 16, 64); err == nil {
+				d.mask, d.hasMask = m, true
+			}
+		case "exp":
+			if e, err := strconv.ParseFloat(v, 64); err == nil {
+				d.expiresAt, d.hasExp = e, true
+			}
+		case "win":
+			v = strings.TrimPrefix(v, "[")
+			v = strings.TrimSuffix(v, ")")
+			a, b, ok := strings.Cut(v, ",")
+			if !ok {
+				continue
+			}
+			lo, err1 := strconv.ParseFloat(a, 64)
+			hi, err2 := strconv.ParseFloat(b, 64)
+			if err1 == nil && err2 == nil {
+				d.start, d.end, d.hasWin = lo, hi, true
+			}
+		}
+	}
+	return d
+}
+
+// observeReserve folds one booking-level reservation event.
+func (o *Observer) observeReserve(ev trace.Event) {
+	d := parseResvDetail(ev.Detail)
+	if !d.hasID {
+		o.add("identity", ev.ReqID, fmt.Sprintf("%s event at t=%g on %s carries no resv= key", ev.Kind, ev.Time, ev.Resource))
+		return
+	}
+	if ev.Resource == "" {
+		o.add("identity", ev.ReqID, fmt.Sprintf("%s event for resv %d at t=%g names no resource", ev.Kind, d.id, ev.Time))
+		return
+	}
+	byID := o.resv[ev.Resource]
+	b := byID[d.id]
+	switch ev.Kind {
+	case trace.KindReserveHold:
+		o.counts.ReserveHolds++
+		if !d.hasWin || !d.hasMask || !d.hasExp {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("hold of resv %d on %s lacks window, mask or expiry (%q)", d.id, ev.Resource, ev.Detail))
+			return
+		}
+		if b != nil && (b.phase == resvHeld || b.phase == resvConfirmed) {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("second hold of resv %d on %s while %s", d.id, ev.Resource, b.phase))
+			return
+		}
+		// (f1) against every other booking still blocking the resource.
+		for _, other := range o.resvOrder {
+			if other.resource != ev.Resource || other.id == d.id {
+				continue
+			}
+			if other.phase != resvHeld && other.phase != resvConfirmed {
+				continue
+			}
+			if other.mask&d.mask != 0 && d.start < other.end && other.start < d.end {
+				o.add("reservation", ev.ReqID, fmt.Sprintf(
+					"double-booking on %s: resv %d [%g,%g) mask %x overlaps resv %d (%s) [%g,%g) mask %x",
+					ev.Resource, d.id, d.start, d.end, d.mask, other.id, other.phase, other.start, other.end, other.mask))
+			}
+		}
+		nb := &resvBooking{
+			resource: ev.Resource, id: d.id, mask: d.mask,
+			start: d.start, end: d.end, expiresAt: d.expiresAt, phase: resvHeld,
+		}
+		if byID == nil {
+			byID = map[uint64]*resvBooking{}
+			if o.resv == nil {
+				o.resv = map[string]map[uint64]*resvBooking{}
+			}
+			o.resv[ev.Resource] = byID
+		}
+		byID[d.id] = nb
+		o.resvOrder = append(o.resvOrder, nb)
+	case trace.KindReserveConfirm:
+		o.counts.ReserveConfirms++
+		if b == nil {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("confirm of resv %d on %s without a hold", d.id, ev.Resource))
+			return
+		}
+		if b.phase != resvHeld {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("confirm of resv %d on %s while %s", d.id, ev.Resource, b.phase))
+			return
+		}
+		// (f3) a confirm after the TTL means the hold leaked: the window
+		// had already stopped blocking other admissions.
+		if ev.Time > b.expiresAt {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("confirm of resv %d on %s at t=%g after its hold expired at t=%g", d.id, ev.Resource, ev.Time, b.expiresAt))
+		}
+		b.phase = resvConfirmed
+		// (f2) bind the window to the request so finalize can hold its
+		// execution record to it.
+		if ev.ReqID != 0 && !o.isRetired(ev.ReqID) {
+			s := o.state(ev.ReqID)
+			s.hasResv = true
+			s.resvStart, s.resvEnd = b.start, b.end
+		}
+	case trace.KindReserveRelease:
+		o.counts.ReserveReleases++
+		if b == nil {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("release of resv %d on %s without a hold", d.id, ev.Resource))
+			return
+		}
+		if b.phase == resvReleased || b.phase == resvExpired {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("release of resv %d on %s while already %s", d.id, ev.Resource, b.phase))
+			return
+		}
+		b.phase = resvReleased
+	case trace.KindReserveExpire:
+		o.counts.ReserveExpires++
+		if b == nil {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("expiry of resv %d on %s without a hold", d.id, ev.Resource))
+			return
+		}
+		if b.phase != resvHeld {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("expiry of resv %d on %s while %s — only unconfirmed holds expire", d.id, ev.Resource, b.phase))
+			return
+		}
+		if ev.Time < b.expiresAt {
+			o.add("reservation", ev.ReqID, fmt.Sprintf("resv %d on %s expired at t=%g, before its TTL at t=%g", d.id, ev.Resource, ev.Time, b.expiresAt))
+		}
+		b.phase = resvExpired
+	}
+}
+
+// finishReserve raises (f3) for holds still dangling at the end of the
+// run, in observation order.
+func (o *Observer) finishReserve() {
+	for _, b := range o.resvOrder {
+		if b.phase == resvHeld {
+			o.add("reservation", 0, fmt.Sprintf("resv %d on %s held to the end of the run without confirm, release or expiry", b.id, b.resource))
+		}
+	}
+}

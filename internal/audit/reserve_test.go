@@ -1,0 +1,160 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// reservedRun extends the clean run with a consistent reservation for
+// request 1: its window [2,6) on S1 node 0 is held at t=0, confirmed in
+// the same instant, and the execution record starts exactly at the
+// window start.
+func reservedRun(t *testing.T) Run {
+	run := cleanRun(t)
+	resv := []trace.Event{
+		{Time: 0, Kind: trace.KindReserveHold, ReqID: 1, Resource: "S1", App: "fft",
+			Detail: "resv=1 mask=1 win=[2,6) exp=30"},
+		{Time: 0, Kind: trace.KindReserveConfirm, ReqID: 1, Resource: "S1", TaskID: 1, App: "fft",
+			Detail: "resv=1 win=[2,6)"},
+	}
+	// Booking events precede the dispatch of request 1 in record order,
+	// exactly as core.SubmitReservationAt emits them.
+	run.Events = append(resv, run.Events...)
+	return run
+}
+
+func TestReservedRunPasses(t *testing.T) {
+	res := Check(reservedRun(t))
+	if !res.OK() {
+		t.Fatalf("reserved run has violations: %v", res.Violations)
+	}
+	c := res.Counts
+	if c.ReserveHolds != 1 || c.ReserveConfirms != 1 || c.ReserveReleases != 0 || c.ReserveExpires != 0 {
+		t.Fatalf("reservation counts: %+v", c)
+	}
+	if !strings.Contains(res.Summary(), "1 reservation holds") {
+		t.Fatalf("summary omits reservations: %q", res.Summary())
+	}
+}
+
+func TestDetectsReservationDoubleBooking(t *testing.T) {
+	run := reservedRun(t)
+	// A second booking squats on S1 node 0 for [3,5) while resv 1 holds
+	// [2,6) — the admission check the book must never let through. It is
+	// released afterwards so the only violation is the double-booking.
+	run.Events = append(run.Events,
+		trace.Event{Time: 1, Kind: trace.KindReserveHold, Resource: "S1",
+			Detail: "resv=9 mask=1 win=[3,5) exp=40"},
+		trace.Event{Time: 2, Kind: trace.KindReserveRelease, Resource: "S1", Detail: "resv=9"},
+	)
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("double-booking not detected: %v", res.Violations)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v.Detail, "double-booking") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no double-booking violation in %v", res.Violations)
+	}
+}
+
+func TestDisjointBookingsPass(t *testing.T) {
+	run := reservedRun(t)
+	// Same node, later window — and same window on the other node: both
+	// legal, both released cleanly.
+	run.Events = append(run.Events,
+		trace.Event{Time: 1, Kind: trace.KindReserveHold, Resource: "S1",
+			Detail: "resv=9 mask=1 win=[6,9) exp=40"},
+		trace.Event{Time: 1, Kind: trace.KindReserveHold, Resource: "S1",
+			Detail: "resv=10 mask=2 win=[2,6) exp=40"},
+		trace.Event{Time: 2, Kind: trace.KindReserveRelease, Resource: "S1", Detail: "resv=9"},
+		trace.Event{Time: 2, Kind: trace.KindReserveRelease, Resource: "S1", Detail: "resv=10"},
+	)
+	if res := Check(run); !res.OK() {
+		t.Fatalf("disjoint bookings flagged: %v", res.Violations)
+	}
+}
+
+func TestDetectsReservedStartOutsideWindow(t *testing.T) {
+	run := reservedRun(t)
+	// Claim request 1's window was [3,6): its record starts at t=2,
+	// before the booked window — a broken start guarantee.
+	for i, ev := range run.Events {
+		if ev.Kind == trace.KindReserveHold {
+			run.Events[i].Detail = "resv=1 mask=1 win=[3,6) exp=30"
+		}
+		if ev.Kind == trace.KindReserveConfirm {
+			run.Events[i].Detail = "resv=1 win=[3,6)"
+		}
+	}
+	res := Check(run)
+	if !hasViolationFor(res, "reservation", 1) {
+		t.Fatalf("start outside booked window not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsConfirmAfterTTL(t *testing.T) {
+	run := reservedRun(t)
+	// A hold on S2 with a TTL of 1 s confirmed at t=5: the window had
+	// already stopped blocking admissions when it was settled.
+	run.Events = append(run.Events,
+		trace.Event{Time: 0, Kind: trace.KindReserveHold, Resource: "S2",
+			Detail: "resv=9 mask=2 win=[20,25) exp=1"},
+		trace.Event{Time: 5, Kind: trace.KindReserveConfirm, Resource: "S2", Detail: "resv=9"},
+	)
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("confirm after TTL not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsDanglingHold(t *testing.T) {
+	run := reservedRun(t)
+	run.Events = append(run.Events, trace.Event{Time: 0, Kind: trace.KindReserveHold, Resource: "S2",
+		Detail: "resv=9 mask=2 win=[20,25) exp=1"})
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("hold dangling at end of run not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsExpiryOfConfirmed(t *testing.T) {
+	run := reservedRun(t)
+	// Resv 1 was confirmed; an expiry for it afterwards is a TTL applied
+	// to a settled booking.
+	run.Events = append(run.Events, trace.Event{Time: 31, Kind: trace.KindReserveExpire, Resource: "S1",
+		Detail: "resv=1"})
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("expiry of a confirmed booking not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsEarlyExpiry(t *testing.T) {
+	run := reservedRun(t)
+	run.Events = append(run.Events,
+		trace.Event{Time: 0, Kind: trace.KindReserveHold, Resource: "S2",
+			Detail: "resv=9 mask=2 win=[20,25) exp=30"},
+		trace.Event{Time: 10, Kind: trace.KindReserveExpire, Resource: "S2", Detail: "resv=9"},
+	)
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("expiry before the TTL not detected: %v", res.Violations)
+	}
+}
+
+func TestDetectsReleaseWithoutHold(t *testing.T) {
+	run := reservedRun(t)
+	run.Events = append(run.Events, trace.Event{Time: 1, Kind: trace.KindReserveRelease, Resource: "S2",
+		Detail: "resv=77"})
+	res := Check(run)
+	if !hasCheck(res, "reservation") {
+		t.Fatalf("release of unknown booking not detected: %v", res.Violations)
+	}
+}

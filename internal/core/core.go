@@ -135,6 +135,12 @@ type Options struct {
 	// The zero value (disabled) changes nothing about a run.
 	Migration MigrationPolicy
 
+	// Reservation configures the advance-reservation submit path
+	// (SubmitReservationAt): hold TTL, admission slip bound and the
+	// expiry-sweep cadence. Inert — no events, no state, byte-identical
+	// runs — until a reservation is actually submitted.
+	Reservation ReservationPolicy
+
 	// Telemetry, when set, instruments every layer of the grid (agents,
 	// schedulers, GA policies, the shared PACE engine) on one registry
 	// and samples it on a virtual-time period during Run. Nil — the
@@ -181,6 +187,7 @@ type Grid struct {
 	simr     *sim.Simulator
 	injector *fault.Injector
 	migrator *migrator
+	resv     *reservist
 
 	dispatches []agent.Dispatch
 	errs       []error
@@ -835,6 +842,16 @@ func (g *Grid) Run() error {
 			return now < last
 		})
 	}
+	if g.resv != nil {
+		// The expiry sweep retires holds whose TTL lapsed unconfirmed.
+		// Scheduled only when a reservation was submitted, so runs without
+		// reservations see a byte-identical event stream.
+		last := g.lastRequestAt
+		g.simr.Every(g.resv.pol.SweepPeriod, func(now float64) bool {
+			g.resv.sweep(now)
+			return now < last
+		})
+	}
 	if g.sampler != nil {
 		// Scheduled after the pull Every so at coincident fire times the
 		// sample observes the post-pull state; the sampler itself mutates
@@ -884,6 +901,9 @@ func (g *Grid) eventBudget() int {
 	}
 	if g.migrator != nil {
 		budget += ticks(g.migrator.pol.CheckPeriod)
+	}
+	if g.resv != nil {
+		budget += ticks(g.resv.pol.SweepPeriod)
 	}
 	if g.sampler != nil {
 		budget += ticks(g.sampler.Period())

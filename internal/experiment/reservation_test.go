@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReservationStudy(t *testing.T) {
+	p := QuickParams()
+	p.Requests = 100
+	pts, err := RunReservationStudy(p, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	base, mixed := pts[0].Result, pts[1].Result
+	if base.ResvRequested != 0 {
+		t.Fatalf("share-0 point reserved %d requests", base.ResvRequested)
+	}
+	if mixed.ResvRequested == 0 {
+		t.Fatal("share-0.2 point reserved nothing")
+	}
+	if mixed.ResvConfirmed+mixed.ResvRejected != mixed.ResvRequested {
+		t.Fatalf("admission accounting: %+v", mixed)
+	}
+	for _, pt := range pts {
+		if !pt.Result.AuditOK {
+			t.Fatalf("share %g audit failed:\n%s", pt.Share, pt.Result.AuditSummary)
+		}
+	}
+	out := FormatReservation(pts)
+	for _, want := range []string{"Experiment 6", "guar-hit", "be-eps/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReservationStudyShareZeroMatchesExp3 anchors the study: its
+// share-0 point is the untouched experiment-3 configuration, so its grid
+// totals must match a plain case-study scenario run byte for byte.
+func TestReservationStudyShareZeroMatchesExp3(t *testing.T) {
+	p := QuickParams()
+	p.Requests = 100
+	pts, err := RunReservationStudy(p, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := Run(Configs[2], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pts[0].Result.Report.Total, outs.Report.Total
+	if a.Epsilon != b.Epsilon || a.Upsilon != b.Upsilon || a.Beta != b.Beta {
+		t.Fatalf("share-0 totals diverge from experiment 3:\nstudy: %+v\nexp3:  %+v", a, b)
+	}
+}

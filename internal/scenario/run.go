@@ -8,10 +8,16 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// reservationPickSalt decorrelates the reservation-diversion RNG from
+// the workload generator (both streams are derived from the run seed).
+const reservationPickSalt = 0x9e3779b97f4a7c15
 
 // RunOptions carries the knobs that belong to the host, not the
 // experiment: they may change wall-clock time but never results.
@@ -65,6 +71,23 @@ type Result struct {
 	MigrateOffers  int `json:"migrate_offers,omitempty"`
 	MigrateAccepts int `json:"migrate_accepts,omitempty"`
 	MigrateRejects int `json:"migrate_rejects,omitempty"`
+
+	// Reservation admission and guarantee behaviour (zero unless the spec
+	// reserves a share of the traffic).
+	ResvRequested int `json:"resv_requested,omitempty"`
+	ResvConfirmed int `json:"resv_confirmed,omitempty"`
+	ResvRejected  int `json:"resv_rejected,omitempty"`
+	ResvExpired   int `json:"resv_expired,omitempty"`
+	ResvParts     int `json:"resv_parts,omitempty"`
+	// GuaranteeHitRate is the fraction of confirmed reservation parts that
+	// finished inside their booked window (reserved records carry the
+	// window end as their deadline, so this is their deadline-hit rate).
+	GuaranteeHitRate float64 `json:"guarantee_hit_rate,omitempty"`
+	// Per-class §3.3 metrics: the best-effort traffic alone, so admission
+	// studies can read the degradation reservations impose on it.
+	BestEffortEpsilon float64 `json:"be_eps_s,omitempty"`
+	BestEffortUpsilon float64 `json:"be_ups_pct,omitempty"`
+	BestEffortBeta    float64 `json:"be_beta_pct,omitempty"`
 
 	WallClock float64 `json:"wall_clock_s"` // host seconds, informational only
 	SimEvents uint64  `json:"sim_events"`   // simulator events executed (throughput numerator)
@@ -123,15 +146,16 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	}
 	obs := audit.NewObserver(nodes)
 	copts := core.Options{
-		Policy:    policy,
-		GA:        spec.GAConfig(),
-		Workers:   opt.Workers,
-		UseAgents: spec.AgentsEnabled(),
-		Seed:      seed,
-		Trace:     rec,
-		Audit:     obs,
-		FaultPlan: spec.FaultPlan(),
-		Migration: spec.MigrationPolicy(),
+		Policy:      policy,
+		GA:          spec.GAConfig(),
+		Workers:     opt.Workers,
+		UseAgents:   spec.AgentsEnabled(),
+		Seed:        seed,
+		Trace:       rec,
+		Audit:       obs,
+		FaultPlan:   spec.FaultPlan(),
+		Migration:   spec.MigrationPolicy(),
+		Reservation: spec.ReservationPolicy(),
 	}
 	if opt.Telemetry {
 		// Each run gets a fresh registry: sweep points run concurrently
@@ -160,7 +184,24 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := grid.SubmitWorkload(reqs); err != nil {
+	if rs := spec.Reservations; rs != nil && rs.Share > 0 {
+		// The diversion draws from its own salted RNG stream: the requests
+		// that stay best-effort are submitted exactly as a share-0 run
+		// submits them, and raising the share only removes requests from
+		// that stream, never perturbs it.
+		shape := rs.reservationDefaults()
+		pick := sim.NewRNG(seed ^ reservationPickSalt)
+		for _, r := range reqs {
+			if pick.Bool(rs.Share) {
+				err = grid.SubmitReservationAt(r.At, r.AgentName, r.AppName, shape.Lead, shape.Duration, shape.Nodes, shape.Parts)
+			} else {
+				err = grid.SubmitAt(r.At, r.AgentName, r.AppName, r.DeadlineRel)
+			}
+			if err != nil {
+				return Result{}, err
+			}
+		}
+	} else if err := grid.SubmitWorkload(reqs); err != nil {
 		return Result{}, err
 	}
 	if err := grid.Run(); err != nil {
@@ -239,6 +280,29 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	}
 	ms := grid.MigrationStats()
 	out.MigrateOffers, out.MigrateAccepts, out.MigrateRejects = ms.Offers, ms.Accepts, ms.Rejects
+	rs := grid.ReservationStats()
+	out.ResvRequested, out.ResvConfirmed, out.ResvRejected = rs.Requested, rs.Confirmed, rs.Rejected
+	out.ResvExpired, out.ResvParts = rs.Expired, rs.Parts
+	if reserved := grid.ReservedRequests(); len(reserved) > 0 {
+		var resvRecs, beRecs []scheduler.Record
+		for _, r := range recs {
+			if reserved[r.ReqID] {
+				resvRecs = append(resvRecs, r)
+			} else {
+				beRecs = append(beRecs, r)
+			}
+		}
+		out.GuaranteeHitRate = metrics.HitRate(resvRecs)
+		if len(beRecs) > 0 {
+			beReport, err := grid.MetricsOver(beRecs, minWindow)
+			if err != nil {
+				return Result{}, err
+			}
+			out.BestEffortEpsilon = beReport.Total.Epsilon
+			out.BestEffortUpsilon = beReport.Total.Upsilon
+			out.BestEffortBeta = beReport.Total.Beta
+		}
+	}
 	return out, nil
 }
 
@@ -260,6 +324,12 @@ func FormatResult(r Result) string {
 	}
 	if r.MigrateOffers > 0 {
 		fmt.Fprintf(&b, "  migration: %d offers, %d accepted, %d rejected\n", r.MigrateOffers, r.MigrateAccepts, r.MigrateRejects)
+	}
+	if r.ResvRequested > 0 {
+		fmt.Fprintf(&b, "  reservations: %d requested, %d confirmed (%d parts), %d rejected, %d expired   guarantee-hit %.1f %%\n",
+			r.ResvRequested, r.ResvConfirmed, r.ResvParts, r.ResvRejected, r.ResvExpired, r.GuaranteeHitRate*100)
+		fmt.Fprintf(&b, "  best-effort class: eps %+.1f s   ups %.1f %%   beta %.1f %%\n",
+			r.BestEffortEpsilon, r.BestEffortUpsilon, r.BestEffortBeta)
 	}
 	fmt.Fprintf(&b, "  audit: %s\n", r.AuditSummary)
 	return b.String()

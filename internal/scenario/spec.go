@@ -48,9 +48,10 @@ type Spec struct {
 	Policy    string `json:"policy,omitempty"`
 	UseAgents *bool  `json:"use_agents,omitempty"`
 
-	GA        *GASpec        `json:"ga,omitempty"`
-	Faults    *FaultSpec     `json:"faults,omitempty"`
-	Migration *MigrationSpec `json:"migration,omitempty"`
+	GA           *GASpec          `json:"ga,omitempty"`
+	Faults       *FaultSpec       `json:"faults,omitempty"`
+	Migration    *MigrationSpec   `json:"migration,omitempty"`
+	Reservations *ReservationSpec `json:"reservations,omitempty"`
 }
 
 // TopologySpec describes the grid. Either a named preset or a generated
@@ -140,6 +141,58 @@ type MigrationSpec struct {
 	Window         int     `json:"window,omitempty"`
 	Cooldown       float64 `json:"cooldown,omitempty"`
 	MaxPerRound    int     `json:"max_per_round,omitempty"`
+}
+
+// ReservationSpec mixes advance reservations into the workload: each
+// generated request is diverted, with probability Share, from the
+// best-effort submit path to core.SubmitReservationAt — it asks for a
+// window of Duration seconds on Nodes nodes across Parts resources,
+// starting Lead seconds after it arrives. The diversion draws from its
+// own RNG stream, so the best-effort requests that remain are the same
+// requests a share-0 run submits, at the same times.
+type ReservationSpec struct {
+	// Share is the fraction of requests converted to reservations, in
+	// [0,1]. Zero disables the path entirely (byte-identical runs).
+	Share float64 `json:"share"`
+
+	Lead     float64 `json:"lead,omitempty"`     // start offset, seconds (default 300)
+	Duration float64 `json:"duration,omitempty"` // booked window length, seconds (default 120)
+	Nodes    int     `json:"nodes,omitempty"`    // nodes per part (default 2)
+	Parts    int     `json:"parts,omitempty"`    // co-allocated resources (default 1)
+
+	HoldTTL float64 `json:"hold_ttl,omitempty"` // phase-one hold TTL, seconds
+	// MaxSlip bounds how far past the requested start the granted window
+	// may slip before admission is refused; 0 = unbounded.
+	MaxSlip float64 `json:"max_slip,omitempty"`
+}
+
+// reservationDefaults resolves the zero shape fields.
+func (r ReservationSpec) reservationDefaults() ReservationSpec {
+	if r.Lead <= 0 {
+		r.Lead = 300
+	}
+	if r.Duration <= 0 {
+		r.Duration = 120
+	}
+	if r.Nodes <= 0 {
+		r.Nodes = 2
+	}
+	if r.Parts <= 0 {
+		r.Parts = 1
+	}
+	return r
+}
+
+// ReservationPolicy converts the spec's reservation section to the core
+// policy; the zero policy when absent.
+func (s Spec) ReservationPolicy() core.ReservationPolicy {
+	if s.Reservations == nil {
+		return core.ReservationPolicy{}
+	}
+	return core.ReservationPolicy{
+		HoldTTL: s.Reservations.HoldTTL,
+		MaxSlip: s.Reservations.MaxSlip,
+	}
 }
 
 // DefaultGA returns the GA configuration of the §4.1 case study (the
@@ -325,6 +378,18 @@ func (s Spec) Validate() error {
 	}
 	if s.Migration != nil && s.Migration.Enabled && !s.AgentsEnabled() {
 		return fmt.Errorf("scenario: migration requires use_agents (tasks are re-placed through agent discovery)")
+	}
+	if r := s.Reservations; r != nil {
+		if r.Share < 0 || r.Share > 1 {
+			return fmt.Errorf("scenario: reservation share %g outside [0,1]", r.Share)
+		}
+		if r.Share > 0 && !s.AgentsEnabled() {
+			return fmt.Errorf("scenario: reservations require use_agents (windows are shopped through agent discovery)")
+		}
+		if r.Lead < 0 || r.Duration < 0 || r.Nodes < 0 || r.Parts < 0 || r.HoldTTL < 0 || r.MaxSlip < 0 {
+			return fmt.Errorf("scenario: negative reservation parameter (lead %g, duration %g, nodes %d, parts %d, hold_ttl %g, max_slip %g)",
+				r.Lead, r.Duration, r.Nodes, r.Parts, r.HoldTTL, r.MaxSlip)
+		}
 	}
 	if plan := s.FaultPlan(); plan != nil {
 		if !s.AgentsEnabled() {

@@ -33,6 +33,11 @@ type Schedule struct {
 	Makespan float64   // ω: the latest completion time (eq. 7), absolute
 	Base     float64   // the scheduling instant the schedule was built at
 
+	// Booked aliases the resource's reservation windows the schedule was
+	// built around, so Cost can discount booked time from the idle terms
+	// (reserved time is sold, not wasted). nil without reservations.
+	Booked [][]Window
+
 	byTask []int32 // lazy TaskPos -> Items index (+1, 0 = absent)
 }
 
@@ -91,6 +96,7 @@ func build(sol Solution, tasks []Task, res Resource, base float64, predict Predi
 		Items:    make([]Placed, 0, len(tasks)),
 		NodeBusy: make([]float64, res.NumNodes),
 		Base:     base,
+		Booked:   res.Booked,
 	}
 	out.Makespan = buildInto(out, sol, tasks, res, base, predict, sequential)
 	return out
@@ -131,6 +137,11 @@ func buildInto(out *Schedule, sol Solution, tasks []Task, res Resource, base flo
 		dur := predict(t.App, bits.OnesCount64(mask))
 		if dur < 0 {
 			panic(fmt.Sprintf("schedule: negative predicted duration %g for %s", dur, t))
+		}
+		if res.Booked != nil {
+			// Reservations are immovable: push the task past any booked
+			// window it would overlap on its allocated nodes.
+			start = AdjustStart(res.Booked, mask, start, dur)
 		}
 		end := start + dur
 		for m := mask; m != 0; {
@@ -181,6 +192,7 @@ func NewBuilder(tasks []Task, res Resource, predict Predictor) (*Builder, error)
 		sched: Schedule{
 			Items:    make([]Placed, 0, len(tasks)),
 			NodeBusy: make([]float64, res.NumNodes),
+			Booked:   res.Booked,
 		},
 	}, nil
 }

@@ -63,22 +63,28 @@ func Cost(s *Schedule, tasks []Task, w CostWeights, frontWeighted bool) CostBrea
 		// intervals are non-overlapping and start-sorted because each
 		// placement pushes the node's availability forward.
 		bit := uint64(1) << uint(i)
+		var booked []Window
+		if s.Booked != nil && i < len(s.Booked) {
+			booked = s.Booked[i]
+		}
 		cursor := s.Base
 		for _, it := range s.Items {
 			if it.Mask&bit == 0 {
 				continue
 			}
 			if it.Start > cursor {
-				idleRaw += it.Start - cursor
-				idleW += weightedGap(cursor, it.Start, s.Base, horizon, frontWeighted)
+				r, w := gapCost(cursor, it.Start, booked, s.Base, horizon, frontWeighted)
+				idleRaw += r
+				idleW += w
 			}
 			if it.End > cursor {
 				cursor = it.End
 			}
 		}
 		if s.Makespan > cursor {
-			idleRaw += s.Makespan - cursor
-			idleW += weightedGap(cursor, s.Makespan, s.Base, horizon, frontWeighted)
+			r, w := gapCost(cursor, s.Makespan, booked, s.Base, horizon, frontWeighted)
+			idleRaw += r
+			idleW += w
 		}
 	}
 	if n > 0 {
@@ -98,6 +104,40 @@ func Cost(s *Schedule, tasks []Task, w CostWeights, frontWeighted bool) CostBrea
 	}
 	out.Combined = (w.Makespan*out.Makespan + w.Idle*out.Idle + w.Deadline*out.ContractPen) / den
 	return out
+}
+
+// gapCost accounts the gap [a, b] on one node as idle time, minus any
+// reserved windows inside it: booked time is sold to a reservation
+// holder, so charging the scheduler idle-time cost for it would punish
+// exactly the plans that correctly leave it free. With no booked windows
+// (the only state without the reservation subsystem) it reduces to the
+// single weightedGap accumulation and is bit-identical to it.
+func gapCost(a, b float64, booked []Window, base, horizon float64, frontWeighted bool) (raw, weighted float64) {
+	if len(booked) == 0 {
+		return b - a, weightedGap(a, b, base, horizon, frontWeighted)
+	}
+	cur := a
+	for _, w := range booked {
+		if w.Start >= b {
+			break
+		}
+		if !w.Overlaps(cur, b) {
+			continue
+		}
+		if w.Start > cur {
+			raw += w.Start - cur
+			weighted += weightedGap(cur, w.Start, base, horizon, frontWeighted)
+		}
+		if w.End > cur {
+			cur = w.End
+		}
+		if cur >= b {
+			return raw, weighted
+		}
+	}
+	raw += b - cur
+	weighted += weightedGap(cur, b, base, horizon, frontWeighted)
+	return raw, weighted
 }
 
 // weightedGap integrates the idle weight over the gap [a, b]. With front

@@ -48,6 +48,13 @@ type Predictor func(app *pace.AppModel, nprocs int) float64
 type Resource struct {
 	NumNodes int
 	Avail    []float64
+	// Booked lists, per node, the advance-reservation windows the
+	// schedule must leave untouched: best-effort tasks are placed around
+	// them (see AdjustStart) and the booked time does not count as idle
+	// in the cost function. Each node's windows are sorted by start and
+	// non-overlapping. nil — the default, and the only state reachable
+	// without the reservation subsystem — changes nothing.
+	Booked [][]Window
 }
 
 // NewResource returns a resource whose nodes are all free at time 0.
@@ -62,7 +69,14 @@ func NewResource(numNodes int) Resource {
 func (r Resource) Clone() Resource {
 	avail := make([]float64, len(r.Avail))
 	copy(avail, r.Avail)
-	return Resource{NumNodes: r.NumNodes, Avail: avail}
+	var booked [][]Window
+	if r.Booked != nil {
+		booked = make([][]Window, len(r.Booked))
+		for i, ws := range r.Booked {
+			booked[i] = append([]Window(nil), ws...)
+		}
+	}
+	return Resource{NumNodes: r.NumNodes, Avail: avail, Booked: booked}
 }
 
 // Validate checks internal consistency.
@@ -72,6 +86,21 @@ func (r Resource) Validate() error {
 	}
 	if len(r.Avail) != r.NumNodes {
 		return fmt.Errorf("schedule: %d availability entries for %d nodes", len(r.Avail), r.NumNodes)
+	}
+	if r.Booked != nil {
+		if len(r.Booked) != r.NumNodes {
+			return fmt.Errorf("schedule: %d booked-window lists for %d nodes", len(r.Booked), r.NumNodes)
+		}
+		for i, ws := range r.Booked {
+			for k, w := range ws {
+				if w.End < w.Start {
+					return fmt.Errorf("schedule: node %d window %d ends (%g) before it starts (%g)", i, k, w.End, w.Start)
+				}
+				if k > 0 && w.Start < ws[k-1].End {
+					return fmt.Errorf("schedule: node %d windows %d and %d overlap or are unsorted", i, k-1, k)
+				}
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,65 @@
+package schedule
+
+import "math/bits"
+
+// Window is a half-open [Start, End) interval of reserved node time: an
+// advance reservation holds its node set for exactly this span, and the
+// schedule builder treats it as an immovable constraint — best-effort
+// tasks are placed around it, never inside it. A zero-width window
+// (Start == End) reserves nothing and conflicts with nothing.
+type Window struct {
+	Start float64
+	End   float64
+}
+
+// Overlaps reports whether the window intersects the half-open interval
+// [start, end). Empty intervals on either side intersect nothing.
+func (w Window) Overlaps(start, end float64) bool {
+	lo, hi := start, end
+	if w.Start > lo {
+		lo = w.Start
+	}
+	if w.End < hi {
+		hi = w.End
+	}
+	return lo < hi
+}
+
+// AdjustStart pushes start forward until the interval [start, start+dur)
+// clears every booked window on the nodes of mask, and returns the
+// adjusted start. booked holds, per node, the reserved windows sorted by
+// start and non-overlapping (Resource.Validate enforces this); nil or
+// empty means no reservations and start is returned unchanged. The push
+// runs to a fixed point: clearing a window on one node can land the
+// interval inside a window on another, so nodes are re-scanned until no
+// window moves the start. The loop terminates because each move advances
+// start strictly to some window's End and there are finitely many.
+//
+// It is shared by the schedule builder and by policies that project node
+// availability themselves (the FIFO baseline's allocation search).
+func AdjustStart(booked [][]Window, mask uint64, start, dur float64) float64 {
+	if len(booked) == 0 {
+		return start
+	}
+	for {
+		moved := false
+		for m := mask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			if i >= len(booked) {
+				break
+			}
+			for _, w := range booked[i] {
+				if w.Start >= start+dur {
+					break // sorted by start: nothing later can overlap
+				}
+				if w.Overlaps(start, start+dur) {
+					start = w.End
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			return start
+		}
+	}
+}

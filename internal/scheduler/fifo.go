@@ -69,9 +69,9 @@ func (f *FIFOPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now floa
 		mask, ok := f.fixed[t.ID]
 		if !ok {
 			if f.Exhaustive {
-				mask = bestAllocationExhaustive(busy, floor, t.App, predict)
+				mask = bestAllocationExhaustive(busy, res.Booked, floor, t.App, predict)
 			} else {
-				mask = bestAllocationFast(busy, floor, t.App, predict)
+				mask = bestAllocationFast(busy, res.Booked, floor, t.App, predict)
 			}
 			f.fixed[t.ID] = mask
 		}
@@ -83,7 +83,11 @@ func (f *FIFOPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now floa
 				start = a
 			}
 		}
-		end := start + predict(t.App, bits.OnesCount64(mask))
+		dur := predict(t.App, bits.OnesCount64(mask))
+		if res.Booked != nil {
+			start = schedule.AdjustStart(res.Booked, mask, start, dur)
+		}
+		end := start + dur
 		for m := mask; m != 0; m &= m - 1 {
 			busy[bits.TrailingZeros64(m)] = end
 		}
@@ -96,8 +100,11 @@ func (f *FIFOPolicy) Plan(tasks []schedule.Task, res schedule.Resource, now floa
 // the one with the earliest completion, breaking ties towards fewer nodes
 // and then the smaller mask value (determinism). Subset start times are
 // computed with an O(2^n) dynamic program:
-// maxAvail(m) = max(maxAvail(m \ lowbit), avail(lowbit)).
-func bestAllocationExhaustive(busy []float64, floor float64, app *pace.AppModel, predict schedule.Predictor) uint64 {
+// maxAvail(m) = max(maxAvail(m \ lowbit), avail(lowbit)). Booked
+// reservation windows delay a subset's start past any window it would
+// overlap, so a subset straddling a reservation is judged by the
+// completion it can actually achieve.
+func bestAllocationExhaustive(busy []float64, booked [][]schedule.Window, floor float64, app *pace.AppModel, predict schedule.Predictor) uint64 {
 	n := len(busy)
 	total := uint64(1) << uint(n)
 	maxAvail := make([]float64, total)
@@ -123,6 +130,9 @@ func bestAllocationExhaustive(busy []float64, floor float64, app *pace.AppModel,
 			start = floor
 		}
 		k := bits.OnesCount64(m)
+		if booked != nil {
+			start = schedule.AdjustStart(booked, m, start, dur[k])
+		}
 		end := start + dur[k]
 		if end < bestEnd ||
 			(end == bestEnd && (k < bestCount || (k == bestCount && m < best))) {
@@ -135,8 +145,12 @@ func bestAllocationExhaustive(busy []float64, floor float64, app *pace.AppModel,
 // bestAllocationFast exploits homogeneity: for a fixed cardinality k, the
 // completion-minimising subset is the k nodes with the earliest
 // availability, so only n candidates need checking instead of 2^n − 1.
-// Ties are broken identically to the exhaustive search.
-func bestAllocationFast(busy []float64, floor float64, app *pace.AppModel, predict schedule.Predictor) uint64 {
+// Ties are broken identically to the exhaustive search. With booked
+// windows present the k-earliest heuristic is no longer exact (a window
+// can block precisely the earliest nodes), but each candidate's end is
+// still computed honestly via AdjustStart, so the chosen allocation never
+// overlaps a reservation once the builder places it.
+func bestAllocationFast(busy []float64, booked [][]schedule.Window, floor float64, app *pace.AppModel, predict schedule.Predictor) uint64 {
 	n := len(busy)
 	type na struct {
 		idx   int
@@ -163,7 +177,14 @@ func bestAllocationFast(busy []float64, floor float64, app *pace.AppModel, predi
 		if nodes[k-1].avail > start {
 			start = nodes[k-1].avail
 		}
-		end := start + predict(app, k)
+		d := predict(app, k)
+		adj := start
+		if booked != nil {
+			// Keep the incremental start untouched: the push is specific to
+			// this candidate's mask and duration.
+			adj = schedule.AdjustStart(booked, mask, start, d)
+		}
+		end := adj + d
 		if end < bestEnd || (end == bestEnd && (k < bestCount || (k == bestCount && mask < best))) {
 			best, bestEnd, bestCount = mask, end, k
 		}

@@ -95,8 +95,8 @@ func TestFIFOExhaustiveMatchesFastPath(t *testing.T) {
 		}
 		floor := float64(floorRaw % 60)
 		pred := enginePredictor(e, pace.SunUltra5)
-		em := bestAllocationExhaustive(busy, floor, app, pred)
-		fm := bestAllocationFast(busy, floor, app, pred)
+		em := bestAllocationExhaustive(busy, nil, floor, app, pred)
+		fm := bestAllocationFast(busy, nil, floor, app, pred)
 
 		end := func(mask uint64) float64 {
 			start := floor
@@ -159,8 +159,8 @@ func TestBestAllocationDeterministic(t *testing.T) {
 	pred := enginePredictor(e, pace.SGIOrigin2000)
 	app := appOf(t, "closure")
 	busy := []float64{3, 1, 4, 1, 5, 9, 2, 6}
-	a := bestAllocationExhaustive(busy, 0, app, pred)
-	b := bestAllocationExhaustive(busy, 0, app, pred)
+	a := bestAllocationExhaustive(busy, nil, 0, app, pred)
+	b := bestAllocationExhaustive(busy, nil, 0, app, pred)
 	if a != b {
 		t.Fatalf("exhaustive search nondeterministic: %b vs %b", a, b)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/pace"
+	"repro/internal/reserve"
 	"repro/internal/schedule"
 )
 
@@ -88,6 +89,13 @@ type Local struct {
 	planPhys  []int // compact node index -> physical node index for plan
 	committed []Record
 	nodeBusy  []float64 // physical per-node busy-until from committed tasks
+
+	// book is the resource's advance-reservation book, created on first
+	// use; reserved holds the confirmed reservations waiting for their
+	// windows, sorted by window start. Both stay nil/empty — and cost
+	// nothing — until a reservation reaches this resource.
+	book     *reserve.Book
+	reserved []reservedTask
 
 	nextID int
 	now    float64
@@ -173,6 +181,11 @@ func (l *Local) refreshNextStart() {
 			if it.Start < next {
 				next = it.Start
 			}
+		}
+	}
+	for _, r := range l.reserved {
+		if r.start < next {
+			next = r.start
 		}
 	}
 	l.nextStart = next
@@ -294,6 +307,17 @@ func (l *Local) replan() {
 	for c, phys := range up {
 		res.Avail[c] = l.nodeBusy[phys]
 	}
+	if l.book != nil {
+		// Booked windows are immovable constraints: map the active
+		// physical-node windows into the plan's compact node space.
+		if wins := l.book.Windows(l.now); wins != nil {
+			booked := make([][]schedule.Window, len(up))
+			for c, phys := range up {
+				booked[c] = wins[phys]
+			}
+			res.Booked = booked
+		}
+	}
 	predict := func(app *pace.AppModel, k int) float64 { return l.duration(app, k) }
 	l.metrics.Plans.Inc()
 	if l.metrics.PlanLatency != nil {
@@ -321,6 +345,7 @@ func (l *Local) AdvanceTo(now float64) {
 	if now < l.nextStart {
 		return
 	}
+	l.promoteReserved(now)
 	l.promote(func(p schedule.Placed) bool { return p.Start <= now })
 }
 
@@ -329,6 +354,7 @@ func (l *Local) AdvanceTo(now float64) {
 // (the time the last task completes), or the current time for an empty
 // queue.
 func (l *Local) Drain() float64 {
+	l.promoteReserved(math.Inf(1))
 	l.promote(func(schedule.Placed) bool { return true })
 	end := l.now
 	for _, b := range l.nodeBusy {
@@ -352,6 +378,15 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 	byStart := make([]schedule.Placed, len(l.plan.Items))
 	copy(byStart, l.plan.Items)
 	sort.SliceStable(byStart, func(i, j int) bool { return byStart[i].Start < byStart[j].Start })
+
+	// Active reservation windows, in physical node space: a best-effort
+	// start pushed late by real execution times must slide past them, not
+	// into them (the plan avoided the windows with predicted durations;
+	// reality can overrun the gap in front of one).
+	var wins [][]schedule.Window
+	if l.book != nil {
+		wins = l.book.Windows(l.now)
+	}
 
 	oldPending := l.pending
 	promoted := map[int]bool{} // keyed by task ID
@@ -378,9 +413,28 @@ func (l *Local) promote(ready func(schedule.Placed) bool) {
 				dur = 0
 			}
 		}
+		base := dur // actual duration before any start-keyed slowdown
 		if l.slowdown != nil {
 			if f := l.slowdown(start); f > 0 {
 				dur *= f
+			}
+		}
+		if wins != nil {
+			// Fixed point: clearing a window can move the start into a
+			// different slowdown regime, which changes the duration, which
+			// can hit another window. The start only ever moves forward.
+			for {
+				adj := schedule.AdjustStart(wins, mask, start, dur)
+				if adj == start {
+					break
+				}
+				start = adj
+				dur = base
+				if l.slowdown != nil {
+					if f := l.slowdown(start); f > 0 {
+						dur = base * f
+					}
+				}
 			}
 		}
 		rec := Record{
@@ -545,6 +599,15 @@ func (l *Local) Freetime() float64 {
 	if l.clock != nil {
 		if c := l.clock(); c > ft {
 			ft = c
+		}
+	}
+	if l.book != nil {
+		// Booked windows are sold: the nodes are not available for more
+		// tasks until the last active booking ends, so the advertised
+		// freetime covers it — and snaps back the instant a hold expires
+		// or a booking is released.
+		if h := l.book.Horizon(ft); h > ft {
+			ft = h
 		}
 	}
 	for _, b := range l.nodeBusy {

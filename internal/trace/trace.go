@@ -46,6 +46,17 @@ const (
 	KindMigrateOffer      Kind = "migrate-offer"      // origin offered an unstarted task for re-placement
 	KindMigrateWithdraw   Kind = "migrate-withdraw"   // the offered task left the origin queue
 	KindMigrateRedispatch Kind = "migrate-redispatch" // the offered task was re-placed elsewhere
+
+	// Reservation events (internal/reserve two-phase commit): a node×time
+	// window held on a resource, its settlement into a guaranteed-start
+	// task, its cancellation, or its TTL expiry. These are booking-level
+	// events, not request lifecycle stages — a release or expiry can
+	// happen before any request is bound to the booking — so they are not
+	// TaskBearing; the audit joins them on the resv= key in Detail.
+	KindReserveHold    Kind = "reserve-hold"    // a window was held (phase one)
+	KindReserveConfirm Kind = "reserve-confirm" // a held window became a guaranteed-start task
+	KindReserveRelease Kind = "reserve-release" // a held or confirmed window was cancelled
+	KindReserveExpire  Kind = "reserve-expire"  // a hold outlived its TTL unconfirmed
 )
 
 // TaskBearing reports whether events of this kind describe the lifecycle

@@ -427,6 +427,17 @@ func (n *Node) handle(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
 			return nil, err
 		}
 		return xmlmsg.NewDispatchAck(d.Resource, d.TaskID, d.ReqID, d.Eta, d.Hops, d.Fallback), nil
+
+	case *xmlmsg.Reserve:
+		op, err := n.reserveOpFromWire(m)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := n.reserveDispatch(op)
+		if err != nil {
+			return nil, err
+		}
+		return reserveAckToWire(reply), nil
 	}
 	return nil, fmt.Errorf("unsupported message kind %q", kind)
 }

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/pace"
+	"repro/internal/reserve"
+	"repro/internal/xmlmsg"
+)
+
+// TestReservationOverTCP drives the full reservation protocol across two
+// real TCP daemons: flood quote from the head, then a routed hold,
+// confirm and release against the child resource.
+func TestReservationOverTCP(t *testing.T) {
+	head := startNode(t, "rhead", pace.SGIOrigin2000, 8)
+	child := startNode(t, "rchild", pace.SGIOrigin2000, 8)
+	lib := pace.CaseStudyLibrary()
+	if err := child.SetUpper(&RemotePeer{Name: "rhead", Addr: head.Addr(), Lib: lib}); err != nil {
+		t.Fatal(err)
+	}
+	if err := head.AddLower(&RemotePeer{Name: "rchild", Addr: child.Addr(), Lib: lib}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flood quote: both resources answer through the wire.
+	quote := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionQuote,
+		Nodes: 2, Earliest: xmlmsg.FormatSeconds(1e5), Duration: xmlmsg.FormatSeconds(50),
+	}
+	reply, kind, err := Call(head.Addr(), quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != xmlmsg.KindReserveAck {
+		t.Fatalf("kind %v", kind)
+	}
+	ack := reply.(*xmlmsg.ReserveAck)
+	if len(ack.Quotes) != 2 {
+		t.Fatalf("quotes %+v, want both resources", ack.Quotes)
+	}
+	for _, q := range ack.Quotes {
+		if s, _ := xmlmsg.ParseSeconds(q.Start); s != 1e5 {
+			t.Fatalf("idle-grid quote %+v, want start 1e5", q)
+		}
+	}
+
+	// Hold routed head -> child, then confirm, then release.
+	hold := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionHold,
+		ResvID: 5, Resource: "rchild", Holder: "u@g",
+		Mask:  xmlmsg.FormatMask(0b11),
+		Start: xmlmsg.FormatSeconds(1e5), End: xmlmsg.FormatSeconds(1e5 + 50),
+		TTL: xmlmsg.FormatSeconds(3600),
+	}
+	if _, _, err := Call(head.Addr(), hold); err != nil {
+		t.Fatalf("routed hold: %v", err)
+	}
+	if b, ok := child.Agent().Local().Book().Get(5); !ok || b.State != reserve.Held {
+		t.Fatalf("child booking = %+v ok=%v", b, ok)
+	}
+
+	confirm := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionConfirm,
+		ResvID: 5, Resource: "rchild", ReqID: 55, Model: "fft",
+	}
+	creply, _, err := Call(head.Addr(), confirm)
+	if err != nil {
+		t.Fatalf("routed confirm: %v", err)
+	}
+	if cack := creply.(*xmlmsg.ReserveAck); cack.TaskID == 0 {
+		t.Fatalf("confirm ack %+v, want a task id", cack)
+	}
+
+	release := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionRelease,
+		ResvID: 5, Resource: "rchild",
+	}
+	if _, _, err := Call(head.Addr(), release); err != nil {
+		t.Fatalf("routed release: %v", err)
+	}
+	if b, _ := child.Agent().Local().Book().Get(5); b.State != reserve.Released {
+		t.Fatalf("state after release = %s", b.State)
+	}
+
+	// A ghost target is a routing miss with its identity preserved
+	// through the ErrorReply round trip.
+	ghost := xmlmsg.Reserve{
+		Type: "reserve", Action: xmlmsg.ReserveActionRelease,
+		ResvID: 5, Resource: "ghost",
+	}
+	_, _, err = Call(head.Addr(), ghost)
+	if err == nil || !agent.IsNotRoutable(err) {
+		t.Fatalf("ghost error = %v, want routing miss", err)
+	}
+
+	// A refusal from the target (double release) propagates as the
+	// protocol answer, not a routing miss.
+	_, _, err = Call(head.Addr(), release)
+	if err == nil || agent.IsNotRoutable(err) || !strings.Contains(err.Error(), "release") {
+		t.Fatalf("double release error = %v, want release refusal", err)
+	}
+}

@@ -25,8 +25,10 @@ const (
 	binTagAck     byte = 5
 	binTagError   byte = 6
 	binTagResults byte = 7
-	binTagHello   byte = 8
-	binTagBusy    byte = 9
+	binTagHello      byte = 8
+	binTagBusy       byte = 9
+	binTagReserve    byte = 10
+	binTagReserveAck byte = 11
 )
 
 type binWriter struct{ buf []byte }
@@ -220,6 +222,36 @@ func MarshalBinary(v interface{}) ([]byte, error) {
 			w.boolean(t.Done)
 			w.str(t.Email)
 		}
+	case Reserve:
+		w.buf = append(w.buf, binTagReserve)
+		w.str(m.Action)
+		w.u64(m.ResvID)
+		w.u64(m.ReqID)
+		w.str(m.Resource)
+		w.str(m.Holder)
+		if err := w.i(m.Nodes); err != nil {
+			return nil, err
+		}
+		w.str(m.Earliest)
+		w.str(m.Duration)
+		w.str(m.Mask)
+		w.str(m.Start)
+		w.str(m.End)
+		w.str(m.TTL)
+		w.str(m.Model)
+		w.strs(m.Visited)
+	case ReserveAck:
+		w.buf = append(w.buf, binTagReserveAck)
+		if err := w.i(m.TaskID); err != nil {
+			return nil, err
+		}
+		w.u64(uint64(len(m.Quotes)))
+		for _, q := range m.Quotes {
+			w.str(q.Resource)
+			w.str(q.Mask)
+			w.str(q.Start)
+			w.str(q.End)
+		}
 	case Hello:
 		w.buf = append(w.buf, binTagHello)
 		w.str(m.Codecs)
@@ -257,6 +289,10 @@ func deref(v interface{}) interface{} {
 	case *Hello:
 		return *m
 	case *Busy:
+		return *m
+	case *Reserve:
+		return *m
+	case *ReserveAck:
 		return *m
 	}
 	return v
@@ -352,6 +388,40 @@ func UnmarshalBinary(data []byte) (interface{}, Kind, error) {
 			m.Tasks = append(m.Tasks, t)
 		}
 		out, kind = m, KindResults
+	case binTagReserve:
+		m := &Reserve{XMLName: agName, Type: "reserve"}
+		m.Action = r.str("reserve action")
+		m.ResvID = r.u64("reserve resvid")
+		m.ReqID = r.u64("reserve reqid")
+		m.Resource = r.str("reserve resource")
+		m.Holder = r.str("reserve holder")
+		m.Nodes = r.i("reserve nodes")
+		m.Earliest = r.str("reserve earliest")
+		m.Duration = r.str("reserve duration")
+		m.Mask = r.str("reserve mask")
+		m.Start = r.str("reserve start")
+		m.End = r.str("reserve end")
+		m.TTL = r.str("reserve ttl")
+		m.Model = r.str("reserve model")
+		m.Visited = r.strs("reserve visited")
+		out, kind = m, KindReserve
+	case binTagReserveAck:
+		m := &ReserveAck{XMLName: agName, Type: "reserveack"}
+		m.TaskID = r.i("reserve ack task id")
+		n := r.u64("reserve ack quote count")
+		if n > uint64(len(r.buf)) { // each quote needs >= 1 byte
+			r.fail("reserve ack quote count")
+			n = 0
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			var q QuoteEntry
+			q.Resource = r.str("quote resource")
+			q.Mask = r.str("quote mask")
+			q.Start = r.str("quote start")
+			q.End = r.str("quote end")
+			m.Quotes = append(m.Quotes, q)
+		}
+		out, kind = m, KindReserveAck
 	case binTagHello:
 		m := &Hello{XMLName: agName, Type: "hello"}
 		m.Codecs = r.str("hello codecs")
