@@ -39,6 +39,7 @@ func main() {
 		nodes   = flag.Int("nodes", 16, "processing nodes in the local resource")
 		listen  = flag.String("listen", "127.0.0.1:7001", "listen address")
 		upper   = flag.String("upper", "", "upper agent as name=host:port")
+		join    = flag.Bool("join", false, "register with -upper over the wire after startup (dynamic membership) and deregister gracefully on shutdown")
 		lowers  = flag.String("lowers", "", "comma-separated lower agents as name=host:port")
 		policy  = flag.String("policy", "ga", "local scheduling policy: ga or fifo")
 		seed    = flag.Uint64("seed", 1, "GA random seed")
@@ -98,10 +99,16 @@ func main() {
 	node.SetPushEnabled(*push)
 	node.SetServerConfig(transport.ServerConfig{MaxInflight: *admission, AllowBinary: *binary})
 
+	var upperName, upperAddr string
 	if *upper != "" {
 		p, err := parsePeer(*upper, lib)
 		fail(err)
-		fail(node.Agent().SetUpper(p))
+		upperName, upperAddr = p.Name, p.Addr
+		if !*join {
+			fail(node.Agent().SetUpper(p))
+		}
+	} else if *join {
+		fail(fmt.Errorf("-join needs an -upper to register with"))
 	}
 	for _, spec := range splitList(*lowers) {
 		p, err := parsePeer(spec, lib)
@@ -124,7 +131,12 @@ func main() {
 	}
 	fail(node.Start(*listen))
 	fmt.Printf("gridagent %s (%s x%d, %s) listening on %s\n", *name, hw.Name, *nodes, pol.Name(), node.Addr())
-	if *upper != "" {
+	if *join {
+		// Dynamic membership: register with the live upper so it links us
+		// as a lower neighbour and starts pulling our advertisements.
+		fail(node.JoinUpper(upperName, upperAddr))
+		fmt.Printf("  joined upper agent: %s\n", *upper)
+	} else if *upper != "" {
 		fmt.Printf("  upper agent: %s\n", *upper)
 	}
 	if msrv != nil {
@@ -135,6 +147,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("gridagent: shutting down")
+	if *join {
+		// Graceful leave: the upper forgets our advertisement immediately
+		// instead of waiting out the TTL, so no new work routes here.
+		if err := node.LeaveUpper(); err != nil {
+			fmt.Fprintln(os.Stderr, "gridagent: leave:", err)
+		}
+	}
 	if msrv != nil {
 		_ = msrv.Close()
 	}

@@ -25,6 +25,7 @@ type exportDoc struct {
 	Resilience  *resilienceRow   `json:"resilience,omitempty"`  // experiment 4
 	Migration   *migrationRow    `json:"migration,omitempty"`   // experiment 5
 	Reservation []reservationRow `json:"reservation,omitempty"` // experiment 6
+	Membership  *membershipRow   `json:"membership,omitempty"`  // experiment 7
 	Scale       []scaleRow       `json:"scale,omitempty"`       // §5 scalability study
 
 	Scenario   *scenario.Result           `json:"scenario,omitempty"`
@@ -81,6 +82,18 @@ type migrationRow struct {
 	Offers   int        `json:"migrate_offers"`
 	Accepts  int        `json:"migrate_accepts"`
 	Rejects  int        `json:"migrate_rejects"`
+}
+
+// membershipRow is the experiment-7 export: the churning flash-crowd
+// run with the tree held static against the identical run with the
+// load-driven rebalancer re-homing subtrees.
+type membershipRow struct {
+	Static  expSummary `json:"static"`
+	Dynamic expSummary `json:"dynamic"`
+	Joins   int        `json:"joins"`
+	Leaves  int        `json:"leaves"`
+	Drained int        `json:"tasks_drained"`
+	Moves   int        `json:"rehome_moves"`
 }
 
 // reservationRow is one experiment-6 admission-study share: what the

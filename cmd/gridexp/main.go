@@ -53,6 +53,7 @@ func main() {
 		exp4     = flag.Bool("exp4", false, "run Experiment 4: the resilience study under agent crashes")
 		exp5     = flag.Bool("exp5", false, "run Experiment 5: drift-driven migration off a degraded node, off vs on")
 		exp6     = flag.Bool("exp6", false, "run Experiment 6: the advance-reservation admission study over reserved-traffic shares")
+		exp7     = flag.Bool("exp7", false, "run Experiment 7: dynamic hierarchy under churn and flash crowd, static vs rebalanced tree")
 		auditRun = flag.Bool("audit", false, "run the lifecycle auditor over every experiment and exit non-zero on violations")
 		csvDir   = flag.String("csv", "", "also export the experiment results as CSV into this directory")
 		traceOut = flag.String("tracefile", "", "write the experiment-3 request lifecycle trace as CSV to this file")
@@ -82,7 +83,7 @@ func main() {
 		fail(fmt.Errorf("-migrate needs a -scenario spec (use -exp5 for the canned migration study)"))
 	}
 
-	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4 || *exp5 || *exp6)
+	all := !(*table1 || *table2 || *table3 || *fig8 || *fig9 || *fig10 || *topology || *dispatch || *stats || *accuracy || *scale || *exp4 || *exp5 || *exp6 || *exp7)
 	doc := exportDoc{Seed: *seed, Requests: *requests}
 
 	if all || *table1 {
@@ -208,9 +209,32 @@ func main() {
 			}
 		}
 	}
+	if *exp7 {
+		plan := experiment.DefaultChurnPlan()
+		fmt.Printf("Running experiment 7 (dynamic hierarchy): %d requests, seed %d, %d joins / %d leaves\n",
+			params.Requests, params.Seed, len(plan.Joins), len(plan.Leaves))
+		start := time.Now()
+		r, err := experiment.RunMembershipStudy(params, plan, experiment.DefaultRebalancePolicy())
+		fail(err)
+		fmt.Printf("(completed in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println(experiment.FormatMembership(r))
+		doc.Membership = &membershipRow{
+			Static:  summariseOutcome(r.Static),
+			Dynamic: summariseOutcome(r.Dynamic),
+			Joins:   r.Stats.Joins,
+			Leaves:  r.Stats.Leaves,
+			Drained: r.Stats.Drained,
+			Moves:   r.Stats.Moves,
+		}
+		verdict("[exp7 static]", r.Static.Audit)
+		verdict("[exp7 dynamic]", r.Dynamic.Audit)
+		if r.Dynamic.Telemetry != nil {
+			telemetryExports["exp7_dynamic"] = r.Dynamic.Telemetry
+		}
+	}
 
 	needRuns := all || *table3 || *fig8 || *fig9 || *fig10 || *dispatch || *stats || *csvDir != ""
-	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4 || *exp5 || *exp6) {
+	if !needRuns && *auditRun && !(*accuracy || *scale || *exp4 || *exp5 || *exp6 || *exp7) {
 		// `gridexp -audit` alone still means "audit the experiments".
 		needRuns = true
 	}

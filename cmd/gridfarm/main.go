@@ -75,6 +75,7 @@ func main() {
 		fmt.Printf("telemetry: http://%s/metrics and /healthz\n", msrv.Addr())
 	}
 	fmt.Println("submit with: gridsubmit -to <addr> -app sweep3d -deadline 60")
+	fmt.Println("grow the tree with: gridagent -name S13 -listen 127.0.0.1:7113 -upper <name>=<addr> -join")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -351,10 +351,20 @@ func (a *Agent) SetUpper(p Peer) error {
 		return fmt.Errorf("agent: nil upper peer")
 	}
 	if a.upper != nil {
-		return fmt.Errorf("agent: %s already has upper agent %s", a.name, a.upper.PeerName())
+		return &AlreadyLinkedError{Child: a.name, Upper: a.upper.PeerName()}
 	}
 	a.upper = p
 	return nil
+}
+
+// ClearUpper unwires the upper neighbour and forgets its soft state —
+// the remote counterpart of Unlink's child half, used when this agent
+// gracefully deregisters from a live farm.
+func (a *Agent) ClearUpper() {
+	if a.upper != nil {
+		a.Forget(a.upper.PeerName())
+	}
+	a.upper = nil
 }
 
 // AddLower wires a remote lower neighbour.
@@ -364,6 +374,35 @@ func (a *Agent) AddLower(p Peer) error {
 	}
 	a.lowers = append(a.lowers, p)
 	return nil
+}
+
+// RemoveLower unwires the named lower neighbour and forgets its soft
+// state, reporting whether it was present. It is the remote counterpart
+// of Unlink, driven by a lower agent's graceful deregistration.
+func (a *Agent) RemoveLower(name string) bool {
+	for i, p := range a.lowers {
+		if p.PeerName() == name {
+			a.lowers = append(a.lowers[:i], a.lowers[i+1:]...)
+			a.Forget(name)
+			return true
+		}
+	}
+	return false
+}
+
+// Forget drops every trace of the named peer from the agent's soft
+// state: the cached advertisement — immediate expiry, so a gracefully
+// departing neighbour vanishes from the service table at the leave
+// event instead of ageing out through AdvertTTL — and the
+// circuit-breaker history.
+func (a *Agent) Forget(name string) {
+	delete(a.cache, name)
+	if h, ok := a.health[name]; ok {
+		if h.tripped {
+			a.stats.breakersOpen.Add(-1)
+		}
+		delete(a.health, name)
+	}
 }
 
 // neighbours returns upper plus lowers.

@@ -48,7 +48,7 @@ type Run struct {
 
 // Violation is one broken invariant.
 type Violation struct {
-	Check  string // "conservation", "exclusivity", "timing", "placement", "metrics", "identity", "trace"
+	Check  string // "conservation", "exclusivity", "timing", "placement", "metrics", "identity", "trace", "reservation", "membership"
 	ReqID  uint64 // the request involved, when the violation is request-scoped
 	Detail string
 }
@@ -83,6 +83,14 @@ type Counts struct {
 	ReserveConfirms int
 	ReserveReleases int
 	ReserveExpires  int
+
+	// Dynamic-membership events (core.Options.Churn / Rebalance): runtime
+	// joins, graceful leaves, rebalance proposals and the completed
+	// detach→attach chains.
+	Joins          int
+	Leaves         int
+	RehomeProposes int
+	Rehomes        int
 }
 
 // Result is the auditor's verdict over one run.
@@ -125,6 +133,9 @@ func (r Result) Summary() string {
 	if c.ReserveHolds > 0 {
 		s += fmt.Sprintf(", %d reservation holds (%d confirmed, %d released, %d expired)",
 			c.ReserveHolds, c.ReserveConfirms, c.ReserveReleases, c.ReserveExpires)
+	}
+	if c.Joins+c.Leaves+c.RehomeProposes > 0 {
+		s += fmt.Sprintf(", %d joins, %d leaves, %d rehomes", c.Joins, c.Leaves, c.Rehomes)
 	}
 	if r.Truncated {
 		s += ", trace truncated"

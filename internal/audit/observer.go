@@ -73,6 +73,12 @@ type Observer struct {
 	// observation order for a deterministic Finish (see reserve.go).
 	resv      map[string]map[uint64]*resvBooking
 	resvOrder []*resvBooking
+
+	// dynamic-membership state (see membership.go): departure times per
+	// resource, runtime joiners seen, and open re-homing chains.
+	leftAt  map[string]float64
+	present map[string]bool
+	rehomes []*rehomeChain
 }
 
 type interval struct {
@@ -140,6 +146,7 @@ func NewObserver(nodes map[string]int) *Observer {
 		inflight: map[uint64]*reqState{},
 		ivs:      map[string][][]interval{},
 		busy:     map[string][]float64{},
+		present:  map[string]bool{},
 		minStart: math.Inf(1),
 		maxEnd:   math.Inf(-1),
 	}
@@ -193,6 +200,11 @@ func (o *Observer) Observe(ev trace.Event) {
 	case trace.KindReserveHold, trace.KindReserveConfirm, trace.KindReserveRelease, trace.KindReserveExpire:
 		o.observeReserve(ev)
 		return
+	case trace.KindJoin, trace.KindLeave, trace.KindRehomePropose, trace.KindRehomeDetach, trace.KindRehomeAttach:
+		o.observeMembership(ev)
+		return
+	case trace.KindDispatch, trace.KindRedispatch, trace.KindMigrateRedispatch, trace.KindStart:
+		o.checkDeparted(ev)
 	}
 	if !ev.Kind.TaskBearing() {
 		return
@@ -601,6 +613,7 @@ func (o *Observer) Finish(report metrics.GridReport, dropped uint64) Result {
 	}
 
 	o.finishReserve()
+	o.finishMembership()
 	o.checkMetrics(report)
 
 	res.Counts = o.counts

@@ -22,6 +22,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/fault"
 	"repro/internal/ga"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/pace"
 	"repro/internal/schedule"
@@ -141,6 +142,19 @@ type Options struct {
 	// runs — until a reservation is actually submitted.
 	Reservation ReservationPolicy
 
+	// Churn schedules dynamic membership (internal/membership): agents
+	// joining and gracefully leaving the hierarchy on the virtual clock,
+	// with a leaver's subtree re-homed under its parent, its queue
+	// drained back through discovery, and its advertisements expired
+	// immediately. Requires UseAgents. Nil — the default — builds no
+	// registry and schedules nothing: runs are byte-identical.
+	Churn *membership.Plan
+	// Rebalance enables the load-driven rebalancer: when one parent's
+	// neighbourhood stays lopsided past the policy's hysteresis, a
+	// subtree is re-homed under a less-loaded parent via an audited
+	// propose→detach→attach chain. Requires UseAgents. Nil disables it.
+	Rebalance *membership.Policy
+
 	// Telemetry, when set, instruments every layer of the grid (agents,
 	// schedulers, GA policies, the shared PACE engine) on one registry
 	// and samples it on a virtual-time period during Run. Nil — the
@@ -188,6 +202,7 @@ type Grid struct {
 	injector *fault.Injector
 	migrator *migrator
 	resv     *reservist
+	members  *memberState
 
 	dispatches []agent.Dispatch
 	errs       []error
@@ -252,57 +267,10 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 	agents := make(map[string]*agent.Agent, len(specs))
 	var ordered []*agent.Agent
 	for _, spec := range specs {
-		hw, ok := pace.LookupHardware(spec.Hardware)
-		if !ok {
-			return nil, fmt.Errorf("core: resource %q: unknown hardware %q", spec.Name, spec.Hardware)
-		}
-		pol, err := g.newPolicy(master.Split())
+		a, err := g.buildResource(spec, master)
 		if err != nil {
 			return nil, err
 		}
-		cfg := scheduler.Config{
-			Name:         spec.Name,
-			HW:           hw,
-			NumNodes:     spec.Nodes,
-			Policy:       pol,
-			Engine:       engine,
-			Environments: spec.Environments,
-		}
-		if g.execs != nil {
-			e := &tracingExecutor{g: g}
-			cfg.Executor = e
-			g.execs[spec.Name] = e
-		}
-		if opts.PredictionError != 0 || opts.PredictionBias != 0 {
-			noise := pace.NoiseModel{Rel: opts.PredictionError, Bias: opts.PredictionBias, Seed: opts.Seed}
-			resKey := fnv64(spec.Name)
-			cfg.ActualDuration = func(_ *pace.AppModel, _ int, predicted float64, taskID int) float64 {
-				return noise.Apply(predicted, resKey^uint64(taskID))
-			}
-		}
-		local, err := scheduler.NewLocal(cfg)
-		if err != nil {
-			return nil, err
-		}
-		// The shared clock keeps lazily advanced schedulers advertising
-		// the same freetime an eagerly advanced one would; the plan hook
-		// feeds the due index that makes the laziness sound.
-		local.SetClock(g.simr.Now)
-		name := spec.Name
-		local.SetPlanHook(func(at float64) { g.pushDue(at, name) })
-		a, err := agent.New(local, engine)
-		if err != nil {
-			return nil, err
-		}
-		a.PullPeriod = opts.PullPeriod
-		if opts.Telemetry != nil {
-			local.SetMetrics(scheduler.NewMetrics(opts.Telemetry, spec.Name))
-			if gp, ok := pol.(*scheduler.GAPolicy); ok {
-				gp.RegisterMetrics(opts.Telemetry, spec.Name)
-			}
-			a.RegisterMetrics(opts.Telemetry)
-		}
-		g.locals[spec.Name] = local
 		agents[spec.Name] = a
 		ordered = append(ordered, a)
 	}
@@ -400,7 +368,83 @@ func New(specs []ResourceSpec, opts Options) (*Grid, error) {
 			return float64(n)
 		})
 	}
+	if opts.Churn != nil || opts.Rebalance != nil {
+		if !opts.UseAgents {
+			return nil, fmt.Errorf("core: dynamic membership requires agent-based discovery (UseAgents)")
+		}
+		// Joiner agents are built here, after every base resource, so the
+		// base schedulers draw exactly the same policy RNG streams a
+		// membership-free build would hand them.
+		ms, err := newMemberState(g, master)
+		if err != nil {
+			return nil, err
+		}
+		g.members = ms
+	}
 	return g, nil
+}
+
+// buildResource constructs one local scheduler and its fronting agent —
+// the shared path for start-up resources and runtime joiners, so both
+// get identical policy RNG splits (in master draw order), clocks, plan
+// hooks, noise models and telemetry.
+func (g *Grid) buildResource(spec ResourceSpec, master *sim.RNG) (*agent.Agent, error) {
+	hw, ok := pace.LookupHardware(spec.Hardware)
+	if !ok {
+		return nil, fmt.Errorf("core: resource %q: unknown hardware %q", spec.Name, spec.Hardware)
+	}
+	if _, dup := g.locals[spec.Name]; dup {
+		return nil, fmt.Errorf("core: duplicate resource %q", spec.Name)
+	}
+	pol, err := g.newPolicy(master.Split())
+	if err != nil {
+		return nil, err
+	}
+	cfg := scheduler.Config{
+		Name:         spec.Name,
+		HW:           hw,
+		NumNodes:     spec.Nodes,
+		Policy:       pol,
+		Engine:       g.engine,
+		Environments: spec.Environments,
+	}
+	if g.execs != nil {
+		e := &tracingExecutor{g: g}
+		cfg.Executor = e
+		g.execs[spec.Name] = e
+	}
+	opts := g.opts
+	if opts.PredictionError != 0 || opts.PredictionBias != 0 {
+		noise := pace.NoiseModel{Rel: opts.PredictionError, Bias: opts.PredictionBias, Seed: opts.Seed}
+		resKey := fnv64(spec.Name)
+		cfg.ActualDuration = func(_ *pace.AppModel, _ int, predicted float64, taskID int) float64 {
+			return noise.Apply(predicted, resKey^uint64(taskID))
+		}
+	}
+	local, err := scheduler.NewLocal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The shared clock keeps lazily advanced schedulers advertising
+	// the same freetime an eagerly advanced one would; the plan hook
+	// feeds the due index that makes the laziness sound.
+	local.SetClock(g.simr.Now)
+	name := spec.Name
+	local.SetPlanHook(func(at float64) { g.pushDue(at, name) })
+	a, err := agent.New(local, g.engine)
+	if err != nil {
+		return nil, err
+	}
+	a.PullPeriod = opts.PullPeriod
+	if opts.Telemetry != nil {
+		local.SetMetrics(scheduler.NewMetrics(opts.Telemetry, spec.Name))
+		if gp, ok := pol.(*scheduler.GAPolicy); ok {
+			gp.RegisterMetrics(opts.Telemetry, spec.Name)
+		}
+		a.RegisterMetrics(opts.Telemetry)
+	}
+	g.locals[spec.Name] = local
+	return a, nil
 }
 
 func (g *Grid) newPolicy(rng *sim.RNG) (scheduler.Policy, error) {
@@ -500,6 +544,21 @@ func (g *Grid) SubmitAt(at float64, agentName, appName string, deadlineRel float
 			case target != agentName:
 				arrival = target
 				arriveDetail = "rerouted to " + target + " (agent down)"
+			}
+		}
+		if g.members != nil && !arrivalDown && !g.members.reg.Active(arrival) {
+			// A departed agent cannot receive arrivals either — but it
+			// left gracefully, so its last parent (transitively, the
+			// closest still-active ancestor) stands in as the portal.
+			target, ok := g.members.reg.Route(arrival)
+			if !ok {
+				arrivalDown = true
+			} else {
+				arrival = target
+				if arriveDetail != "" {
+					arriveDetail += "; "
+				}
+				arriveDetail += "rerouted to " + target + " (agent left)"
 			}
 		}
 		// The arrive event is recorded unconditionally — the request did
@@ -777,7 +836,57 @@ func (g *Grid) Run() error {
 		return fmt.Errorf("core: grid already ran")
 	}
 	g.ran = true
-	if g.opts.UseAgents {
+	if g.opts.UseAgents && g.members != nil {
+		// Dynamic membership: the advert exchange re-derives the live
+		// agent set every tick, because joins, leaves and re-homes change
+		// it mid-run. The static fast path below keeps its fixed arrays —
+		// and its byte-identical stream — whenever membership is off.
+		pull := func(now float64) {
+			names := g.hier.Names()
+			idx := make(map[string]int, len(names))
+			for i, n := range names {
+				idx[n] = i
+			}
+			base := make([]scheduler.ServiceInfo, len(names))
+			live := make([]bool, len(names))
+			lookup := func(name string) (scheduler.ServiceInfo, bool) {
+				i, ok := idx[name]
+				if !ok || !live[i] {
+					return scheduler.ServiceInfo{}, false
+				}
+				return base[i], true
+			}
+			g.parallelFor(len(names), func(i int) {
+				if g.injector != nil && g.injector.Registry().AgentDown(names[i]) {
+					live[i] = false
+					return
+				}
+				base[i] = g.locals[names[i]].ServiceInfo()
+				live[i] = true
+			})
+			for _, name := range names {
+				if g.injector != nil && g.injector.Registry().AgentDown(name) {
+					continue
+				}
+				a, ok := g.hier.Lookup(name)
+				if !ok {
+					continue
+				}
+				a.PullBatched(now, lookup)
+			}
+		}
+		pull(0)
+		// Pulls continue through the churn tail so late joiners start
+		// advertising even when every request has already arrived.
+		last := g.lastRequestAt
+		if t := g.opts.Churn.LastEventTime(); t > last {
+			last = t
+		}
+		g.simr.Every(g.opts.PullPeriod, func(now float64) bool {
+			pull(now)
+			return now < last
+		})
+	} else if g.opts.UseAgents {
 		names := g.hier.Names()
 		idx := make(map[string]int, len(names))
 		for i, n := range names {
@@ -842,6 +951,14 @@ func (g *Grid) Run() error {
 			return now < last
 		})
 	}
+	if g.members != nil {
+		// Join/leave events and the rebalance ticks are scheduled after
+		// the pull Every, the fault events and the migrator, so a
+		// membership mutation at a coincident instant acts on the
+		// post-pull, post-fault grid. With membership off this branch
+		// queues nothing: the event stream is byte-identical.
+		g.members.schedule()
+	}
 	if g.resv != nil {
 		// The expiry sweep retires holds whose TTL lapsed unconfirmed.
 		// Scheduled only when a reservation was submitted, so runs without
@@ -865,7 +982,7 @@ func (g *Grid) Run() error {
 		})
 	}
 	g.simr.RunAll(g.eventBudget())
-	g.forEachLocal(g.hier.Names(), func(l *scheduler.Local) { l.Drain() })
+	g.forEachLocal(g.allNames(), func(l *scheduler.Local) { l.Drain() })
 	if g.sampler != nil {
 		// One final point after the drain, at the completion time of the
 		// last record, so the series ends with the finished grid.
@@ -911,6 +1028,16 @@ func (g *Grid) eventBudget() int {
 	if g.opts.FaultPlan != nil {
 		budget += 4*len(g.opts.FaultPlan.Events) + 16
 	}
+	if g.members != nil {
+		budget += 4*g.opts.Churn.Events() + 16
+		if g.members.reb != nil {
+			horizon := g.lastRequestAt
+			if t := g.opts.Churn.LastEventTime(); t > horizon {
+				horizon = t
+			}
+			budget += int(horizon/g.members.reb.Policy().CheckPeriod) + 2
+		}
+	}
 	if budget < 10_000_000 {
 		budget = 10_000_000
 	}
@@ -921,10 +1048,26 @@ func (g *Grid) eventBudget() int {
 // numerator of the events-per-second throughput figure.
 func (g *Grid) SimEvents() uint64 { return g.simr.Executed() }
 
+// allNames lists every scheduler in the grid's canonical natural order.
+// Without dynamic membership that is exactly the hierarchy's name list;
+// with it, departed agents are gone from the tree but their records and
+// still-running tasks are not, so the walk covers all locals.
+func (g *Grid) allNames() []string {
+	if g.members == nil {
+		return g.hier.Names()
+	}
+	names := make([]string, 0, len(g.locals))
+	for n := range g.locals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return agent.LessAgentName(names[i], names[j]) })
+	return names
+}
+
 // Records returns every execution record across the grid.
 func (g *Grid) Records() []scheduler.Record {
 	var out []scheduler.Record
-	for _, name := range g.hier.Names() {
+	for _, name := range g.allNames() {
 		out = append(out, g.locals[name].Records()...)
 	}
 	return out
@@ -975,6 +1118,15 @@ func (g *Grid) MigrationStats() MigrationStats {
 		return MigrationStats{}
 	}
 	return g.migrator.stats
+}
+
+// MembershipStats reports what the dynamic-hierarchy subsystem did
+// during the run; the zero value when membership was not enabled.
+func (g *Grid) MembershipStats() membership.Stats {
+	if g.members == nil {
+		return membership.Stats{}
+	}
+	return g.members.reg.Stats()
 }
 
 // FaultStats reports what the fault injector did during the run; the

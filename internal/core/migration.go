@@ -138,6 +138,12 @@ func (m *migrator) check(now float64) {
 
 func (m *migrator) checkResource(name string, now float64) {
 	st := m.state[name]
+	if st == nil {
+		// A runtime joiner (dynamic membership) was not known at build
+		// time; its hysteresis state starts fresh on first sight.
+		st = &migState{lastOffer: math.Inf(-1)}
+		m.state[name] = st
+	}
 	if m.g.injector != nil && m.g.injector.Registry().AgentDown(name) {
 		st.streak = 0 // a crashed resource is the injector's problem, not ours
 		return

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agent"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Exp7 is the dynamic-hierarchy configuration: experiment 3 (GA + agent
+// discovery) under a flash crowd while the tree itself churns — powerful
+// resources join at runtime, a loaded resource gracefully leaves — with
+// the load-driven rebalancer deciding whether subtrees re-home. The
+// paper's tree is fixed at start-up; this experiment measures making it
+// a runtime object.
+var Exp7 = Setup{ID: 7, Policy: core.PolicyGA, UseAgents: true, Label: "GA + agents + churn + flash crowd (dynamic tree)"}
+
+// DefaultChurnPlan returns the Experiment 7 membership schedule, scaled
+// to a request phase of roughly the flash-crowd span: two powerful
+// resources join early but attach at the *bottom* of the tree (under the
+// weakest leaves — a new machine rarely arrives at the root), and S9
+// gracefully departs mid-crowd, draining its queue. Discovery is
+// neighbour-local, so the joiners' capacity is nearly invisible from the
+// loaded region of the tree — unless the rebalancer re-homes traffic
+// toward them, which is exactly the effect the experiment measures.
+func DefaultChurnPlan() membership.Plan {
+	return membership.Plan{
+		Joins: []membership.Join{
+			{Time: 60, Name: "S13", Hardware: "SGIOrigin2000", Nodes: 16, Parent: "S11"},
+			{Time: 90, Name: "S14", Hardware: "SGIOrigin2000", Nodes: 16, Parent: "S12"},
+		},
+		Leaves: []membership.Leave{
+			{Time: 240, Name: "S9"},
+		},
+	}
+}
+
+// DefaultFlashCrowd returns the Experiment 7 arrival process: a 0.5 /s
+// baseline ramping to 5 /s over a minute and holding for 150 s — ten
+// times the sustained load, concentrated mid-phase, the regime where a
+// lopsided tree hurts most.
+func DefaultFlashCrowd() workload.FlashCrowd {
+	return workload.FlashCrowd{BaseRate: 0.5, PeakRate: 5, RampStart: 120, RampDuration: 60, Hold: 150}
+}
+
+// DefaultRebalancePolicy returns the Experiment 7 rebalancer knobs: the
+// membership defaults with the pressure floor raised to crowd level, so
+// the tree only moves for the flash crowd itself, not for the small
+// imbalances of the warm-up phase.
+func DefaultRebalancePolicy() membership.Policy { return membership.Policy{MinLoad: 30} }
+
+// MembershipOutcome pairs the churning run with a static tree (agents
+// join and leave, but nothing re-homes under load) against the identical
+// run with the rebalancer on.
+type MembershipOutcome struct {
+	Static  Outcome // churn only: the tree keeps its start-up shape
+	Dynamic Outcome // same workload and churn, rebalancer on
+	Plan    membership.Plan
+	Policy  membership.Policy
+	Stats   membership.Stats // membership activity of the dynamic run
+	HitOff  float64          // deadline-hit rate, static tree
+	HitOn   float64          // deadline-hit rate, dynamic tree
+}
+
+// RunMembershipStudy executes Experiment 7: the experiment 3
+// configuration over a flash-crowd workload with scripted churn, first
+// with the tree static (joins and leaves happen, but subtrees never move),
+// then with the load-driven rebalancer on. Everything else — seed,
+// workload, GA knobs, churn schedule — is held identical, so any delta
+// is the rebalancer's.
+func RunMembershipStudy(p Params, plan membership.Plan, pol membership.Policy) (MembershipOutcome, error) {
+	// An external trace recorder goes to the dynamic run only: one
+	// recorder must never hold two runs' events (the ReqIDs collide and
+	// the audit would see every task executed twice).
+	pOff := p
+	pOff.Trace = nil
+	static, _, err := runChurn(pOff, plan, nil)
+	if err != nil {
+		return MembershipOutcome{}, fmt.Errorf("experiment 7 (static tree): %w", err)
+	}
+	dynamic, stats, err := runChurn(p, plan, &pol)
+	if err != nil {
+		return MembershipOutcome{}, fmt.Errorf("experiment 7 (dynamic tree): %w", err)
+	}
+	return MembershipOutcome{
+		Static:  static,
+		Dynamic: dynamic,
+		Plan:    plan,
+		Policy:  pol,
+		Stats:   stats,
+		HitOff:  metrics.HitRate(static.Records),
+		HitOn:   metrics.HitRate(dynamic.Records),
+	}, nil
+}
+
+// runChurn runs the flash-crowd workload over the churning Fig. 7 grid
+// with the given rebalance policy (nil = static tree).
+func runChurn(p Params, plan membership.Plan, pol *membership.Policy) (Outcome, membership.Stats, error) {
+	rec := p.Trace
+	if p.Audit && rec == nil {
+		rec = trace.NewRecorder(8*p.Requests + 64)
+	}
+	grid, err := core.New(CaseStudyResources(), core.Options{
+		Policy:    Exp7.Policy,
+		GA:        p.GA,
+		Workers:   p.Workers,
+		UseAgents: true,
+		Seed:      p.Seed,
+		Trace:     rec,
+		AdvertTTL: 3 * agent.DefaultPullPeriod,
+		Churn:     &plan,
+		Rebalance: pol,
+	})
+	if err != nil {
+		return Outcome{}, membership.Stats{}, err
+	}
+	spec := workload.CaseStudySpec(p.Seed, AgentNames())
+	spec.Count = p.Requests
+	spec.Arrivals = DefaultFlashCrowd()
+	spec.DeadlineScale = 0.9
+	// The crowd hits one region: every request enters through the S3/S4
+	// branches, far from where the powerful joiners attached. A static
+	// tree reaches the new capacity only by climbing through the head and
+	// descending the far side hop by hop; the dynamic tree re-homes the
+	// hot branch next to it.
+	spec.AgentNames = []string{"S3", "S4", "S7", "S8", "S9", "S10"}
+	reqs, err := workload.Generate(spec)
+	if err != nil {
+		return Outcome{}, membership.Stats{}, err
+	}
+	if err := grid.SubmitWorkload(reqs); err != nil {
+		return Outcome{}, membership.Stats{}, err
+	}
+	if err := grid.Run(); err != nil {
+		return Outcome{}, membership.Stats{}, err
+	}
+	report, err := grid.Metrics(workload.Summarise(reqs).Span)
+	if err != nil {
+		return Outcome{}, membership.Stats{}, err
+	}
+	out := Outcome{
+		Setup:      Exp7,
+		Report:     report,
+		Dispatches: grid.Dispatches(),
+		Records:    grid.Records(),
+		EvalStats:  grid.Engine().Stats(),
+		Requests:   len(reqs),
+	}
+	if p.Audit {
+		// The churning run is where the membership invariants earn their
+		// keep: no request lost or run twice across a leave-drain, no work
+		// landing on a departed resource, every re-home atomic.
+		res := audit.Check(audit.Run{
+			Events:     rec.Events(),
+			Records:    out.Records,
+			Dispatches: out.Dispatches,
+			Nodes:      grid.NodesByResource(),
+			Report:     report,
+			Dropped:    rec.Dropped(),
+		})
+		out.Audit = &res
+	}
+	return out, grid.MembershipStats(), nil
+}
+
+// FormatMembership renders the Experiment 7 report: the churn schedule,
+// the membership bookkeeping, and ε/υ/β plus the deadline-hit rate with
+// the tree static against dynamic.
+func FormatMembership(r MembershipOutcome) string {
+	var b strings.Builder
+	b.WriteString("Experiment 7: dynamic hierarchy under churn and flash crowd\n\n")
+	b.WriteString("Churn schedule:\n")
+	for _, j := range r.Plan.Joins {
+		fmt.Fprintf(&b, "  t=%-6g join  %s (%s x%d) under %s\n", j.Time, j.Name, j.Hardware, j.Nodes, j.Parent)
+	}
+	for _, l := range r.Plan.Leaves {
+		fmt.Fprintf(&b, "  t=%-6g leave %s (queue drained, subtree re-homed)\n", l.Time, l.Name)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "Requests submitted:    %d\n", r.Dynamic.Requests)
+	fmt.Fprintf(&b, "Tasks completed:       %d (static) / %d (dynamic)\n", len(r.Static.Records), len(r.Dynamic.Records))
+	fmt.Fprintf(&b, "Membership activity:   %d joins, %d leaves, %d tasks drained, %d rehome moves\n",
+		r.Stats.Joins, r.Stats.Leaves, r.Stats.Drained, r.Stats.Moves)
+	b.WriteString("\n")
+
+	off, on := r.Static.Report.Total, r.Dynamic.Report.Total
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s\n", "grid totals", "static", "dynamic", "delta")
+	row := func(label, unit string, a, f float64) {
+		fmt.Fprintf(&b, "%-24s %10.1f %10.1f %+10.1f  %s\n", label, a, f, f-a, unit)
+	}
+	row("epsilon (advance time)", "s", off.Epsilon, on.Epsilon)
+	row("upsilon (utilisation)", "%", off.Upsilon, on.Upsilon)
+	row("beta (balance level)", "%", off.Beta, on.Beta)
+	row("deadline-hit rate", "%", r.HitOff*100, r.HitOn*100)
+	if r.Dynamic.Audit != nil {
+		b.WriteString("\n")
+		b.WriteString(r.Dynamic.Audit.Summary())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package membership
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/pace"
+	"repro/internal/scheduler"
+)
+
+func newAgent(t testing.TB, name string, hw pace.Hardware, nodes int, e *pace.Engine) *agent.Agent {
+	t.Helper()
+	l, err := scheduler.NewLocal(scheduler.Config{
+		Name: name, HW: hw, NumNodes: nodes,
+		Policy: scheduler.NewFIFOPolicy(), Engine: e,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := agent.New(l, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// fixture: head -> {a, b}, a -> a1.
+func fixture(t *testing.T) (*Registry, *pace.Engine) {
+	t.Helper()
+	e := pace.NewEngine()
+	head := newAgent(t, "head", pace.SGIOrigin2000, 16, e)
+	a := newAgent(t, "a", pace.SunUltra10, 16, e)
+	b := newAgent(t, "b", pace.SunUltra10, 16, e)
+	a1 := newAgent(t, "a1", pace.SunUltra5, 16, e)
+	for _, l := range []struct{ p, c *agent.Agent }{{head, a}, {head, b}, {a, a1}} {
+		if err := agent.Link(l.p, l.c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := agent.NewHierarchy([]*agent.Agent{head, a, b, a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRegistry(h), e
+}
+
+func TestPlanValidate(t *testing.T) {
+	base := []string{"head", "a", "b"}
+	cases := []struct {
+		name string
+		plan Plan
+		want string // substring of the error; "" = valid
+	}{
+		{"valid", Plan{
+			Joins:  []Join{{Time: 10, Name: "n", Hardware: "SGIOrigin2000", Nodes: 16, Parent: "a"}},
+			Leaves: []Leave{{Time: 20, Name: "n"}},
+		}, ""},
+		{"duplicate name", Plan{Joins: []Join{{Time: 1, Name: "a", Hardware: "SGIOrigin2000", Nodes: 4, Parent: "head"}}}, "already exists"},
+		{"unknown hardware", Plan{Joins: []Join{{Time: 1, Name: "n", Hardware: "PDP11", Nodes: 4, Parent: "head"}}}, "unknown hardware"},
+		{"bad nodes", Plan{Joins: []Join{{Time: 1, Name: "n", Hardware: "SGIOrigin2000", Nodes: 0, Parent: "head"}}}, "node count"},
+		{"unknown parent", Plan{Joins: []Join{{Time: 1, Name: "n", Hardware: "SGIOrigin2000", Nodes: 4, Parent: "ghost"}}}, "unknown parent"},
+		{"parent joins later", Plan{Joins: []Join{
+			{Time: 50, Name: "p", Hardware: "SGIOrigin2000", Nodes: 4, Parent: "head"},
+			{Time: 10, Name: "c", Hardware: "SGIOrigin2000", Nodes: 4, Parent: "p"},
+		}}, "joins later"},
+		{"head leaves", Plan{Leaves: []Leave{{Time: 1, Name: "head"}}}, "cannot leave"},
+		{"unknown leaver", Plan{Leaves: []Leave{{Time: 1, Name: "ghost"}}}, "unknown agent"},
+		{"double leave", Plan{Leaves: []Leave{{Time: 1, Name: "a"}, {Time: 2, Name: "a"}}}, "leaves twice"},
+		{"leave before join", Plan{
+			Joins:  []Join{{Time: 10, Name: "n", Hardware: "SGIOrigin2000", Nodes: 4, Parent: "head"}},
+			Leaves: []Leave{{Time: 5, Name: "n"}},
+		}, "precedes join"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.plan.Validate("head", base)
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("valid plan rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("got %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestRegistryJoinLeaveRoute(t *testing.T) {
+	reg, e := fixture(t)
+	n := newAgent(t, "n", pace.SGIOrigin2000, 16, e)
+	parent, err := reg.Join(n, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != "a" {
+		t.Fatalf("joined under %s, want a", parent)
+	}
+	if !reg.Active("n") {
+		t.Fatal("joined agent not active")
+	}
+	if _, err := reg.Join(n, "a"); err == nil {
+		t.Fatal("double join succeeded")
+	}
+
+	// a leaves: its children (a1, n) re-home under head, and traffic for
+	// a routes to head.
+	res, err := reg.Leave("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parent.Name() != "head" {
+		t.Fatalf("leave reported parent %s, want head", res.Parent.Name())
+	}
+	if len(res.Rehomed) != 2 {
+		t.Fatalf("rehomed %v, want the two children", res.Rehomed)
+	}
+	if reg.Active("a") {
+		t.Fatal("left agent still active")
+	}
+	if got, ok := reg.Route("a"); !ok || got != "head" {
+		t.Fatalf("Route(a) = %s, %v; want head, true", got, ok)
+	}
+	if _, err := reg.Leave("a"); err == nil {
+		t.Fatal("double leave succeeded")
+	}
+
+	// A joiner whose parent already left lands on the ancestor instead.
+	m := newAgent(t, "m", pace.SGIOrigin2000, 16, e)
+	parent, err = reg.Join(m, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent != "head" {
+		t.Fatalf("orphan join landed on %s, want head", parent)
+	}
+
+	s := reg.Stats()
+	if s.Joins != 2 || s.Leaves != 1 || s.Rehomed != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRegistryRehome(t *testing.T) {
+	reg, _ := fixture(t)
+	old, err := reg.Rehome("a1", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Name() != "a" {
+		t.Fatalf("rehome reported old parent %s, want a", old.Name())
+	}
+	if reg.Stats().Moves != 1 {
+		t.Fatalf("moves = %d, want 1", reg.Stats().Moves)
+	}
+	if _, err := reg.Rehome("ghost", "b"); err == nil {
+		t.Fatal("rehoming an unknown agent succeeded")
+	}
+	if _, err := reg.Leave("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Rehome("a1", "b"); err == nil {
+		t.Fatal("rehoming under a departed agent succeeded")
+	}
+}
+
+// loads drives Plan with a fixed synthetic snapshot.
+func loads(m map[string]int) func(string) int {
+	return func(name string) int { return m[name] }
+}
+
+func TestRebalancerHysteresisAndMove(t *testing.T) {
+	reg, _ := fixture(t)
+	reb := NewRebalancer(reg, Policy{MinLoad: 1, Cooldown: 1})
+	// head's neighbourhood (own + a + b) is lopsided against idle b.
+	snap := loads(map[string]int{"head": 10, "a": 20, "b": 0, "a1": 0})
+
+	if _, ok := reb.Plan(0, snap, nil); ok {
+		t.Fatal("moved on the first lopsided check — hysteresis window ignored")
+	}
+	mv, ok := reb.Plan(15, snap, nil)
+	if !ok {
+		t.Fatal("no move after two lopsided checks")
+	}
+	// head is heaviest (30), its heaviest child a moves; eligible targets
+	// are outside a's subtree: b (0) and a1 is inside... a1 is a's child,
+	// so only b remains.
+	if mv.Subtree != "a" || mv.From != "head" || mv.To != "b" {
+		t.Fatalf("move %+v, want a: head -> b", mv)
+	}
+}
+
+func TestRebalancerMinLoadFloor(t *testing.T) {
+	reg, _ := fixture(t)
+	reb := NewRebalancer(reg, Policy{MinLoad: 100, Window: 1, Cooldown: 1})
+	snap := loads(map[string]int{"head": 10, "a": 20, "b": 0, "a1": 0})
+	for i := 0; i < 5; i++ {
+		if _, ok := reb.Plan(float64(15*i), snap, nil); ok {
+			t.Fatal("moved below the MinLoad floor")
+		}
+	}
+}
+
+func TestRebalancerCooldown(t *testing.T) {
+	reg, _ := fixture(t)
+	reb := NewRebalancer(reg, Policy{MinLoad: 1, Window: 1, Cooldown: 1000})
+	snap := loads(map[string]int{"head": 10, "a": 20, "b": 0, "a1": 0})
+	mv, ok := reb.Plan(0, snap, nil)
+	if !ok {
+		t.Fatal("no initial move")
+	}
+	if _, err := reg.Rehome(mv.Subtree, mv.To); err != nil {
+		t.Fatal(err)
+	}
+	reb.Moved(0)
+	// Even a blatant breach stays put during the cooldown.
+	snap = loads(map[string]int{"head": 0, "a": 0, "b": 50, "a1": 50})
+	if _, ok := reb.Plan(500, snap, nil); ok {
+		t.Fatal("moved during the cooldown")
+	}
+}
+
+func TestRebalancerCapacityPreference(t *testing.T) {
+	reg, e := fixture(t)
+	// Add a second idle candidate with more capacity than b.
+	big := newAgent(t, "big", pace.SGIOrigin2000, 16, e)
+	if _, err := reg.Join(big, "head"); err != nil {
+		t.Fatal(err)
+	}
+	reb := NewRebalancer(reg, Policy{MinLoad: 1, Window: 1, Cooldown: 1})
+	snap := loads(map[string]int{"head": 10, "a": 20, "b": 0, "a1": 0, "big": 1})
+	capOf := func(name string) float64 {
+		if name == "big" {
+			return 16
+		}
+		return 8
+	}
+	mv, ok := reb.Plan(0, snap, capOf)
+	if !ok {
+		t.Fatal("no move")
+	}
+	// b is emptier (0 vs 1) but big has twice the capacity: big wins.
+	if mv.To != "big" {
+		t.Fatalf("moved to %s, want the higher-capacity big", mv.To)
+	}
+}
+
+func TestRebalancerFanInCap(t *testing.T) {
+	reg, _ := fixture(t)
+	reb := NewRebalancer(reg, Policy{MinLoad: 1, Window: 1, Cooldown: 1, MaxFanIn: 1})
+	// b has no children; a1 (a's child, inside the moved subtree) is the
+	// only other leaf — with MaxFanIn 1 even childless b is eligible, but
+	// head (2 children) is not, which only matters for bigger trees. Here
+	// the move must still go to b.
+	snap := loads(map[string]int{"head": 10, "a": 20, "b": 0, "a1": 0})
+	mv, ok := reb.Plan(0, snap, nil)
+	if !ok {
+		t.Fatal("no move")
+	}
+	if mv.To != "b" {
+		t.Fatalf("moved to %s, want b", mv.To)
+	}
+}

@@ -72,6 +72,13 @@ type Result struct {
 	MigrateAccepts int `json:"migrate_accepts,omitempty"`
 	MigrateRejects int `json:"migrate_rejects,omitempty"`
 
+	// Dynamic-membership activity (zero unless the spec scripts churn or
+	// enables the rebalancer).
+	Joins   int `json:"joins,omitempty"`
+	Leaves  int `json:"leaves,omitempty"`
+	Drained int `json:"drained,omitempty"`
+	Moves   int `json:"rehome_moves,omitempty"`
+
 	// Reservation admission and guarantee behaviour (zero unless the spec
 	// reserves a share of the traffic).
 	ResvRequested int `json:"resv_requested,omitempty"`
@@ -144,6 +151,13 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	for _, r := range resources {
 		nodes[r.Name] = r.Nodes
 	}
+	if spec.Churn != nil {
+		// Runtime joiners execute work too; the audit must know their
+		// node counts or their records read as "unknown resource".
+		for _, j := range spec.Churn.Joins {
+			nodes[j.Name] = j.Nodes
+		}
+	}
 	obs := audit.NewObserver(nodes)
 	copts := core.Options{
 		Policy:      policy,
@@ -156,6 +170,8 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 		FaultPlan:   spec.FaultPlan(),
 		Migration:   spec.MigrationPolicy(),
 		Reservation: spec.ReservationPolicy(),
+		Churn:       spec.ChurnPlan(),
+		Rebalance:   spec.RebalancePolicy(),
 	}
 	if opt.Telemetry {
 		// Each run gets a fresh registry: sweep points run concurrently
@@ -280,6 +296,8 @@ func runSeeded(spec Spec, seed uint64, opt RunOptions) (Result, error) {
 	}
 	ms := grid.MigrationStats()
 	out.MigrateOffers, out.MigrateAccepts, out.MigrateRejects = ms.Offers, ms.Accepts, ms.Rejects
+	mbs := grid.MembershipStats()
+	out.Joins, out.Leaves, out.Drained, out.Moves = mbs.Joins, mbs.Leaves, mbs.Drained, mbs.Moves
 	rs := grid.ReservationStats()
 	out.ResvRequested, out.ResvConfirmed, out.ResvRejected = rs.Requested, rs.Confirmed, rs.Rejected
 	out.ResvExpired, out.ResvParts = rs.Expired, rs.Parts
@@ -324,6 +342,10 @@ func FormatResult(r Result) string {
 	}
 	if r.MigrateOffers > 0 {
 		fmt.Fprintf(&b, "  migration: %d offers, %d accepted, %d rejected\n", r.MigrateOffers, r.MigrateAccepts, r.MigrateRejects)
+	}
+	if r.Joins+r.Leaves+r.Moves > 0 {
+		fmt.Fprintf(&b, "  membership: %d joins, %d leaves (%d tasks drained), %d rehome moves\n",
+			r.Joins, r.Leaves, r.Drained, r.Moves)
 	}
 	if r.ResvRequested > 0 {
 		fmt.Fprintf(&b, "  reservations: %d requested, %d confirmed (%d parts), %d rejected, %d expired   guarantee-hit %.1f %%\n",

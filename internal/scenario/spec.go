@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ga"
+	"repro/internal/membership"
 	"repro/internal/workload"
 )
 
@@ -52,6 +53,7 @@ type Spec struct {
 	Faults       *FaultSpec       `json:"faults,omitempty"`
 	Migration    *MigrationSpec   `json:"migration,omitempty"`
 	Reservations *ReservationSpec `json:"reservations,omitempty"`
+	Churn        *ChurnSpec       `json:"churn,omitempty"`
 }
 
 // TopologySpec describes the grid. Either a named preset or a generated
@@ -164,6 +166,85 @@ type ReservationSpec struct {
 	// MaxSlip bounds how far past the requested start the granted window
 	// may slip before admission is refused; 0 = unbounded.
 	MaxSlip float64 `json:"max_slip,omitempty"`
+}
+
+// ChurnSpec scripts dynamic membership: agents joining and gracefully
+// leaving the hierarchy at fixed virtual times, plus an optional
+// load-driven rebalancer re-homing subtrees when the tree goes lopsided.
+// It composes with fault plans (crash/partition churn) and any arrival
+// process — a flash crowd over a churning tree is the stress case the
+// static paper topology cannot express.
+type ChurnSpec struct {
+	Joins     []ChurnJoin    `json:"joins,omitempty"`
+	Leaves    []ChurnLeave   `json:"leaves,omitempty"`
+	Rebalance *RebalanceSpec `json:"rebalance,omitempty"`
+}
+
+// ChurnJoin is the JSON shape of one membership.Join.
+type ChurnJoin struct {
+	Time         float64  `json:"time"`
+	Name         string   `json:"name"`
+	Hardware     string   `json:"hardware"`
+	Nodes        int      `json:"nodes"`
+	Parent       string   `json:"parent"`
+	Environments []string `json:"environments,omitempty"`
+}
+
+// ChurnLeave is the JSON shape of one membership.Leave.
+type ChurnLeave struct {
+	Time float64 `json:"time"`
+	Name string  `json:"name"`
+}
+
+// RebalanceSpec is the JSON shape of membership.Policy; zero fields keep
+// the membership defaults.
+type RebalanceSpec struct {
+	Enabled     bool    `json:"enabled"`
+	CheckPeriod float64 `json:"check_period,omitempty"`
+	Imbalance   float64 `json:"imbalance,omitempty"`
+	Window      int     `json:"window,omitempty"`
+	Cooldown    float64 `json:"cooldown,omitempty"`
+	MaxFanIn    int     `json:"max_fan_in,omitempty"`
+	MinLoad     int     `json:"min_load,omitempty"`
+}
+
+// ChurnPlan converts the spec's scripted joins and leaves; nil when the
+// spec has none (so a rebalance-only churn section still builds a grid
+// without a plan).
+func (s Spec) ChurnPlan() *membership.Plan {
+	c := s.Churn
+	if c == nil || len(c.Joins)+len(c.Leaves) == 0 {
+		return nil
+	}
+	plan := &membership.Plan{
+		Joins:  make([]membership.Join, len(c.Joins)),
+		Leaves: make([]membership.Leave, len(c.Leaves)),
+	}
+	for i, j := range c.Joins {
+		plan.Joins[i] = membership.Join{
+			Time: j.Time, Name: j.Name, Hardware: j.Hardware, Nodes: j.Nodes,
+			Parent: j.Parent, Environments: j.Environments,
+		}
+	}
+	for i, l := range c.Leaves {
+		plan.Leaves[i] = membership.Leave{Time: l.Time, Name: l.Name}
+	}
+	return plan
+}
+
+// RebalancePolicy converts the spec's rebalance section; nil (disabled)
+// when absent or not enabled.
+func (s Spec) RebalancePolicy() *membership.Policy {
+	c := s.Churn
+	if c == nil || c.Rebalance == nil || !c.Rebalance.Enabled {
+		return nil
+	}
+	rb := c.Rebalance
+	return &membership.Policy{
+		CheckPeriod: rb.CheckPeriod, Imbalance: rb.Imbalance,
+		Window: rb.Window, Cooldown: rb.Cooldown, MaxFanIn: rb.MaxFanIn,
+		MinLoad: rb.MinLoad,
+	}
 }
 
 // reservationDefaults resolves the zero shape fields.
@@ -389,6 +470,24 @@ func (s Spec) Validate() error {
 		if r.Lead < 0 || r.Duration < 0 || r.Nodes < 0 || r.Parts < 0 || r.HoldTTL < 0 || r.MaxSlip < 0 {
 			return fmt.Errorf("scenario: negative reservation parameter (lead %g, duration %g, nodes %d, parts %d, hold_ttl %g, max_slip %g)",
 				r.Lead, r.Duration, r.Nodes, r.Parts, r.HoldTTL, r.MaxSlip)
+		}
+	}
+	if c := s.Churn; c != nil {
+		if !s.AgentsEnabled() {
+			return fmt.Errorf("scenario: churn requires use_agents (membership is an agent-layer notion)")
+		}
+		if plan := s.ChurnPlan(); plan != nil {
+			head := ""
+			base := make([]string, len(resources))
+			for i, r := range resources {
+				base[i] = r.Name
+				if r.Parent == "" {
+					head = r.Name
+				}
+			}
+			if err := plan.Validate(head, base); err != nil {
+				return err
+			}
 		}
 	}
 	if plan := s.FaultPlan(); plan != nil {

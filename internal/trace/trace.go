@@ -57,6 +57,21 @@ const (
 	KindReserveConfirm Kind = "reserve-confirm" // a held window became a guaranteed-start task
 	KindReserveRelease Kind = "reserve-release" // a held or confirmed window was cancelled
 	KindReserveExpire  Kind = "reserve-expire"  // a hold outlived its TTL unconfirmed
+
+	// Dynamic-hierarchy events (internal/membership): agents joining and
+	// leaving the tree on the virtual clock, and the rebalancer's
+	// propose→detach→attach chain moving a subtree under a less-loaded
+	// parent. These are grid-level events, not request lifecycle stages,
+	// so they are not TaskBearing; a leaving agent's queue drain re-uses
+	// the migrate-* chain, which keeps it under the audit's existing
+	// no-loss/no-double-run proof. The audit additionally holds every
+	// rehome-detach to a same-instant rehome-attach and rejects any
+	// dispatch to (or start on) a resource after its leave event.
+	KindJoin          Kind = "join"           // an agent attached to the live tree
+	KindLeave         Kind = "leave"          // an agent gracefully left the tree
+	KindRehomePropose Kind = "rehome-propose" // the rebalancer proposed moving a subtree
+	KindRehomeDetach  Kind = "rehome-detach"  // the moved subtree left its old parent
+	KindRehomeAttach  Kind = "rehome-attach"  // the moved subtree attached under its new parent
 )
 
 // TaskBearing reports whether events of this kind describe the lifecycle

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pace"
+	"repro/internal/xmlmsg"
+)
+
+// waitCached spins until the node's advert cache holds (or drops) name.
+func waitCached(t *testing.T, n *Node, name string, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		found := false
+		for _, c := range n.CachedServiceNames() {
+			if c == name {
+				found = true
+			}
+		}
+		if found == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("cache of %s: %v never reached %v (%v)", n.Agent().Name(), name, want, n.CachedServiceNames())
+}
+
+// TestJoinLeaveOverTCP drives the live registration protocol end to end:
+// a child joins a running upper, becomes a discovery target, then leaves
+// gracefully and is forgotten immediately — no TTL wait.
+func TestJoinLeaveOverTCP(t *testing.T) {
+	head := startNode(t, "fast", pace.SunSPARCstation2, 4)
+	child := startNode(t, "joiner", pace.SGIOrigin2000, 16)
+
+	if err := child.JoinUpper("fast", head.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if up := child.Agent().Upper(); up == nil || up.PeerName() != "fast" {
+		t.Fatal("join did not wire the child's upper link")
+	}
+	// The upper starts pulling the joiner's advertisement on its own.
+	waitCached(t, head, "joiner", true)
+
+	// sweep3d in 10s is impossible on the SPARCstation upper (min 24s)
+	// but easy on the joined Origin — discovery must route to the joiner.
+	req := xmlmsg.NewWireRequest(301, "sweep3d", "test", 10, "u@g", xmlmsg.ModeDiscover, nil)
+	reply, _, err := Call(head.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := reply.(*xmlmsg.DispatchAck)
+	if ack.Resource != "joiner" {
+		t.Fatalf("request landed on %s, want the joiner", ack.Resource)
+	}
+
+	// Graceful leave: the upper forgets the advert on the spot.
+	if err := child.LeaveUpper(); err != nil {
+		t.Fatal(err)
+	}
+	if child.Agent().Upper() != nil {
+		t.Fatal("leave did not sever the child's upper link")
+	}
+	waitCached(t, head, "joiner", false)
+
+	// With the joiner gone the same request stays on the upper as a
+	// best-effort fallback — it must not dispatch to the departed child.
+	req = xmlmsg.NewWireRequest(302, "sweep3d", "test", 10, "u@g", xmlmsg.ModeDiscover, nil)
+	reply, _, err = Call(head.Addr(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack = reply.(*xmlmsg.DispatchAck)
+	if ack.Resource == "joiner" {
+		t.Fatal("post-leave request dispatched to the departed joiner")
+	}
+}
+
+// TestRejoinReplacesStaleLink: a daemon restart re-joins under the same
+// name; the upper must swap the link rather than reject the duplicate.
+func TestRejoinReplacesStaleLink(t *testing.T) {
+	head := startNode(t, "fast", pace.SunSPARCstation2, 4)
+	old := startNode(t, "joiner", pace.SunUltra5, 8)
+	if err := old.JoinUpper("fast", head.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	_ = old.Close()
+
+	// The restarted daemon has faster hardware under the same name. The
+	// stale cached advert (SunUltra5: sweep3d min 10s) cannot meet an 8s
+	// deadline, so discovery routes to the joiner only once the swapped
+	// link has pulled the fresh SGI advertisement.
+	fresh := startNode(t, "joiner", pace.SGIOrigin2000, 16)
+	if err := fresh.JoinUpper("fast", head.Addr()); err != nil {
+		t.Fatalf("re-join rejected: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	reqID := uint64(310)
+	for time.Now().Before(deadline) {
+		reqID++
+		req := xmlmsg.NewWireRequest(reqID, "sweep3d", "test", 8, "u@g", xmlmsg.ModeDiscover, nil)
+		reply, _, err := Call(head.Addr(), req)
+		if err == nil {
+			if ack, ok := reply.(*xmlmsg.DispatchAck); ok && ack.Resource == "joiner" {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("discovery never reached the re-joined instance")
+}
+
+// TestMembershipWireErrors pins the protocol's failure answers.
+func TestMembershipWireErrors(t *testing.T) {
+	head := startNode(t, "fast", pace.SGIOrigin2000, 8)
+
+	// A leave from a stranger is an error: it was never a neighbour.
+	if _, _, err := Call(head.Addr(), xmlmsg.NewLeave("stranger")); err == nil {
+		t.Fatal("leave of a non-neighbour succeeded")
+	}
+	// A join without a callback address is rejected.
+	if _, _, err := Call(head.Addr(), xmlmsg.Membership{
+		Type: "membership", Op: xmlmsg.MembershipOpJoin, Agent: "noaddr",
+	}); err == nil {
+		t.Fatal("join without callback address succeeded")
+	}
+	// An unknown op is rejected.
+	if _, _, err := Call(head.Addr(), xmlmsg.Membership{
+		Type: "membership", Op: "defect", Agent: "x",
+	}); err == nil {
+		t.Fatal("unknown membership op succeeded")
+	}
+}

@@ -116,6 +116,7 @@ type Node struct {
 	start       time.Time
 	srv         *Server
 	stop        chan struct{}
+	stopOnce    sync.Once
 	wg          sync.WaitGroup
 	emails      map[int]string // task ID -> submitting email, for result delivery
 	tick        time.Duration
@@ -262,14 +263,18 @@ func (n *Node) tickLoop() {
 // Addr returns the listen address after Start.
 func (n *Node) Addr() string { return n.srv.Addr() }
 
-// Close stops the pull loop and the server.
+// Close stops the pull loop and the server. Idempotent: a daemon's
+// signal handler and its deferred shutdown may both reach it.
 func (n *Node) Close() error {
-	close(n.stop)
-	n.wg.Wait()
-	if n.srv != nil {
-		return n.srv.Close()
-	}
-	return nil
+	var err error
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+		if n.srv != nil {
+			err = n.srv.Close()
+		}
+	})
+	return err
 }
 
 func (n *Node) pullLoop() {
@@ -427,6 +432,9 @@ func (n *Node) handle(msg interface{}, kind xmlmsg.Kind) (interface{}, error) {
 			return nil, err
 		}
 		return xmlmsg.NewDispatchAck(d.Resource, d.TaskID, d.ReqID, d.Eta, d.Hops, d.Fallback), nil
+
+	case *xmlmsg.Membership:
+		return n.handleMembership(m)
 
 	case *xmlmsg.Reserve:
 		op, err := n.reserveOpFromWire(m)

@@ -18,17 +18,19 @@ import (
 // Message tags. New kinds append; existing tags never change, so a mixed
 // deployment can negotiate the codec safely.
 const (
-	binTagService byte = 1
-	binTagRequest byte = 2
-	binTagResult  byte = 3
-	binTagQuery   byte = 4
-	binTagAck     byte = 5
-	binTagError   byte = 6
-	binTagResults byte = 7
-	binTagHello      byte = 8
-	binTagBusy       byte = 9
-	binTagReserve    byte = 10
-	binTagReserveAck byte = 11
+	binTagService       byte = 1
+	binTagRequest       byte = 2
+	binTagResult        byte = 3
+	binTagQuery         byte = 4
+	binTagAck           byte = 5
+	binTagError         byte = 6
+	binTagResults       byte = 7
+	binTagHello         byte = 8
+	binTagBusy          byte = 9
+	binTagReserve       byte = 10
+	binTagReserveAck    byte = 11
+	binTagMembership    byte = 12
+	binTagMembershipAck byte = 13
 )
 
 type binWriter struct{ buf []byte }
@@ -252,6 +254,18 @@ func MarshalBinary(v interface{}) ([]byte, error) {
 			w.str(q.Start)
 			w.str(q.End)
 		}
+	case Membership:
+		w.buf = append(w.buf, binTagMembership)
+		w.str(m.Op)
+		w.str(m.Agent)
+		w.str(m.Address)
+		if err := w.i(m.Port); err != nil {
+			return nil, err
+		}
+	case MembershipAck:
+		w.buf = append(w.buf, binTagMembershipAck)
+		w.str(m.Op)
+		w.str(m.Upper)
 	case Hello:
 		w.buf = append(w.buf, binTagHello)
 		w.str(m.Codecs)
@@ -293,6 +307,10 @@ func deref(v interface{}) interface{} {
 	case *Reserve:
 		return *m
 	case *ReserveAck:
+		return *m
+	case *Membership:
+		return *m
+	case *MembershipAck:
 		return *m
 	}
 	return v
@@ -422,6 +440,18 @@ func UnmarshalBinary(data []byte) (interface{}, Kind, error) {
 			m.Quotes = append(m.Quotes, q)
 		}
 		out, kind = m, KindReserveAck
+	case binTagMembership:
+		m := &Membership{XMLName: agName, Type: "membership"}
+		m.Op = r.str("membership op")
+		m.Agent = r.str("membership agent")
+		m.Address = r.str("membership address")
+		m.Port = r.i("membership port")
+		out, kind = m, KindMembership
+	case binTagMembershipAck:
+		m := &MembershipAck{XMLName: agName, Type: "membershipack"}
+		m.Op = r.str("membership ack op")
+		m.Upper = r.str("membership ack upper")
+		out, kind = m, KindMembershipAck
 	case binTagHello:
 		m := &Hello{XMLName: agName, Type: "hello"}
 		m.Codecs = r.str("hello codecs")

@@ -1,0 +1,80 @@
+package xmlmsg
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Membership message kinds: Membership carries one dynamic-hierarchy
+// operation (a child registering under an upper agent, or gracefully
+// deregistering) through the wire; MembershipAck answers it.
+const (
+	KindMembership    Kind = "membership"
+	KindMembershipAck Kind = "membershipack"
+)
+
+// Membership wire operations.
+const (
+	MembershipOpJoin  = "join"
+	MembershipOpLeave = "leave"
+)
+
+// Membership is one dynamic-hierarchy operation on the wire, sent child
+// → upper. A join registers the sender as a lower neighbour: the upper
+// starts pulling the sender's Fig. 5 advertisements on its next tick and
+// routes matching requests to it. A leave deregisters it: the upper
+// drops the neighbour link and forgets its advertisement and breaker
+// history immediately — graceful departure must not wait out the advert
+// TTL the way a crash does.
+type Membership struct {
+	XMLName xml.Name `xml:"agentgrid"`
+	Type    string   `xml:"type,attr"` // always "membership"
+	Op      string   `xml:"op,attr"`   // join | leave
+	Agent   string   `xml:"agent"`     // the child's resource name
+	Address string   `xml:"address,omitempty"`
+	Port    int      `xml:"port,omitempty"`
+}
+
+// NewJoin builds a child's registration message.
+func NewJoin(agent, address string, port int) Membership {
+	return Membership{Type: "membership", Op: MembershipOpJoin, Agent: agent, Address: address, Port: port}
+}
+
+// NewLeave builds a child's deregistration message.
+func NewLeave(agent string) Membership {
+	return Membership{Type: "membership", Op: MembershipOpLeave, Agent: agent}
+}
+
+// MembershipAck answers a Membership operation; Upper names the agent
+// that accepted it (failures travel as ErrorReply).
+type MembershipAck struct {
+	XMLName xml.Name `xml:"agentgrid"`
+	Type    string   `xml:"type,attr"` // always "membershipack"
+	Op      string   `xml:"op,attr"`
+	Upper   string   `xml:"upper"`
+}
+
+// NewMembershipAck builds an acknowledgement.
+func NewMembershipAck(op, upper string) MembershipAck {
+	return MembershipAck{Type: "membershipack", Op: op, Upper: upper}
+}
+
+// decodeMembershipKinds handles the membership kinds for Decode; ok
+// reports whether the envelope matched one.
+func decodeMembershipKinds(env envelope, data []byte) (interface{}, Kind, bool, error) {
+	switch Kind(env.Type) {
+	case KindMembership:
+		var m Membership
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, "", true, fmt.Errorf("xmlmsg: decode membership: %w", err)
+		}
+		return &m, KindMembership, true, nil
+	case KindMembershipAck:
+		var m MembershipAck
+		if err := xml.Unmarshal(data, &m); err != nil {
+			return nil, "", true, fmt.Errorf("xmlmsg: decode membership ack: %w", err)
+		}
+		return &m, KindMembershipAck, true, nil
+	}
+	return nil, "", false, nil
+}

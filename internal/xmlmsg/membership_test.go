@@ -1,0 +1,73 @@
+package xmlmsg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMembershipXMLRoundTrip(t *testing.T) {
+	for _, in := range []Membership{
+		NewJoin("S13", "10.0.0.7", 4120),
+		NewLeave("S9"),
+	} {
+		data, err := Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, kind, err := Decode(data)
+		if err != nil || kind != KindMembership {
+			t.Fatalf("decode: kind=%s err=%v", kind, err)
+		}
+		got := back.(*Membership)
+		in.XMLName = got.XMLName
+		if !reflect.DeepEqual(*got, in) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", *got, in)
+		}
+	}
+}
+
+func TestMembershipAckXMLRoundTrip(t *testing.T) {
+	in := NewMembershipAck(MembershipOpJoin, "S5")
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, kind, err := Decode(data)
+	if err != nil || kind != KindMembershipAck {
+		t.Fatalf("decode: kind=%s err=%v", kind, err)
+	}
+	got := back.(*MembershipAck)
+	in.XMLName = got.XMLName
+	if !reflect.DeepEqual(*got, in) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", *got, in)
+	}
+}
+
+func TestMembershipBinaryMatchesXML(t *testing.T) {
+	for _, v := range []interface{}{
+		NewJoin("S13", "10.0.0.7", 4120),
+		NewLeave("S9"),
+		NewMembershipAck(MembershipOpJoin, "S5"),
+		NewMembershipAck(MembershipOpLeave, "S1"),
+	} {
+		xdata, err := Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaXML, _, err := Decode(xdata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bdata, err := MarshalBinary(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaBin, _, err := UnmarshalBinary(bdata)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viaXML, viaBin) {
+			t.Fatalf("codecs disagree:\n xml %+v\n bin %+v", viaXML, viaBin)
+		}
+	}
+}

@@ -144,6 +144,9 @@ func decodeExtended(env envelope, data []byte) (interface{}, Kind, error) {
 	if m, kind, ok, err := decodeReserveKinds(env, data); ok || err != nil {
 		return m, kind, err
 	}
+	if m, kind, ok, err := decodeMembershipKinds(env, data); ok || err != nil {
+		return m, kind, err
+	}
 	switch Kind(env.Type) {
 	case KindQuery:
 		var m Query
